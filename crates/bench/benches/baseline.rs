@@ -1,0 +1,33 @@
+//! BASELINE bench: cost of one simulated manual-redesign pass vs one
+//! planner cycle (the §1 comparison, wall-clock side).
+
+use bench::{planner_for, purchases_setup};
+use criterion::{criterion_group, criterion_main, Criterion};
+use poiesis::baseline::{manual_redesign, ManualStrategy};
+use poiesis::PlannerConfig;
+use std::hint::black_box;
+
+fn bench_baseline(c: &mut Criterion) {
+    let (flow, catalog) = purchases_setup(200);
+    let planner = planner_for(flow, catalog, PlannerConfig::default());
+
+    let mut g = c.benchmark_group("baseline");
+    g.sample_size(10);
+    g.bench_function("manual_random_effort6", |b| {
+        b.iter(|| {
+            black_box(manual_redesign(&planner, ManualStrategy::Random, 6, 7).unwrap())
+        })
+    });
+    g.bench_function("manual_greedy_effort6", |b| {
+        b.iter(|| {
+            black_box(manual_redesign(&planner, ManualStrategy::GreedySampled, 6, 7).unwrap())
+        })
+    });
+    g.bench_function("planner_full_cycle", |b| {
+        b.iter(|| black_box(planner.plan().unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_baseline);
+criterion_main!(benches);

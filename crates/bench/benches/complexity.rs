@@ -1,0 +1,40 @@
+//! COMPLEX bench: combination enumeration cost as the candidate list grows
+//! (the §2.2 factorial-complexity claim, measured).
+
+use bench::tpch_setup;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fcp::{DeploymentPolicy, PatternRegistry};
+use poiesis::explore::enumerate_combinations;
+use poiesis::generate::generate_uncapped;
+use std::hint::black_box;
+
+fn bench_complexity(c: &mut Criterion) {
+    let (flow, catalog) = tpch_setup(100);
+    let registry = PatternRegistry::standard_for_catalog(&catalog);
+    let all = generate_uncapped(&flow, &registry).unwrap();
+
+    let mut g = c.benchmark_group("complexity");
+    for take in [10usize, 20, 40] {
+        let cands = &all[..take.min(all.len())];
+        for depth in [1usize, 2, 3] {
+            let policy = DeploymentPolicy::exhaustive(depth);
+            g.bench_with_input(
+                BenchmarkId::new(format!("enumerate_depth{depth}"), take),
+                &(cands, policy),
+                |b, (cands, policy)| {
+                    b.iter(|| {
+                        black_box(enumerate_combinations(
+                            black_box(cands),
+                            policy,
+                            200_000,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_complexity);
+criterion_main!(benches);

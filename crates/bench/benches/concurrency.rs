@@ -1,0 +1,48 @@
+//! CONC bench: evaluation-pool scaling — the laptop substitute for the
+//! paper's elastic EC2 evaluation nodes.
+
+use bench::{purchases_setup, SEED};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use etl_model::EtlFlow;
+use poiesis::eval::{evaluate_pool, EvalMode};
+use std::hint::black_box;
+
+struct FlowBox(EtlFlow);
+impl AsRef<EtlFlow> for FlowBox {
+    fn as_ref(&self) -> &EtlFlow {
+        &self.0
+    }
+}
+
+fn bench_concurrency(c: &mut Criterion) {
+    let (flow, catalog) = purchases_setup(500);
+    let stats = quality::source_stats(&catalog);
+    let flows: Vec<FlowBox> = (0..64)
+        .map(|i| FlowBox(flow.fork(format!("alt{i}"))))
+        .collect();
+
+    let mut g = c.benchmark_group("concurrency");
+    g.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("evaluate_pool_simulate", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    black_box(evaluate_pool(
+                        black_box(&flows),
+                        &catalog,
+                        &stats,
+                        EvalMode::Simulate,
+                        workers,
+                        SEED,
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_concurrency);
+criterion_main!(benches);

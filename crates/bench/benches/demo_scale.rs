@@ -1,0 +1,46 @@
+//! DEMO-SCALE bench: one full plan cycle producing thousands of
+//! alternatives on the TPC-H demo flow.
+
+use bench::{planner_for, tpch_setup};
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcp::DeploymentPolicy;
+use poiesis::PlannerConfig;
+use std::hint::black_box;
+
+fn bench_demo_scale(c: &mut Criterion) {
+    let (flow, catalog) = tpch_setup(200);
+    let mut g = c.benchmark_group("demo_scale");
+    g.sample_size(10);
+    g.bench_function("plan_thousands_of_alternatives", |b| {
+        b.iter_batched(
+            || {
+                planner_for(
+                    flow.clone(),
+                    catalog.clone(),
+                    PlannerConfig {
+                        policy: DeploymentPolicy {
+                            top_k_points_per_pattern: usize::MAX,
+                            min_fitness: 0.0,
+                            max_patterns_per_flow: 2,
+                            max_per_pattern: 2,
+                            ..DeploymentPolicy::balanced()
+                        },
+                        max_alternatives: 100_000,
+                        workers: 8,
+                        ..PlannerConfig::default()
+                    },
+                )
+            },
+            |p| {
+                let out = p.plan().unwrap();
+                assert!(out.alternatives.len() > 1_000);
+                black_box(out)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_demo_scale);
+criterion_main!(benches);

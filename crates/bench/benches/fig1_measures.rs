@@ -1,0 +1,34 @@
+//! FIG1 bench: cost of computing the Fig. 1 measure table — static
+//! measures, trace-derived measures, and the full simulate+evaluate path.
+
+use bench::{tpch_setup, SEED};
+use criterion::{criterion_group, criterion_main, Criterion};
+use simulator::{simulate, SimConfig};
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let (flow, catalog) = tpch_setup(500);
+    let cfg = SimConfig {
+        seed: SEED,
+        inject_failures: false,
+    };
+    let trace = simulate(&flow, &catalog, &cfg).unwrap();
+
+    let mut g = c.benchmark_group("fig1_measures");
+    g.bench_function("static_measures", |b| {
+        b.iter(|| black_box(quality::evaluate_static(black_box(&flow))))
+    });
+    g.bench_function("trace_measures", |b| {
+        b.iter(|| black_box(quality::evaluate_trace(black_box(&flow), black_box(&trace))))
+    });
+    g.bench_function("simulate_and_evaluate", |b| {
+        b.iter(|| {
+            let t = simulate(black_box(&flow), black_box(&catalog), &cfg).unwrap();
+            black_box(quality::evaluate(&flow, &t))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! FIG2 bench: the two pattern applications of Fig. 2 — parallelising the
+//! expensive derive and adding the savepoint — including candidate-point
+//! discovery and the structural splice itself.
+
+use bench::purchases_setup;
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcp::builtin::{AddCheckpoint, ParallelizeTask};
+use fcp::{Pattern, PatternContext};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let (flow, _catalog) = purchases_setup(100);
+
+    let mut g = c.benchmark_group("fig2_fcp");
+    g.bench_function("candidate_points_parallelize", |b| {
+        let p = ParallelizeTask::default();
+        b.iter(|| {
+            let ctx = PatternContext::new(black_box(&flow)).unwrap();
+            black_box(p.candidate_points(&ctx))
+        })
+    });
+    g.bench_function("apply_parallelize", |b| {
+        let p = ParallelizeTask::default();
+        let ctx = PatternContext::new(&flow).unwrap();
+        let pt = *p
+            .candidate_points(&ctx)
+            .iter()
+            .max_by(|a, b| p.fitness(&ctx, **a).total_cmp(&p.fitness(&ctx, **b)))
+            .unwrap();
+        drop(ctx);
+        b.iter(|| {
+            let mut g2 = flow.fork("bench");
+            black_box(p.apply(&mut g2, pt).unwrap())
+        })
+    });
+    g.bench_function("apply_checkpoint", |b| {
+        let p = AddCheckpoint;
+        let ctx = PatternContext::new(&flow).unwrap();
+        let pt = *p
+            .candidate_points(&ctx)
+            .iter()
+            .max_by(|x, y| p.fitness(&ctx, **x).total_cmp(&p.fitness(&ctx, **y)))
+            .unwrap();
+        drop(ctx);
+        b.iter(|| {
+            let mut g2 = flow.fork("bench");
+            black_box(p.apply(&mut g2, pt).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! FIG3 bench: the planner pipeline stages and the estimator-vs-simulation
+//! ablation (per-alternative scoring cost).
+
+use bench::{planner_for, purchases_setup, SEED};
+use criterion::{criterion_group, criterion_main, Criterion};
+use poiesis::eval::{evaluate_flow, EvalMode};
+use poiesis::PlannerConfig;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let (flow, catalog) = purchases_setup(300);
+    let stats = quality::source_stats(&catalog);
+
+    let mut g = c.benchmark_group("fig3_pipeline");
+    g.bench_function("estimate_one_alternative", |b| {
+        b.iter(|| {
+            black_box(evaluate_flow(&flow, &catalog, &stats, EvalMode::Estimate, SEED).unwrap())
+        })
+    });
+    g.bench_function("simulate_one_alternative", |b| {
+        b.iter(|| {
+            black_box(evaluate_flow(&flow, &catalog, &stats, EvalMode::Simulate, SEED).unwrap())
+        })
+    });
+    g.sample_size(10);
+    g.bench_function("full_plan_cycle_estimate", |b| {
+        b.iter_batched(
+            || {
+                planner_for(
+                    flow.clone(),
+                    catalog.clone(),
+                    PlannerConfig {
+                        max_alternatives: 300,
+                        workers: 4,
+                        ..PlannerConfig::default()
+                    },
+                )
+            },
+            |p| black_box(p.plan().unwrap()),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

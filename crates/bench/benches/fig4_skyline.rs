@@ -1,0 +1,33 @@
+//! FIG4 bench + ablation: skyline algorithms (block-nested-loop vs
+//! sort-filter) over growing point sets in 3 dimensions — the scatter-plot's
+//! Pareto computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use poiesis::{pareto_skyline_bnl, pareto_skyline_sorted};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn points(n: usize, dims: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..dims).map(|_| rng.gen_range(50.0..200.0)).collect())
+        .collect()
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_skyline");
+    for n in [200usize, 1_000, 5_000] {
+        let pts = points(n, 3, 42);
+        g.bench_with_input(BenchmarkId::new("bnl", n), &pts, |b, pts| {
+            b.iter(|| black_box(pareto_skyline_bnl(black_box(pts))))
+        });
+        g.bench_with_input(BenchmarkId::new("sorted", n), &pts, |b, pts| {
+            b.iter(|| black_box(pareto_skyline_sorted(black_box(pts))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

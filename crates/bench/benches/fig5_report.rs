@@ -1,0 +1,36 @@
+//! FIG5 bench: building the relative-change report and rendering the bar
+//! graph with drill-down.
+
+use bench::{purchases_setup, SEED};
+use criterion::{criterion_group, criterion_main, Criterion};
+use quality::QualityReport;
+use simulator::{simulate, SimConfig};
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let (flow, catalog) = purchases_setup(300);
+    let cfg = SimConfig {
+        seed: SEED,
+        inject_failures: false,
+    };
+    let base = quality::evaluate(&flow, &simulate(&flow, &catalog, &cfg).unwrap());
+    let mut alt_flow = flow.fork("alt");
+    alt_flow.config.encrypted = true;
+    let alt = quality::evaluate(&alt_flow, &simulate(&alt_flow, &catalog, &cfg).unwrap());
+
+    let mut g = c.benchmark_group("fig5_report");
+    g.bench_function("build_report", |b| {
+        b.iter(|| black_box(QualityReport::build("alt", black_box(&base), black_box(&alt))))
+    });
+    let report = QualityReport::build("alt", &base, &alt);
+    g.bench_function("render_bars_collapsed", |b| {
+        b.iter(|| black_box(viz::render_bars(black_box(&report), false)))
+    });
+    g.bench_function("render_bars_expanded", |b| {
+        b.iter(|| black_box(viz::render_bars(black_box(&report), true)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! FIG6 bench: full-palette candidate generation over both demo flows —
+//! the cost of checking every FCP against every application point.
+
+use bench::{tpcds_setup, tpch_setup};
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcp::PatternRegistry;
+use poiesis::generate::generate_uncapped;
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_palette");
+    for (name, (flow, catalog)) in [("tpch", tpch_setup(100)), ("tpcds", tpcds_setup(100))] {
+        let registry = PatternRegistry::standard_for_catalog(&catalog);
+        g.bench_function(format!("generate_all_candidates_{name}"), |b| {
+            b.iter(|| black_box(generate_uncapped(black_box(&flow), &registry).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! BASELINE — quantifies the §1 claim that manual redesign "suffers from
+//! incompleteness, inefficiency, and ineffectiveness": compares the planner
+//! against simulated manual engineers (random and greedy-sampled placement)
+//! on application-point coverage and achieved quality.
+
+use bench::{fmt, planner_for, tpch_setup};
+use poiesis::baseline::{manual_redesign, ManualStrategy};
+use poiesis::PlannerConfig;
+
+fn main() {
+    let (flow, catalog) = tpch_setup(400);
+    let planner = planner_for(flow, catalog, PlannerConfig::default());
+    let out = planner.plan().expect("planning succeeds");
+    let planner_best = out
+        .skyline_alternatives()
+        .next()
+        .map(|a| a.scores.iter().sum::<f64>())
+        .unwrap_or(300.0);
+
+    println!("BASELINE — planner vs simulated manual redesign (TPC-H, scale 400)\n");
+    let mut rows = vec![vec![
+        "POIESIS planner".to_string(),
+        "100%".to_string(),
+        out.alternatives.len().to_string(),
+        fmt(planner_best),
+        "1.00".to_string(),
+    ]];
+
+    for (label, strategy) in [
+        ("manual: random placement", ManualStrategy::Random),
+        ("manual: greedy sampled", ManualStrategy::GreedySampled),
+    ] {
+        for effort in [3usize, 6, 12] {
+            // average over several simulated engineers
+            let trials = 10;
+            let (mut cov, mut best, mut tried) = (0.0, 0.0, 0usize);
+            for s in 0..trials {
+                let m = manual_redesign(&planner, strategy, effort, 1_000 + s).unwrap();
+                cov += m.coverage;
+                best += m.best_score_sum;
+                tried += m.designs_tried;
+            }
+            let cov = cov / trials as f64;
+            let best = best / trials as f64;
+            rows.push(vec![
+                format!("{label} (effort {effort})"),
+                format!("{:.0}%", cov * 100.0),
+                format!("{:.1}", tried as f64 / trials as f64),
+                fmt(best),
+                format!("{:.2}", best / planner_best),
+            ]);
+            assert!(
+                best <= planner_best + 1e-6,
+                "manual must not beat the exhaustive planner"
+            );
+        }
+    }
+    print!(
+        "{}",
+        viz::render_table(
+            &[
+                "strategy",
+                "point coverage",
+                "designs tried",
+                "best score sum",
+                "vs planner"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\nshape: bounded manual effort covers a small fraction of the valid\n\
+         application points and lands below the planner's frontier — the\n\
+         \"incomplete exploitation … wrong placement\" failure modes of §1."
+    );
+}

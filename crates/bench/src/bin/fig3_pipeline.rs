@@ -1,0 +1,97 @@
+//! FIG3 — exercises the POIESIS architecture end-to-end (pattern generation
+//! → pattern application → measures estimation → visualisation input) and
+//! runs the estimator-vs-simulation ablation: the analytic estimator must
+//! rank alternatives consistently with full simulation.
+
+use bench::{planner_for, tpch_setup};
+use poiesis::{EvalMode, PlannerConfig};
+use std::time::Instant;
+
+fn main() {
+    let (flow, catalog) = tpch_setup(500);
+    println!("FIG3 — planner pipeline over the TPC-H demo flow (scale 500)\n");
+
+    // --- estimate mode (the interactive default)
+    let t0 = Instant::now();
+    let planner = planner_for(
+        flow.clone(),
+        catalog.clone(),
+        PlannerConfig {
+            max_alternatives: 400,
+            ..PlannerConfig::default()
+        },
+    );
+    let est_out = planner.plan().expect("plan (estimate)");
+    let est_time = t0.elapsed();
+
+    // --- simulate mode (ablation)
+    let t0 = Instant::now();
+    let sim_planner = planner_for(
+        flow,
+        catalog,
+        PlannerConfig {
+            eval_mode: EvalMode::Simulate,
+            max_alternatives: 400,
+            ..PlannerConfig::default()
+        },
+    );
+    let sim_out = sim_planner.plan().expect("plan (simulate)");
+    let sim_time = t0.elapsed();
+
+    println!("stage counts (Fig. 3 pipeline):");
+    println!("  generated candidates : {}", est_out.candidates.len());
+    println!("  applied alternatives : {}", est_out.alternatives.len());
+    println!("  skyline size         : {}", est_out.skyline.len());
+    println!();
+    println!("ablation — estimation vs full simulation over the same space:");
+    println!("  estimate mode : {:>8.1} ms total", est_time.as_secs_f64() * 1e3);
+    println!("  simulate mode : {:>8.1} ms total", sim_time.as_secs_f64() * 1e3);
+    println!(
+        "  estimator speedup: {:.1}x",
+        sim_time.as_secs_f64() / est_time.as_secs_f64()
+    );
+
+    // ranking agreement on the first dimension (performance score):
+    // Spearman-style check over alternatives present in both runs
+    let mut pairs: Vec<(f64, f64)> = Vec::new();
+    for a in &est_out.alternatives {
+        if let Some(b) = sim_out.alternatives.iter().find(|b| b.name == a.name) {
+            pairs.push((a.scores[0], b.scores[0]));
+        }
+    }
+    let n = pairs.len();
+    let concordant = {
+        let mut c = 0usize;
+        let mut total = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d_est = pairs[i].0 - pairs[j].0;
+                let d_sim = pairs[i].1 - pairs[j].1;
+                if d_est.abs() < 1e-9 || d_sim.abs() < 1e-9 {
+                    continue;
+                }
+                total += 1;
+                if (d_est > 0.0) == (d_sim > 0.0) {
+                    c += 1;
+                }
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            c as f64 / total as f64
+        }
+    };
+    println!(
+        "  performance-ranking concordance (estimator vs simulator): {:.1}% over {n} shared alternatives",
+        concordant * 100.0
+    );
+    assert!(
+        concordant > 0.75,
+        "estimator must rank consistently with simulation ({concordant})"
+    );
+    assert!(
+        est_time < sim_time,
+        "estimation must be faster than simulation"
+    );
+}

@@ -1,0 +1,223 @@
+//! `poiesis_cli` — the headless counterpart of the paper's GUI tool.
+//!
+//! ```text
+//! poiesis_cli show      <model.(xlm|ktr)>          print the flow as DOT
+//! poiesis_cli convert   <in.ktr> <out.xlm>         PDI → xLM conversion
+//! poiesis_cli measures  <model.(xlm|ktr)>          simulate + Fig.1 table
+//! poiesis_cli plan      <model.(xlm|ktr)> [opts]   one planning cycle
+//!     --policy <balanced|performance|reliability|data-quality>
+//!     --alternatives <N>      cap on enumerated alternatives (default 2000)
+//!     --simulate              score by full simulation instead of estimation
+//!     --rows <N>              synthetic rows per source (default 500)
+//!     --svg <path>            write the Fig. 4 scatter-plot as SVG
+//!     --top <N>               frontier designs to report (default 5)
+//! ```
+//!
+//! Sources named by the model's extracts are synthesised from their schemas
+//! (demo dirt profile) — the headless equivalent of pointing the tool at a
+//! test database.
+
+use datagen::{Catalog, DirtProfile, TableSpec};
+use etl_model::{EtlFlow, OpKind};
+use fcp::{DeploymentPolicy, PatternRegistry};
+use poiesis::{EvalMode, Planner, PlannerConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run with no arguments for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: poiesis_cli <show|convert|measures|plan> <model.(xlm|ktr)> [options]".to_string()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or_else(usage)?;
+    match cmd.as_str() {
+        "show" => {
+            let flow = load_model(args.get(1).ok_or_else(usage)?)?;
+            print!("{}", flow.to_dot());
+            Ok(())
+        }
+        "convert" => {
+            let input = args.get(1).ok_or_else(usage)?;
+            let output = args.get(2).ok_or_else(usage)?;
+            if !input.ends_with(".ktr") {
+                return Err("convert expects a .ktr input".into());
+            }
+            let flow = load_model(input)?;
+            std::fs::write(output, xlm::write_flow(&flow))
+                .map_err(|e| format!("writing {output}: {e}"))?;
+            println!("wrote {output}");
+            Ok(())
+        }
+        "measures" => {
+            let flow = load_model(args.get(1).ok_or_else(usage)?)?;
+            let catalog = synthesize_catalog(&flow, 500)?;
+            let trace = simulator::simulate(&flow, &catalog, &simulator::SimConfig::default())
+                .map_err(|e| e.to_string())?;
+            let v = quality::evaluate(&flow, &trace);
+            let rows: Vec<Vec<String>> = quality::MeasureId::ALL
+                .iter()
+                .filter_map(|&id| {
+                    let val = v.get(id)?;
+                    Some(vec![
+                        id.characteristic().name().to_string(),
+                        id.name().to_string(),
+                        format!("{val:.4}"),
+                    ])
+                })
+                .collect();
+            print!(
+                "{}",
+                viz::render_table(&["characteristic", "measure", "value"], &rows)
+            );
+            Ok(())
+        }
+        "plan" => plan_cmd(args),
+        other => Err(format!("unknown command `{other}`; {}", usage())),
+    }
+}
+
+fn opt_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn opt_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn plan_cmd(args: &[String]) -> Result<(), String> {
+    let flow = load_model(args.get(1).ok_or_else(usage)?)?;
+    let rows: usize = opt_value(args, "--rows")
+        .map(|v| v.parse().map_err(|_| "--rows expects a number"))
+        .transpose()?
+        .unwrap_or(500);
+    let max_alternatives: usize = opt_value(args, "--alternatives")
+        .map(|v| v.parse().map_err(|_| "--alternatives expects a number"))
+        .transpose()?
+        .unwrap_or(2_000);
+    let top: usize = opt_value(args, "--top")
+        .map(|v| v.parse().map_err(|_| "--top expects a number"))
+        .transpose()?
+        .unwrap_or(5);
+    let policy = match opt_value(args, "--policy").unwrap_or("balanced") {
+        "balanced" => DeploymentPolicy::balanced(),
+        "performance" => DeploymentPolicy::performance_first(),
+        "reliability" => DeploymentPolicy::reliability_first(),
+        "data-quality" => DeploymentPolicy::data_quality_first(),
+        other => return Err(format!("unknown policy `{other}`")),
+    };
+    let eval_mode = if opt_flag(args, "--simulate") {
+        EvalMode::Simulate
+    } else {
+        EvalMode::Estimate
+    };
+
+    let catalog = synthesize_catalog(&flow, rows)?;
+    let registry = PatternRegistry::standard_for_catalog(&catalog);
+    let planner = Planner::new(
+        flow,
+        catalog,
+        registry,
+        PlannerConfig {
+            policy,
+            eval_mode,
+            max_alternatives,
+            ..PlannerConfig::default()
+        },
+    );
+    let outcome = planner.plan().map_err(|e| e.to_string())?;
+
+    println!(
+        "candidates {} | alternatives {} | frontier {} | rejected-by-constraint {}",
+        outcome.candidates.len(),
+        outcome.alternatives.len(),
+        outcome.skyline.len(),
+        outcome.rejected_by_constraints
+    );
+    for (i, alt) in outcome.skyline_alternatives().take(top).enumerate() {
+        println!(
+            "\n#{i} perf {:6.1}  dq {:6.1}  rel {:6.1} — {}",
+            alt.scores[0],
+            alt.scores[1],
+            alt.scores[2],
+            alt.applied.join(" + ")
+        );
+        print!("{}", viz::render_bars(&outcome.report(alt), false));
+    }
+
+    if let Some(path) = opt_value(args, "--svg") {
+        let points: Vec<viz::ScatterPoint> = outcome
+            .alternatives
+            .iter()
+            .enumerate()
+            .map(|(i, a)| viz::ScatterPoint {
+                label: a.name.clone(),
+                x: a.scores[0],
+                y: a.scores[1],
+                z: a.scores.get(2).copied(),
+                on_skyline: outcome.skyline.contains(&i),
+            })
+            .collect();
+        std::fs::write(
+            path,
+            viz::scatter_svg(&points, 640, 480, "performance", "data quality"),
+        )
+        .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("\nscatter-plot written to {path}");
+    }
+    Ok(())
+}
+
+/// Loads an xLM (`.xlm`/`.xml`) or PDI (`.ktr`) model file.
+fn load_model(path: &str) -> Result<EtlFlow, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let flow = if path.ends_with(".ktr") {
+        xlm::pdi::import_ktr(&text).map_err(|e| e.to_string())?
+    } else {
+        xlm::read_flow(&text).map_err(|e| e.to_string())?
+    };
+    flow.validate().map_err(|e| format!("invalid model: {e}"))?;
+    Ok(flow)
+}
+
+/// Synthesises a catalog for every extract in the flow from its schema.
+fn synthesize_catalog(flow: &EtlFlow, rows: usize) -> Result<Catalog, String> {
+    let mut catalog = Catalog::new();
+    let mut seed = 0xC11u64;
+    for n in flow.ops_of_kind("extract") {
+        let OpKind::Extract { source, schema } = &flow.op(n).expect("live").kind else {
+            unreachable!("ops_of_kind returned a non-extract");
+        };
+        if catalog.table(source).is_some() {
+            continue;
+        }
+        // prefer a non-nullable attribute as the protected key
+        let key = schema
+            .attrs()
+            .iter()
+            .find(|a| !a.nullable)
+            .or_else(|| schema.attrs().first())
+            .map(|a| a.name.clone())
+            .ok_or_else(|| format!("extract `{source}` has an empty schema"))?;
+        catalog.add_generated(
+            &TableSpec::new(source.clone(), schema.clone(), rows, key),
+            &DirtProfile::demo(),
+            seed,
+        );
+        seed = seed.wrapping_add(1);
+    }
+    Ok(catalog)
+}

@@ -1,0 +1,151 @@
+//! Pattern application (Fig. 3, second stage): materialise an alternative
+//! flow by applying a combination of candidates to a fork of the base flow.
+
+use crate::generate::Candidate;
+use etl_model::EtlFlow;
+use fcp::{ApplicationPoint, AppliedPattern, PatternError};
+
+/// Applies a combination of candidates to a fork of `base`, named `name`.
+///
+/// Structural (node/edge) applications run before graph-level ones so that
+/// graph patterns see the final topology. Within the structural group,
+/// applications run in candidate order — stable ids make this safe: an
+/// interposition keeps the original edge id alive and a node replacement
+/// preserves boundary edges, so later candidates' points stay valid unless
+/// genuinely conflicting, in which case the pattern itself reports
+/// [`PatternError::NotApplicable`] and the whole combination is discarded.
+pub fn apply_combination(
+    base: &EtlFlow,
+    combo: &[&Candidate],
+    name: impl Into<String>,
+) -> Result<(EtlFlow, Vec<AppliedPattern>), PatternError> {
+    let mut flow = base.fork(name);
+    let mut applied = Vec::with_capacity(combo.len());
+    let (structural, graph_level): (Vec<&Candidate>, Vec<&Candidate>) = combo
+        .iter()
+        .copied()
+        .partition(|c| c.point != ApplicationPoint::Graph);
+    for c in structural.into_iter().chain(graph_level.into_iter()) {
+        applied.push(c.pattern.apply(&mut flow, c.point)?);
+    }
+    debug_assert!(flow.validate().is_ok(), "patterns must preserve validity");
+    Ok((flow, applied))
+}
+
+/// Derives a deterministic alternative name from the combination.
+pub fn combination_name(base: &EtlFlow, combo: &[&Candidate]) -> String {
+    let mut parts: Vec<String> = combo.iter().map(|c| c.label()).collect();
+    parts.sort();
+    format!("{}+{}", base.name, parts.join("+"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate_uncapped;
+    use datagen::fig2::{purchases_catalog, purchases_flow};
+    use datagen::DirtProfile;
+    use fcp::PatternRegistry;
+
+    fn setup() -> (EtlFlow, Vec<Candidate>) {
+        let (f, _) = purchases_flow();
+        let cat = purchases_catalog(100, &DirtProfile::demo(), 1);
+        let reg = PatternRegistry::standard_for_catalog(&cat);
+        let cands = generate_uncapped(&f, &reg).unwrap();
+        (f, cands)
+    }
+
+    #[test]
+    fn single_candidate_application() {
+        let (f, cands) = setup();
+        let c = cands
+            .iter()
+            .find(|c| c.pattern.name() == "AddCheckpoint")
+            .unwrap();
+        let (alt, applied) = apply_combination(&f, &[c], "alt_1").unwrap();
+        assert_eq!(alt.name, "alt_1");
+        assert_eq!(applied.len(), 1);
+        assert_eq!(alt.op_count(), f.op_count() + 1);
+        alt.validate().unwrap();
+        // base untouched
+        assert_eq!(f.name, "s_purchases");
+    }
+
+    #[test]
+    fn multi_pattern_combination() {
+        let (f, cands) = setup();
+        let cp = cands
+            .iter()
+            .find(|c| c.pattern.name() == "AddCheckpoint")
+            .unwrap();
+        let par = cands
+            .iter()
+            .find(|c| c.pattern.name() == "ParallelizeTask")
+            .unwrap();
+        let enc = cands
+            .iter()
+            .find(|c| c.pattern.name() == "EncryptChannels")
+            .unwrap();
+        let (alt, applied) = apply_combination(&f, &[cp, par, enc], "combo").unwrap();
+        assert_eq!(applied.len(), 3);
+        // +1 checkpoint, +3 parallelize (partition+2 replicas+merge−original)
+        assert_eq!(alt.op_count(), f.op_count() + 4);
+        assert!(alt.config.encrypted);
+        alt.validate().unwrap();
+    }
+
+    #[test]
+    fn checkpoint_on_edge_into_parallelized_node_still_works() {
+        // Apply a checkpoint on the edge feeding DERIVE VALUES, then
+        // parallelize DERIVE VALUES: the retargeted boundary edge must keep
+        // the checkpoint upstream and the combination stays valid.
+        let (f, cands) = setup();
+        let (flow0, ids) = purchases_flow();
+        drop(flow0);
+        let into_derive = f.graph.in_edges(ids.derive_values).next().unwrap();
+        let cp = cands
+            .iter()
+            .find(|c| {
+                c.pattern.name() == "AddCheckpoint"
+                    && c.point == fcp::ApplicationPoint::Edge(into_derive)
+            })
+            .expect("checkpoint candidate on the derive's in-edge");
+        let par = cands
+            .iter()
+            .find(|c| {
+                c.pattern.name() == "ParallelizeTask"
+                    && c.point == fcp::ApplicationPoint::Node(ids.derive_values)
+            })
+            .unwrap();
+        let (alt, _) = apply_combination(&f, &[cp, par], "cp_then_par").unwrap();
+        alt.validate().unwrap();
+        assert_eq!(alt.ops_of_kind("checkpoint").len(), 1);
+        assert_eq!(alt.ops_of_kind("partition").len(), 1);
+    }
+
+    #[test]
+    fn conflicting_combination_reports_not_applicable() {
+        let (f, cands) = setup();
+        // two ParallelizeTask on the same node = same point; the explorer
+        // filters these, but apply must also fail safe.
+        let par: Vec<&Candidate> = cands
+            .iter()
+            .filter(|c| c.pattern.name() == "ParallelizeTask")
+            .collect();
+        assert!(!par.is_empty());
+        let c = par[0];
+        let err = apply_combination(&f, &[c, c], "dup").unwrap_err();
+        assert!(matches!(err, PatternError::NotApplicable { .. }));
+    }
+
+    #[test]
+    fn names_are_deterministic_and_order_insensitive() {
+        let (f, cands) = setup();
+        let a = &cands[0];
+        let b = cands
+            .iter()
+            .find(|c| c.pattern.name() != a.pattern.name())
+            .unwrap();
+        assert_eq!(combination_name(&f, &[a, b]), combination_name(&f, &[b, a]));
+    }
+}

@@ -1,0 +1,214 @@
+//! Combination exploration: the alternative-design space.
+//!
+//! §2.2: patterns are added "in varying positions and combinations", and
+//! "the complexity of this analysis is factorial to the size of the graph".
+//! This module enumerates k-subsets of the candidate list under the policy
+//! caps, with an overall budget so the space stays tractable.
+
+use crate::generate::Candidate;
+use fcp::{ApplicationPoint, DeploymentPolicy};
+use std::collections::HashMap;
+
+/// Statistics of the (possibly truncated) exploration space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpaceStats {
+    /// Number of single candidates.
+    pub candidates: usize,
+    /// Theoretical number of alternatives up to the policy depth (before
+    /// conflict filtering and budget truncation).
+    pub theoretical: f64,
+    /// Combinations actually enumerated.
+    pub enumerated: usize,
+    /// Combinations discarded due to point/pattern conflicts.
+    pub conflicts: usize,
+    /// True when the budget cut enumeration short.
+    pub truncated: bool,
+}
+
+/// A combination is invalid when two applications collide on the same
+/// point, or a single pattern exceeds its per-alternative cap.
+pub fn combination_valid(combo: &[&Candidate], policy: &DeploymentPolicy) -> bool {
+    let mut per_pattern: HashMap<&str, usize> = HashMap::new();
+    let mut points: Vec<ApplicationPoint> = Vec::with_capacity(combo.len());
+    for c in combo {
+        let n = per_pattern.entry(c.pattern.name()).or_default();
+        *n += 1;
+        if *n > policy.max_per_pattern {
+            return false;
+        }
+        // graph-level patterns may coexist (they touch different config
+        // knobs) but the same point must not host two structural edits
+        if c.point != ApplicationPoint::Graph && points.contains(&c.point) {
+            return false;
+        }
+        points.push(c.point);
+    }
+    true
+}
+
+/// Enumerates all valid combinations of size `1..=policy.max_patterns_per_flow`
+/// over `candidates`, stopping after `budget` combinations.
+///
+/// Returns `(combinations, stats)` where each combination is a vector of
+/// candidate indices (ascending).
+pub fn enumerate_combinations(
+    candidates: &[Candidate],
+    policy: &DeploymentPolicy,
+    budget: usize,
+) -> (Vec<Vec<usize>>, SpaceStats) {
+    let n = candidates.len();
+    let depth = policy.max_patterns_per_flow.min(n);
+    let mut out = Vec::new();
+    let mut conflicts = 0usize;
+    let mut truncated = false;
+
+    // iterative k-subset enumeration, k = 1..=depth
+    'outer: for k in 1..=depth {
+        let mut idx: Vec<usize> = (0..k).collect();
+        loop {
+            let combo: Vec<&Candidate> = idx.iter().map(|&i| &candidates[i]).collect();
+            if combination_valid(&combo, policy) {
+                if out.len() >= budget {
+                    truncated = true;
+                    break 'outer;
+                }
+                out.push(idx.clone());
+            } else {
+                conflicts += 1;
+            }
+            // advance to the next k-combination in lexicographic order
+            let mut pos = k;
+            while pos > 0 && idx[pos - 1] == pos - 1 + n - k {
+                pos -= 1;
+            }
+            if pos == 0 {
+                break; // all k-combinations exhausted
+            }
+            idx[pos - 1] += 1;
+            for j in pos..k {
+                idx[j] = idx[j - 1] + 1;
+            }
+        }
+    }
+
+    let stats = SpaceStats {
+        candidates: n,
+        theoretical: theoretical_space(n, depth),
+        enumerated: out.len(),
+        conflicts,
+        truncated,
+    };
+    (out, stats)
+}
+
+/// `Σ_{k=1..depth} C(n, k)` — the raw size of the combination space.
+pub fn theoretical_space(n: usize, depth: usize) -> f64 {
+    let mut total = 0.0;
+    for k in 1..=depth.min(n) {
+        let mut c = 1.0;
+        for i in 0..k {
+            c *= (n - i) as f64 / (i + 1) as f64;
+        }
+        total += c;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate_uncapped;
+    use datagen::fig2::{purchases_catalog, purchases_flow};
+    use datagen::DirtProfile;
+    use fcp::PatternRegistry;
+
+    fn candidates() -> Vec<Candidate> {
+        let (f, _) = purchases_flow();
+        let cat = purchases_catalog(100, &DirtProfile::demo(), 1);
+        let reg = PatternRegistry::standard_for_catalog(&cat);
+        generate_uncapped(&f, &reg).unwrap()
+    }
+
+    #[test]
+    fn binomial_space() {
+        assert_eq!(theoretical_space(5, 1), 5.0);
+        assert_eq!(theoretical_space(5, 2), 15.0);
+        assert_eq!(theoretical_space(4, 4), 15.0);
+        assert_eq!(theoretical_space(0, 3), 0.0);
+    }
+
+    #[test]
+    fn depth_one_enumerates_each_candidate_once() {
+        let cands = candidates();
+        let mut policy = fcp::DeploymentPolicy::exhaustive(1);
+        policy.max_patterns_per_flow = 1;
+        let (combos, stats) = enumerate_combinations(&cands, &policy, usize::MAX);
+        assert_eq!(combos.len(), cands.len());
+        assert!(!stats.truncated);
+        assert_eq!(stats.conflicts, 0);
+    }
+
+    #[test]
+    fn depth_two_grows_quadratically() {
+        let cands = candidates();
+        let policy = fcp::DeploymentPolicy::exhaustive(2);
+        let (combos, stats) = enumerate_combinations(&cands, &policy, usize::MAX);
+        let n = cands.len();
+        // upper bound: n + C(n,2); conflicts remove some
+        assert!(combos.len() <= n + n * (n - 1) / 2);
+        assert!(combos.len() > n, "pairs must exist");
+        assert_eq!(stats.enumerated, combos.len());
+        assert_eq!(stats.candidates, n);
+    }
+
+    #[test]
+    fn conflicting_same_point_pairs_rejected() {
+        let cands = candidates();
+        // find two candidates sharing a point
+        let mut shared = None;
+        'outer: for (i, a) in cands.iter().enumerate() {
+            for (j, b) in cands.iter().enumerate().skip(i + 1) {
+                if a.point == b.point && a.point != fcp::ApplicationPoint::Graph {
+                    shared = Some((i, j));
+                    break 'outer;
+                }
+            }
+        }
+        let (i, j) = shared.expect("palette patterns share edge points");
+        let policy = fcp::DeploymentPolicy::exhaustive(2);
+        assert!(!combination_valid(&[&cands[i], &cands[j]], &policy));
+    }
+
+    #[test]
+    fn per_pattern_cap_enforced() {
+        let cands = candidates();
+        let mut policy = fcp::DeploymentPolicy::exhaustive(3);
+        policy.max_per_pattern = 1;
+        let two_same: Vec<&Candidate> = cands
+            .iter()
+            .filter(|c| c.pattern.name() == "FilterNullValues")
+            .take(2)
+            .collect();
+        assert_eq!(two_same.len(), 2);
+        assert!(!combination_valid(&two_same, &policy));
+        policy.max_per_pattern = 2;
+        assert!(combination_valid(&two_same, &policy));
+    }
+
+    #[test]
+    fn budget_truncates() {
+        let cands = candidates();
+        let policy = fcp::DeploymentPolicy::exhaustive(3);
+        let (combos, stats) = enumerate_combinations(&cands, &policy, 50);
+        assert_eq!(combos.len(), 50);
+        assert!(stats.truncated);
+    }
+
+    #[test]
+    fn empty_candidates_yield_empty_space() {
+        let policy = fcp::DeploymentPolicy::balanced();
+        let (combos, stats) = enumerate_combinations(&[], &policy, 100);
+        assert!(combos.is_empty());
+        assert_eq!(stats.theoretical, 0.0);
+    }
+}

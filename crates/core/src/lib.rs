@@ -1,0 +1,56 @@
+//! `poiesis` — **P**rocess **O**ptimization and **I**mprovement for **E**TL
+//! **S**ystems and **I**ntegration **S**ervices.
+//!
+//! The paper's primary contribution: the *Planner* component of a
+//! user-centred declarative ETL redesign architecture (Fig. 3). Given an
+//! initial ETL flow and user-defined configurations, the Planner
+//!
+//! 1. **generates** Flow Component Patterns specific to the flow
+//!    ([`generate`]): every FCP in the palette is checked against every
+//!    potential application point — node, edge or whole graph;
+//! 2. **applies** them in varying positions and combinations
+//!    ([`explore`], [`apply`]), producing up to thousands of alternative
+//!    ETL designs while keeping the data source schemata constant;
+//! 3. **estimates measures** for various quality attributes for each
+//!    alternative ([`eval`]) — analytically by default, by full simulation
+//!    on demand — using a pool of background workers (the paper launches
+//!    EC2 nodes; we use a thread pool);
+//! 4. presents only the **Pareto frontier (skyline)** of the alternatives
+//!    over the examined quality dimensions ([`skyline`]), with per-flow
+//!    relative-change reports against the initial flow (Fig. 5);
+//! 5. runs **iteratively** ([`session`]): the user picks a point on the
+//!    scatter-plot, the corresponding patterns are integrated into the
+//!    process, and a new cycle commences.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use poiesis::{Planner, PlannerConfig};
+//! use fcp::PatternRegistry;
+//! use datagen::{fig2, DirtProfile};
+//!
+//! let (flow, _) = fig2::purchases_flow();
+//! let catalog = fig2::purchases_catalog(200, &DirtProfile::demo(), 42);
+//! let registry = PatternRegistry::standard_for_catalog(&catalog);
+//! let planner = Planner::new(flow, catalog, registry, PlannerConfig::default());
+//! let outcome = planner.plan().unwrap();
+//! assert!(!outcome.skyline.is_empty());
+//! for alt in outcome.skyline_alternatives().take(3) {
+//!     println!("{}: {:?}", alt.name, alt.scores);
+//! }
+//! ```
+
+pub mod apply;
+pub mod baseline;
+pub mod eval;
+pub mod explore;
+pub mod generate;
+mod planner;
+pub mod session;
+pub mod skyline;
+
+pub use eval::{Alternative, EvalMode};
+pub use generate::Candidate;
+pub use planner::{Planner, PlannerConfig, PlannerError, PlannerOutcome};
+pub use session::Session;
+pub use skyline::{pareto_skyline, pareto_skyline_bnl, pareto_skyline_sorted};

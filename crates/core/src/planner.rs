@@ -1,0 +1,406 @@
+//! The Planner: one full generation → application → estimation → skyline
+//! cycle (Fig. 3).
+
+use crate::apply::{apply_combination, combination_name};
+use crate::eval::{characteristic_scores, evaluate_flow, evaluate_pool, Alternative, EvalMode};
+use crate::explore::{enumerate_combinations, SpaceStats};
+use crate::generate::{generate_candidates, Candidate};
+use crate::skyline::pareto_skyline;
+use datagen::Catalog;
+use etl_model::EtlFlow;
+use fcp::{DeploymentPolicy, PatternRegistry};
+use quality::{Characteristic, MeasureVector, QualityReport, SourceStats};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Planner configuration (the "user-defined configurations" input of
+/// Fig. 3).
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Deployment policy (pattern selection, combination depth, caps).
+    pub policy: DeploymentPolicy,
+    /// Estimation mode.
+    pub eval_mode: EvalMode,
+    /// Worker threads for concurrent evaluation.
+    pub workers: usize,
+    /// Hard cap on enumerated alternatives per cycle.
+    pub max_alternatives: usize,
+    /// The quality dimensions of the scatter-plot (Fig. 4 uses
+    /// performance × data quality × reliability).
+    pub dimensions: Vec<Characteristic>,
+    /// RNG seed forwarded to simulation-mode evaluation.
+    pub seed: u64,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            policy: DeploymentPolicy::balanced(),
+            eval_mode: EvalMode::Estimate,
+            workers: 4,
+            max_alternatives: 5_000,
+            dimensions: vec![
+                Characteristic::Performance,
+                Characteristic::DataQuality,
+                Characteristic::Reliability,
+            ],
+            seed: 0xBEEF,
+        }
+    }
+}
+
+/// Planner errors.
+#[derive(Debug, Clone)]
+pub enum PlannerError {
+    /// The initial flow failed validation.
+    InvalidFlow(String),
+    /// Candidate generation failed.
+    Pattern(String),
+    /// Baseline evaluation failed.
+    Eval(String),
+}
+
+impl fmt::Display for PlannerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlannerError::InvalidFlow(e) => write!(f, "invalid initial flow: {e}"),
+            PlannerError::Pattern(e) => write!(f, "pattern generation failed: {e}"),
+            PlannerError::Eval(e) => write!(f, "evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlannerError {}
+
+/// The result of one planning cycle.
+pub struct PlannerOutcome {
+    /// Baseline (initial flow) measures.
+    pub baseline: MeasureVector,
+    /// The candidates that were considered.
+    pub candidates: Vec<Candidate>,
+    /// All evaluated, policy-admitted alternatives.
+    pub alternatives: Vec<Alternative>,
+    /// Indices (into `alternatives`) of the Pareto frontier, ascending —
+    /// the only designs presented to the user (Fig. 4).
+    pub skyline: Vec<usize>,
+    /// Exploration-space statistics.
+    pub stats: SpaceStats,
+    /// Alternatives rejected by policy measure constraints.
+    pub rejected_by_constraints: usize,
+    /// Combinations that failed during application (conflicts discovered
+    /// at apply time).
+    pub failed_applications: usize,
+}
+
+impl PlannerOutcome {
+    /// Iterator over the skyline alternatives, best-sum-first.
+    pub fn skyline_alternatives(&self) -> impl Iterator<Item = &Alternative> {
+        let mut idx = self.skyline.clone();
+        idx.sort_by(|&a, &b| {
+            let sa: f64 = self.alternatives[a].scores.iter().sum();
+            let sb: f64 = self.alternatives[b].scores.iter().sum();
+            sb.total_cmp(&sa)
+        });
+        idx.into_iter().map(|i| &self.alternatives[i])
+    }
+
+    /// The Fig. 5 report for one alternative: relative change of every
+    /// measure against the initial flow, grouped by characteristic with
+    /// drill-down.
+    pub fn report(&self, alt: &Alternative) -> QualityReport {
+        QualityReport::build(alt.name.clone(), &self.baseline, &alt.measures)
+    }
+}
+
+/// The POIESIS Planner.
+pub struct Planner {
+    flow: EtlFlow,
+    catalog: Catalog,
+    registry: PatternRegistry,
+    config: PlannerConfig,
+    stats_cache: HashMap<String, SourceStats>,
+}
+
+impl Planner {
+    /// Creates a planner for an initial flow over a source catalog.
+    pub fn new(
+        flow: EtlFlow,
+        catalog: Catalog,
+        registry: PatternRegistry,
+        config: PlannerConfig,
+    ) -> Self {
+        let stats_cache = quality::estimator::source_stats(&catalog);
+        Planner {
+            flow,
+            catalog,
+            registry,
+            config,
+            stats_cache,
+        }
+    }
+
+    /// The current base flow.
+    pub fn flow(&self) -> &EtlFlow {
+        &self.flow
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The pattern registry (palette).
+    pub fn registry(&self) -> &PatternRegistry {
+        &self.registry
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.config
+    }
+
+    /// Replaces the base flow (used by the iterative session when the user
+    /// selects a design).
+    pub fn set_flow(&mut self, flow: EtlFlow) {
+        self.flow = flow;
+    }
+
+    /// Runs one full planning cycle.
+    pub fn plan(&self) -> Result<PlannerOutcome, PlannerError> {
+        self.flow
+            .validate()
+            .map_err(|e| PlannerError::InvalidFlow(e.to_string()))?;
+        let baseline = evaluate_flow(
+            &self.flow,
+            &self.catalog,
+            &self.stats_cache,
+            self.config.eval_mode,
+            self.config.seed,
+        )
+        .map_err(|e| PlannerError::Eval(e.to_string()))?;
+
+        // 1. pattern generation
+        let candidates = generate_candidates(&self.flow, &self.registry, &self.config.policy)
+            .map_err(|e| PlannerError::Pattern(e.to_string()))?;
+
+        // 2. combination enumeration + application
+        let (combos, stats) = enumerate_combinations(
+            &candidates,
+            &self.config.policy,
+            self.config.max_alternatives,
+        );
+        let mut flows = Vec::with_capacity(combos.len());
+        let mut metas = Vec::with_capacity(combos.len());
+        let mut failed_applications = 0usize;
+        for combo in &combos {
+            let refs: Vec<&Candidate> = combo.iter().map(|&i| &candidates[i]).collect();
+            let name = combination_name(&self.flow, &refs);
+            match apply_combination(&self.flow, &refs, name.clone()) {
+                Ok((flow, applied)) => {
+                    let descs = applied
+                        .iter()
+                        .map(|a| format!("{} {}", a.pattern, a.point))
+                        .collect::<Vec<_>>();
+                    flows.push(flow);
+                    metas.push((name, descs, combo.clone()));
+                }
+                Err(_) => failed_applications += 1,
+            }
+        }
+
+        // 3. concurrent measures estimation
+        struct FlowRef<'a>(&'a EtlFlow);
+        impl AsRef<EtlFlow> for FlowRef<'_> {
+            fn as_ref(&self) -> &EtlFlow {
+                self.0
+            }
+        }
+        let flow_refs: Vec<FlowRef<'_>> = flows.iter().map(FlowRef).collect();
+        let measures = evaluate_pool(
+            &flow_refs,
+            &self.catalog,
+            &self.stats_cache,
+            self.config.eval_mode,
+            self.config.workers,
+            self.config.seed,
+        );
+        drop(flow_refs);
+
+        // assemble, applying policy measure constraints
+        let mut alternatives = Vec::with_capacity(flows.len());
+        let mut rejected = 0usize;
+        for ((flow, (name, applied, combo)), m) in
+            flows.into_iter().zip(metas).zip(measures)
+        {
+            let m = m.map_err(|e| PlannerError::Eval(e.to_string()))?;
+            if !self.config.policy.admits(&baseline, &m) {
+                rejected += 1;
+                continue;
+            }
+            let scores = characteristic_scores(&m, &baseline, &self.config.dimensions);
+            alternatives.push(Alternative {
+                name,
+                flow,
+                applied,
+                combo,
+                measures: m,
+                scores,
+            });
+        }
+
+        // 4. skyline
+        let points: Vec<Vec<f64>> = alternatives.iter().map(|a| a.scores.clone()).collect();
+        let skyline = pareto_skyline(&points);
+
+        Ok(PlannerOutcome {
+            baseline,
+            candidates,
+            alternatives,
+            skyline,
+            stats,
+            rejected_by_constraints: rejected,
+            failed_applications,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::fig2::{purchases_catalog, purchases_flow};
+    use datagen::tpch::{tpch_catalog, tpch_flow};
+    use datagen::DirtProfile;
+    use quality::MeasureId;
+
+    fn planner(config: PlannerConfig) -> Planner {
+        let (f, _) = purchases_flow();
+        let cat = purchases_catalog(150, &DirtProfile::demo(), 5);
+        let reg = PatternRegistry::standard_for_catalog(&cat);
+        Planner::new(f, cat, reg, config)
+    }
+
+    #[test]
+    fn plan_produces_alternatives_and_skyline() {
+        let p = planner(PlannerConfig::default());
+        let out = p.plan().unwrap();
+        assert!(out.alternatives.len() > 10);
+        assert!(!out.skyline.is_empty());
+        assert!(out.skyline.len() <= out.alternatives.len());
+        // skyline members must not be dominated
+        for &i in &out.skyline {
+            for a in &out.alternatives {
+                assert!(!crate::skyline::dominates(&a.scores, &out.alternatives[i].scores));
+            }
+        }
+    }
+
+    #[test]
+    fn skyline_contains_a_performance_improver() {
+        let p = planner(PlannerConfig::default());
+        let out = p.plan().unwrap();
+        let best = out.skyline_alternatives().next().unwrap();
+        assert!(
+            best.scores.iter().any(|&s| s > 100.0),
+            "the frontier must improve on the baseline somewhere: {:?}",
+            best.scores
+        );
+    }
+
+    #[test]
+    fn alternatives_keep_source_schemata_constant() {
+        // §3: "keeping the data sources schemata constant"
+        let p = planner(PlannerConfig::default());
+        let out = p.plan().unwrap();
+        let base_sources: Vec<_> = p
+            .flow()
+            .ops_of_kind("extract")
+            .iter()
+            .map(|n| p.flow().op(*n).unwrap().kind.clone())
+            .collect();
+        for alt in &out.alternatives {
+            let alt_sources: Vec<_> = alt
+                .flow
+                .ops_of_kind("extract")
+                .iter()
+                .map(|n| alt.flow.op(*n).unwrap().kind.clone())
+                .collect();
+            assert_eq!(base_sources.len(), alt_sources.len());
+            for k in &base_sources {
+                assert!(alt_sources.contains(k));
+            }
+        }
+    }
+
+    #[test]
+    fn thousands_of_alternatives_from_demo_flows() {
+        // §4: "the automatic addition of FCPs in different positions and
+        // combinations on the initial flows will result in thousands of
+        // alternative ETL flows"
+        let (f, _) = tpch_flow();
+        let cat = tpch_catalog(200, &DirtProfile::demo(), 5);
+        let reg = PatternRegistry::standard_for_catalog(&cat);
+        let config = PlannerConfig {
+            policy: DeploymentPolicy {
+                top_k_points_per_pattern: usize::MAX,
+                min_fitness: 0.0,
+                max_patterns_per_flow: 2,
+                max_per_pattern: 2,
+                ..DeploymentPolicy::balanced()
+            },
+            max_alternatives: 50_000,
+            ..PlannerConfig::default()
+        };
+        let p = Planner::new(f, cat, reg, config);
+        let out = p.plan().unwrap();
+        assert!(
+            out.alternatives.len() > 1_000,
+            "got {} alternatives",
+            out.alternatives.len()
+        );
+        assert!(
+            out.skyline.len() < out.alternatives.len() / 5,
+            "the skyline must prune most of the space: {} of {}",
+            out.skyline.len(),
+            out.alternatives.len()
+        );
+    }
+
+    #[test]
+    fn constraints_reject_alternatives() {
+        let mut config = PlannerConfig::default();
+        config.policy = DeploymentPolicy::reliability_first();
+        // absurd constraint: nothing may be slower than 1.0× baseline;
+        // checkpoints always cost time, so everything is rejected
+        config.policy.constraints = vec![fcp::MeasureConstraint {
+            measure: MeasureId::CycleTimeMs,
+            ratio_vs_baseline: 1.0,
+        }];
+        let p = planner(config);
+        let out = p.plan().unwrap();
+        assert!(out.rejected_by_constraints > 0);
+    }
+
+    #[test]
+    fn report_matches_fig5_shape() {
+        let p = planner(PlannerConfig::default());
+        let out = p.plan().unwrap();
+        let alt = out.skyline_alternatives().next().unwrap();
+        let report = out.report(alt);
+        assert_eq!(report.characteristics.len(), Characteristic::ALL.len());
+        // drill-down works for performance
+        assert!(!report.expand(Characteristic::Performance).is_empty());
+    }
+
+    #[test]
+    fn simulate_mode_works_end_to_end() {
+        let config = PlannerConfig {
+            eval_mode: EvalMode::Simulate,
+            max_alternatives: 40,
+            ..PlannerConfig::default()
+        };
+        let p = planner(config);
+        let out = p.plan().unwrap();
+        assert!(!out.alternatives.is_empty());
+        assert!(out.baseline.get(MeasureId::Throughput).unwrap() > 0.0);
+    }
+}

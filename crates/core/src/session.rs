@@ -1,0 +1,155 @@
+//! The iterative redesign session.
+//!
+//! §3: "the redesign process takes place in an iterative, incremental and
+//! intuitive fashion … the user makes a selection decision and the tool
+//! implements this decision by integrating the corresponding patterns to
+//! the existing process flow. Subsequently, new iteration cycles commence,
+//! until the user considers that the flow adequately satisfies quality
+//! goals."
+
+use crate::planner::{Planner, PlannerError, PlannerOutcome};
+use etl_model::EtlFlow;
+
+/// Record of one completed iteration.
+pub struct IterationRecord {
+    /// Iteration number (1-based).
+    pub cycle: usize,
+    /// Name of the selected alternative.
+    pub selected: String,
+    /// Patterns that were integrated.
+    pub integrated: Vec<String>,
+    /// Scores of the selected design against that cycle's baseline.
+    pub scores: Vec<f64>,
+}
+
+/// An iterative redesign session wrapping a [`Planner`].
+pub struct Session {
+    planner: Planner,
+    history: Vec<IterationRecord>,
+}
+
+impl Session {
+    /// Starts a session on a planner.
+    pub fn new(planner: Planner) -> Self {
+        Session {
+            planner,
+            history: Vec::new(),
+        }
+    }
+
+    /// The current flow (after all integrations so far).
+    pub fn current_flow(&self) -> &EtlFlow {
+        self.planner.flow()
+    }
+
+    /// Completed iterations.
+    pub fn history(&self) -> &[IterationRecord] {
+        &self.history
+    }
+
+    /// Runs one planning cycle (generation → application → estimation →
+    /// skyline) without integrating anything yet.
+    pub fn explore(&self) -> Result<PlannerOutcome, PlannerError> {
+        self.planner.plan()
+    }
+
+    /// Integrates the alternative at `skyline_rank` (0 = best score-sum on
+    /// the frontier) of `outcome` into the process, ending the cycle.
+    /// Returns the record, or `None` when the rank is out of range.
+    pub fn select(
+        &mut self,
+        outcome: &PlannerOutcome,
+        skyline_rank: usize,
+    ) -> Option<&IterationRecord> {
+        let alt = outcome.skyline_alternatives().nth(skyline_rank)?;
+        let record = IterationRecord {
+            cycle: self.history.len() + 1,
+            selected: alt.name.clone(),
+            integrated: alt.applied.clone(),
+            scores: alt.scores.clone(),
+        };
+        self.planner.set_flow(alt.flow.fork(format!(
+            "{}__cycle{}",
+            self.planner.flow().name.split("__cycle").next().unwrap_or("flow"),
+            record.cycle
+        )));
+        self.history.push(record);
+        self.history.last()
+    }
+
+    /// Convenience loop: run `cycles` iterations, always selecting the
+    /// frontier design with the best score sum. Returns the history length.
+    pub fn auto_run(&mut self, cycles: usize) -> Result<usize, PlannerError> {
+        for _ in 0..cycles {
+            let outcome = self.explore()?;
+            if outcome.skyline.is_empty() {
+                break;
+            }
+            self.select(&outcome, 0);
+        }
+        Ok(self.history.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::PlannerConfig;
+    use datagen::fig2::{purchases_catalog, purchases_flow};
+    use datagen::DirtProfile;
+    use fcp::PatternRegistry;
+
+    fn session() -> Session {
+        let (f, _) = purchases_flow();
+        let cat = purchases_catalog(150, &DirtProfile::demo(), 5);
+        let reg = PatternRegistry::standard_for_catalog(&cat);
+        Session::new(Planner::new(f, cat, reg, PlannerConfig::default()))
+    }
+
+    #[test]
+    fn select_integrates_patterns_into_the_flow() {
+        let mut s = session();
+        let base_ops = s.current_flow().op_count();
+        let outcome = s.explore().unwrap();
+        let rec = s.select(&outcome, 0).unwrap();
+        assert_eq!(rec.cycle, 1);
+        assert!(!rec.selected.is_empty());
+        // structural patterns grow the flow; graph-only selections keep size
+        assert!(s.current_flow().op_count() >= base_ops);
+        assert_eq!(s.history().len(), 1);
+    }
+
+    #[test]
+    fn out_of_range_rank_returns_none() {
+        let mut s = session();
+        let outcome = s.explore().unwrap();
+        assert!(s.select(&outcome, 10_000).is_none());
+        assert!(s.history().is_empty());
+    }
+
+    #[test]
+    fn iterative_cycles_compound_improvements() {
+        let mut s = session();
+        let n = s.auto_run(3).unwrap();
+        assert_eq!(n, 3);
+        // Each selected design improved at least one dimension over its
+        // cycle baseline.
+        for rec in s.history() {
+            assert!(
+                rec.scores.iter().any(|&x| x > 100.0),
+                "cycle {} scores {:?}",
+                rec.cycle,
+                rec.scores
+            );
+        }
+        // The flow accumulated pattern-inserted operations or config changes.
+        let f = s.current_flow();
+        let pattern_ops = f.count_ops(|op| op.from_pattern.is_some());
+        assert!(
+            pattern_ops > 0 || f.config.encrypted || f.config.role_based_access
+                || f.config.resources != etl_model::ResourceClass::Small,
+            "three cycles must leave visible integrations"
+        );
+        f.validate().unwrap();
+    }
+}

@@ -1,0 +1,129 @@
+//! Pareto frontier (skyline) computation over quality dimensions.
+//!
+//! §3: "The scatter-plot points presented to the user are only the Pareto
+//! frontier (skyline) of the complete set of alternative designs … where
+//! larger values are preferred to smaller ones. For one design ETL1, if
+//! there exists at least one alternative design ETL2 offering the same or
+//! better performance and data quality, and at the same time better
+//! reliability, then ETL1 will not be presented to the user."
+//!
+//! Two algorithms are provided for the ablation bench: block-nested-loop
+//! (the textbook quadratic) and a sort-first variant that is markedly
+//! faster on skew-heavy inputs.
+
+/// `a` dominates `b`: at least as good everywhere, strictly better
+/// somewhere (larger is better on every axis).
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly = false;
+    for (x, y) in a.iter().zip(b) {
+        if x < y {
+            return false;
+        }
+        if x > y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Default skyline (currently the sorted variant). Returns the indices of
+/// non-dominated points, ascending.
+pub fn pareto_skyline(points: &[Vec<f64>]) -> Vec<usize> {
+    pareto_skyline_sorted(points)
+}
+
+/// Block-nested-loop skyline: compare every point against every other.
+pub fn pareto_skyline_bnl(points: &[Vec<f64>]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && dominates(other, &points[i]))
+        })
+        .collect()
+}
+
+/// Sort-filter skyline: process points in decreasing coordinate-sum order;
+/// a point can only be dominated by one that precedes it in that order, so
+/// each point is checked against the (small) running skyline only.
+pub fn pareto_skyline_sorted(points: &[Vec<f64>]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        let sa: f64 = points[a].iter().sum();
+        let sb: f64 = points[b].iter().sum();
+        sb.total_cmp(&sa).then(a.cmp(&b))
+    });
+    let mut skyline: Vec<usize> = Vec::new();
+    for &i in &order {
+        if !skyline.iter().any(|&s| dominates(&points[s], &points[i])) {
+            skyline.push(i);
+        }
+    }
+    skyline.sort_unstable();
+    skyline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_relation() {
+        assert!(dominates(&[2.0, 2.0], &[1.0, 2.0]));
+        assert!(!dominates(&[2.0, 1.0], &[1.0, 2.0]));
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0]), "equal points don't dominate");
+        assert!(dominates(&[1.0, 1.0, 1.1], &[1.0, 1.0, 1.0]));
+    }
+
+    #[test]
+    fn paper_example_semantics() {
+        // ETL2 same-or-better perf & DQ, strictly better reliability ⇒ ETL1 hidden
+        let etl1 = vec![100.0, 100.0, 100.0];
+        let etl2 = vec![100.0, 110.0, 120.0];
+        let sky = pareto_skyline(&[etl1, etl2]);
+        assert_eq!(sky, vec![1]);
+    }
+
+    #[test]
+    fn incomparable_points_all_survive() {
+        let pts = vec![
+            vec![3.0, 1.0],
+            vec![2.0, 2.0],
+            vec![1.0, 3.0],
+        ];
+        assert_eq!(pareto_skyline(&pts), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn both_algorithms_agree_on_random_input() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(99);
+        for dims in [2, 3, 4] {
+            let pts: Vec<Vec<f64>> = (0..300)
+                .map(|_| (0..dims).map(|_| rng.gen_range(0.0..100.0)).collect())
+                .collect();
+            let bnl = pareto_skyline_bnl(&pts);
+            let sorted = pareto_skyline_sorted(&pts);
+            assert_eq!(bnl, sorted, "dims={dims}");
+            // skyline is a small fraction of random points
+            assert!(bnl.len() < pts.len());
+            assert!(!bnl.is_empty());
+        }
+    }
+
+    #[test]
+    fn duplicates_all_kept() {
+        // equal points don't dominate each other, so all stay
+        let pts = vec![vec![1.0, 1.0]; 4];
+        assert_eq!(pareto_skyline(&pts).len(), 4);
+        assert_eq!(pareto_skyline_bnl(&pts).len(), 4);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(pareto_skyline(&[]).is_empty());
+        assert_eq!(pareto_skyline(&[vec![1.0]]), vec![0]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Regression test: every single pattern application on the demo flows must
+//! leave a structurally valid, schema-consistent flow. Guards against
+//! ordering bugs like the join-side swap the interpose splice once had.
+
+use poiesis::generate::generate_uncapped;
+
+fn check_flow(flow: etl_model::EtlFlow, catalog: datagen::Catalog) {
+    let reg = fcp::PatternRegistry::standard_for_catalog(&catalog);
+    let cands = generate_uncapped(&flow, &reg).unwrap();
+    assert!(!cands.is_empty());
+    for c in &cands {
+        let mut g = flow.fork("probe");
+        if c.pattern.apply(&mut g, c.point).is_ok() {
+            g.validate()
+                .unwrap_or_else(|e| panic!("invalid flow after {}: {e}", c.describe(&flow)));
+        }
+    }
+}
+
+#[test]
+fn every_pattern_application_is_valid_on_tpch() {
+    let (f, _) = datagen::tpch::tpch_flow();
+    let cat = datagen::tpch::tpch_catalog(100, &datagen::DirtProfile::demo(), 5);
+    check_flow(f, cat);
+}
+
+#[test]
+fn every_pattern_application_is_valid_on_tpcds() {
+    let (f, _) = datagen::tpcds::tpcds_flow();
+    let cat = datagen::tpcds::tpcds_catalog(100, &datagen::DirtProfile::demo(), 5);
+    check_flow(f, cat);
+}
+
+#[test]
+fn every_pattern_application_is_valid_on_purchases() {
+    let (f, _) = datagen::fig2::purchases_flow();
+    let cat = datagen::fig2::purchases_catalog(100, &datagen::DirtProfile::demo(), 5);
+    check_flow(f, cat);
+}

@@ -1,0 +1,97 @@
+//! Data-dirtiness configuration for synthetic sources.
+
+/// Controls how much noise the generator injects into a source table.
+///
+/// The rates are per-cell (nulls, corruption) or per-row (duplicates)
+/// probabilities in `[0, 1]`. Key attributes (used for matching against the
+/// clean reference) are never nulled or corrupted, so repair by
+/// `CrosscheckSources` stays well-defined.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DirtProfile {
+    /// Probability a nullable non-key cell becomes null.
+    pub null_rate: f64,
+    /// Probability a whole row is emitted twice.
+    pub dup_rate: f64,
+    /// Probability a string non-key cell is corrupted (suffix
+    /// [`crate::CORRUPT_MARKER`] appended).
+    pub corrupt_rate: f64,
+    /// Age of the source's last update, in hours, at extraction time
+    /// (drives the freshness measures of Fig. 1).
+    pub staleness_hours: f64,
+}
+
+impl DirtProfile {
+    /// Perfectly clean, freshly updated data.
+    pub fn clean() -> Self {
+        DirtProfile {
+            null_rate: 0.0,
+            dup_rate: 0.0,
+            corrupt_rate: 0.0,
+            staleness_hours: 0.0,
+        }
+    }
+
+    /// The default used by the demo workloads: visibly dirty but not
+    /// pathological (5% nulls, 3% duplicates, 4% corruption, half a day
+    /// stale).
+    pub fn demo() -> Self {
+        DirtProfile {
+            null_rate: 0.05,
+            dup_rate: 0.03,
+            corrupt_rate: 0.04,
+            staleness_hours: 12.0,
+        }
+    }
+
+    /// Heavily degraded source, for stress tests.
+    pub fn filthy() -> Self {
+        DirtProfile {
+            null_rate: 0.25,
+            dup_rate: 0.15,
+            corrupt_rate: 0.20,
+            staleness_hours: 96.0,
+        }
+    }
+
+    /// Validates all rates are probabilities and staleness non-negative.
+    pub fn is_valid(&self) -> bool {
+        let p = |x: f64| (0.0..=1.0).contains(&x);
+        p(self.null_rate) && p(self.dup_rate) && p(self.corrupt_rate) && self.staleness_hours >= 0.0
+    }
+}
+
+impl Default for DirtProfile {
+    fn default() -> Self {
+        DirtProfile::demo()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        assert!(DirtProfile::clean().is_valid());
+        assert!(DirtProfile::demo().is_valid());
+        assert!(DirtProfile::filthy().is_valid());
+    }
+
+    #[test]
+    fn invalid_rates_detected() {
+        let mut d = DirtProfile::clean();
+        d.null_rate = 1.5;
+        assert!(!d.is_valid());
+        d.null_rate = 0.0;
+        d.staleness_hours = -1.0;
+        assert!(!d.is_valid());
+    }
+
+    #[test]
+    fn clean_is_all_zero() {
+        let c = DirtProfile::clean();
+        assert_eq!(c.null_rate, 0.0);
+        assert_eq!(c.dup_rate, 0.0);
+        assert_eq!(c.corrupt_rate, 0.0);
+    }
+}

@@ -1,0 +1,388 @@
+//! TPC-DS-shaped demo workload: the second, larger initial ETL process of
+//! the paper's demo (§4) — a retail-sales flow with five sources and three
+//! warehouse marts.
+
+use crate::catalog::Catalog;
+use crate::dirt::DirtProfile;
+use crate::gen::TableSpec;
+use etl_model::expr::Expr;
+use etl_model::{
+    AggFunc, Attribute, DataType, EtlFlow, NodeId, OpKind, Operation, Schema,
+};
+
+/// Schema of the `store_sales`-like fact source.
+pub fn store_sales_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::required("ss_id", DataType::Int),
+        Attribute::new("ss_item_id", DataType::Int),
+        Attribute::new("ss_store_id", DataType::Int),
+        Attribute::new("ss_customer_id", DataType::Int),
+        Attribute::new("ss_qty", DataType::Int),
+        Attribute::new("ss_sales_price", DataType::Float),
+        Attribute::new("ss_discount", DataType::Float),
+        Attribute::new("ss_sold_ts", DataType::Timestamp),
+    ])
+}
+
+/// Schema of the `item` dimension (type-2: `i_record_end_date` null for the
+/// current record — exactly the predicate in the paper's Fig. 2).
+pub fn item_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::required("i_item_id", DataType::Int),
+        Attribute::new("i_name", DataType::Str),
+        Attribute::new("i_category", DataType::Str),
+        Attribute::new("i_current_price", DataType::Float),
+        Attribute::new("i_record_end_date", DataType::Timestamp),
+    ])
+}
+
+/// Schema of the `store` dimension (also type-2).
+pub fn store_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::required("s_store_id", DataType::Int),
+        Attribute::new("s_name", DataType::Str),
+        Attribute::new("s_city", DataType::Str),
+        Attribute::new("s_record_end_date", DataType::Timestamp),
+    ])
+}
+
+/// Schema of the `customer_dim` dimension.
+pub fn customer_dim_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::required("cd_customer_id", DataType::Int),
+        Attribute::new("cd_name", DataType::Str),
+        Attribute::new("cd_segment", DataType::Str),
+        Attribute::new("cd_email", DataType::Str),
+    ])
+}
+
+/// Schema of the `promotion` dimension.
+pub fn promotion_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::required("p_promo_id", DataType::Int),
+        Attribute::new("p_item_id", DataType::Int),
+        Attribute::new("p_discount_rate", DataType::Float),
+        Attribute::new("p_active", DataType::Bool),
+    ])
+}
+
+/// Builds the TPC-DS-shaped catalog. `scale` is the `store_sales` row count.
+pub fn tpcds_catalog(scale: usize, dirt: &DirtProfile, seed: u64) -> Catalog {
+    let mut c = Catalog::new();
+    c.add_generated(
+        &TableSpec::new("store_sales", store_sales_schema(), scale, "ss_id"),
+        dirt,
+        seed,
+    );
+    c.add_generated(
+        &TableSpec::new("item", item_schema(), scale / 5, "i_item_id"),
+        dirt,
+        seed.wrapping_add(1),
+    );
+    c.add_generated(
+        &TableSpec::new("store", store_schema(), (scale / 50).max(4), "s_store_id"),
+        dirt,
+        seed.wrapping_add(2),
+    );
+    c.add_generated(
+        &TableSpec::new(
+            "customer_dim",
+            customer_dim_schema(),
+            scale / 8,
+            "cd_customer_id",
+        ),
+        dirt,
+        seed.wrapping_add(3),
+    );
+    c.add_generated(
+        &TableSpec::new("promotion", promotion_schema(), (scale / 20).max(4), "p_promo_id"),
+        dirt,
+        seed.wrapping_add(4),
+    );
+    c
+}
+
+/// Handles to noteworthy operations of the TPC-DS flow.
+#[derive(Debug, Clone, Copy)]
+pub struct TpcdsFlowIds {
+    /// The expensive net-amount derivation (`ParallelizeTask` target).
+    pub derive_net: NodeId,
+    /// The item join (early, near the sources).
+    pub join_item: NodeId,
+    /// The segment mart load.
+    pub load_segment: NodeId,
+}
+
+/// Builds the TPC-DS demo ETL flow (~32 operators, 5 sources, 3 targets).
+pub fn tpcds_flow() -> (EtlFlow, TpcdsFlowIds) {
+    let mut f = EtlFlow::new("tpcds_etl");
+
+    // fact leg
+    let ext_ss = f.add_op(Operation::extract("store_sales", store_sales_schema()));
+    let f_ss = f.add_op(
+        Operation::filter("FILTER positive qty", Expr::col("ss_qty").gt(Expr::lit_i(0)))
+            .with_selectivity(0.95),
+    );
+    let d_gross = f.add_op(
+        Operation::derive(
+            "DERIVE gross",
+            vec![(
+                "gross".to_string(),
+                Expr::col("ss_qty").mul(Expr::col("ss_sales_price")),
+            )],
+        )
+        .with_cost(0.020),
+    );
+
+    // item leg (type-2 current records, as in Fig. 2)
+    let ext_i = f.add_op(Operation::extract("item", item_schema()));
+    let f_i = f.add_op(
+        Operation::filter(
+            "FILTER current items",
+            Expr::col("i_record_end_date").is_null(),
+        )
+        .with_selectivity(0.8),
+    );
+    let p_i = f.add_op(Operation::project(
+        "PROJECT item attrs",
+        vec![
+            "i_item_id".into(),
+            "i_name".into(),
+            "i_category".into(),
+            "i_current_price".into(),
+        ],
+    ));
+    let j_item = f.add_op(Operation::new(
+        "JOIN items",
+        OpKind::Join {
+            left_key: "ss_item_id".into(),
+            right_key: "i_item_id".into(),
+        },
+    ));
+
+    // store leg
+    let ext_s = f.add_op(Operation::extract("store", store_schema()));
+    let f_s = f.add_op(
+        Operation::filter(
+            "FILTER current stores",
+            Expr::col("s_record_end_date").is_null(),
+        )
+        .with_selectivity(0.8),
+    );
+    let p_s = f.add_op(Operation::project(
+        "PROJECT store attrs",
+        vec!["s_store_id".into(), "s_name".into(), "s_city".into()],
+    ));
+    let j_store = f.add_op(Operation::new(
+        "JOIN stores",
+        OpKind::Join {
+            left_key: "ss_store_id".into(),
+            right_key: "s_store_id".into(),
+        },
+    ));
+
+    // net derivation + group branches
+    let conv = f.add_op(Operation::new(
+        "CONVERT qty to float",
+        OpKind::Convert {
+            column: "ss_qty".into(),
+            to: DataType::Float,
+        },
+    ));
+    let d_net = f.add_op(
+        Operation::derive(
+            "DERIVE net with discounts",
+            vec![(
+                "net".to_string(),
+                Expr::col("gross").mul(Expr::lit_f(1.0).sub(Expr::col("ss_discount"))),
+            )],
+        )
+        .with_cost(0.040),
+    );
+    let router = f.add_op(Operation::new(
+        "ROUTE bulk vs retail",
+        OpKind::Router {
+            predicate: Expr::col("ss_qty").gt(Expr::lit_f(25.0)),
+        },
+    ));
+    let d_a = f.add_op(Operation::derive(
+        "DERIVE score Group_A",
+        vec![(
+            "score".to_string(),
+            Expr::col("net").mul(Expr::lit_f(0.9)),
+        )],
+    ));
+    let d_b = f.add_op(Operation::derive(
+        "DERIVE score Group_B",
+        vec![(
+            "score".to_string(),
+            Expr::col("net").mul(Expr::lit_f(1.1)),
+        )],
+    ));
+    let merge = f.add_op(Operation::new("MERGE groups", OpKind::Merge));
+    let split = f.add_op(Operation::new("SPLIT to marts", OpKind::Split));
+
+    // customer mart
+    let ext_c = f.add_op(Operation::extract("customer_dim", customer_dim_schema()));
+    let p_c = f.add_op(Operation::project(
+        "PROJECT customer attrs",
+        vec!["cd_customer_id".into(), "cd_segment".into()],
+    ));
+    let j_c = f.add_op(Operation::new(
+        "JOIN customers",
+        OpKind::Join {
+            left_key: "ss_customer_id".into(),
+            right_key: "cd_customer_id".into(),
+        },
+    ));
+    let agg1 = f.add_op(Operation::new(
+        "AGGREGATE by segment",
+        OpKind::Aggregate {
+            group_by: vec!["cd_segment".into()],
+            aggs: vec![
+                ("segment_net".into(), AggFunc::Sum, "net".into()),
+                ("sale_count".into(), AggFunc::Count, "ss_id".into()),
+            ],
+        },
+    ));
+    let sort1 = f.add_op(Operation::new(
+        "SORT by segment",
+        OpKind::Sort {
+            by: vec!["cd_segment".into()],
+        },
+    ));
+    let load1 = f.add_op(Operation::load("dw_segment_mart"));
+
+    // city mart
+    let agg2 = f.add_op(Operation::new(
+        "AGGREGATE by city",
+        OpKind::Aggregate {
+            group_by: vec!["s_city".into()],
+            aggs: vec![
+                ("city_net".into(), AggFunc::Sum, "net".into()),
+                ("city_qty".into(), AggFunc::Sum, "ss_qty".into()),
+            ],
+        },
+    ));
+    let sort2 = f.add_op(Operation::new(
+        "SORT by city",
+        OpKind::Sort {
+            by: vec!["s_city".into()],
+        },
+    ));
+    let load2 = f.add_op(Operation::load("dw_city_mart"));
+
+    // promotion mart
+    let ext_p = f.add_op(Operation::extract("promotion", promotion_schema()));
+    let f_p = f.add_op(
+        Operation::filter(
+            "FILTER active promos",
+            Expr::col("p_active").eq(Expr::lit_b(true)),
+        )
+        .with_selectivity(0.5),
+    );
+    let j_p = f.add_op(Operation::new(
+        "JOIN promotions",
+        OpKind::Join {
+            left_key: "ss_item_id".into(),
+            right_key: "p_item_id".into(),
+        },
+    ));
+    let d_promo = f.add_op(Operation::derive(
+        "DERIVE promo net",
+        vec![(
+            "promo_net".to_string(),
+            Expr::col("net").mul(Expr::lit_f(1.0).sub(Expr::col("p_discount_rate"))),
+        )],
+    ));
+    let agg3 = f.add_op(Operation::new(
+        "AGGREGATE by promo",
+        OpKind::Aggregate {
+            group_by: vec!["p_promo_id".into()],
+            aggs: vec![("promo_total".into(), AggFunc::Sum, "promo_net".into())],
+        },
+    ));
+    let load3 = f.add_op(Operation::load("dw_promo_mart"));
+
+    // wiring
+    f.connect(ext_ss, f_ss).unwrap();
+    f.connect(f_ss, d_gross).unwrap();
+    f.connect(ext_i, f_i).unwrap();
+    f.connect(f_i, p_i).unwrap();
+    f.connect(d_gross, j_item).unwrap();
+    f.connect(p_i, j_item).unwrap();
+    f.connect(ext_s, f_s).unwrap();
+    f.connect(f_s, p_s).unwrap();
+    f.connect(j_item, j_store).unwrap();
+    f.connect(p_s, j_store).unwrap();
+    f.connect(j_store, conv).unwrap();
+    f.connect(conv, d_net).unwrap();
+    f.connect(d_net, router).unwrap();
+    f.connect_labelled(router, d_a, "Group_A").unwrap();
+    f.connect_labelled(router, d_b, "Group_B").unwrap();
+    f.connect(d_a, merge).unwrap();
+    f.connect(d_b, merge).unwrap();
+    f.connect(merge, split).unwrap();
+    f.connect(ext_c, p_c).unwrap();
+    f.connect(split, j_c).unwrap();
+    f.connect(p_c, j_c).unwrap();
+    f.connect(j_c, agg1).unwrap();
+    f.connect(agg1, sort1).unwrap();
+    f.connect(sort1, load1).unwrap();
+    f.connect(split, agg2).unwrap();
+    f.connect(agg2, sort2).unwrap();
+    f.connect(sort2, load2).unwrap();
+    f.connect(ext_p, f_p).unwrap();
+    f.connect(split, j_p).unwrap();
+    f.connect(f_p, j_p).unwrap();
+    f.connect(j_p, d_promo).unwrap();
+    f.connect(d_promo, agg3).unwrap();
+    f.connect(agg3, load3).unwrap();
+
+    (
+        f,
+        TpcdsFlowIds {
+            derive_net: d_net,
+            join_item: j_item,
+            load_segment: load1,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_validates() {
+        let (f, _) = tpcds_flow();
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn flow_is_larger_than_tpch() {
+        let (ds, _) = tpcds_flow();
+        let (h, _) = crate::tpch::tpch_flow();
+        assert!(ds.op_count() > h.op_count());
+        assert!(ds.op_count() >= 30);
+        assert_eq!(ds.ops_of_kind("extract").len(), 5);
+        assert_eq!(ds.ops_of_kind("load").len(), 3);
+    }
+
+    #[test]
+    fn catalog_has_all_sources() {
+        let c = tpcds_catalog(1000, &DirtProfile::demo(), 9);
+        for t in ["store_sales", "item", "store", "customer_dim", "promotion"] {
+            assert!(c.table(t).is_some(), "missing {t}");
+        }
+        assert_eq!(c.len(), 10); // 5 sources + 5 ref twins
+    }
+
+    #[test]
+    fn flow_ids_resolve() {
+        let (f, ids) = tpcds_flow();
+        assert_eq!(f.op(ids.derive_net).unwrap().kind.name(), "derive");
+        assert_eq!(f.op(ids.join_item).unwrap().kind.name(), "join");
+        assert_eq!(f.op(ids.load_segment).unwrap().kind.name(), "load");
+    }
+}

@@ -1,0 +1,299 @@
+//! TPC-H-shaped demo workload: source catalog and the first of the two
+//! initial ETL processes the paper demonstrates with (§4).
+
+use crate::catalog::Catalog;
+use crate::dirt::DirtProfile;
+use crate::gen::TableSpec;
+use etl_model::expr::Expr;
+use etl_model::{
+    AggFunc, Attribute, DataType, EtlFlow, NodeId, OpKind, Operation, Schema,
+};
+
+/// Schema of the `lineitem`-like source.
+pub fn lineitem_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::required("l_lineid", DataType::Int),
+        Attribute::new("l_orderkey", DataType::Int),
+        Attribute::new("l_qty", DataType::Int),
+        Attribute::new("l_extendedprice", DataType::Float),
+        Attribute::new("l_discount", DataType::Float),
+        Attribute::new("l_tax", DataType::Float),
+        Attribute::new("l_shipdate", DataType::Date),
+        Attribute::new("l_status", DataType::Str),
+        Attribute::new("l_comment", DataType::Str),
+    ])
+}
+
+/// Schema of the `orders`-like source.
+pub fn orders_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::required("o_orderkey", DataType::Int),
+        Attribute::new("o_custkey", DataType::Int),
+        Attribute::new("o_status", DataType::Str),
+        Attribute::new("o_totalprice", DataType::Float),
+        Attribute::new("o_orderdate", DataType::Date),
+        Attribute::new("o_priority", DataType::Str),
+    ])
+}
+
+/// Schema of the `customer`-like source.
+pub fn customer_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::required("c_custkey", DataType::Int),
+        Attribute::new("c_name", DataType::Str),
+        Attribute::new("c_nationkey", DataType::Int),
+        Attribute::new("c_acctbal", DataType::Float),
+        Attribute::new("c_segment", DataType::Str),
+    ])
+}
+
+/// Builds the TPC-H-shaped source catalog. `scale` is the base row count of
+/// `lineitem`; the other tables scale proportionally like the benchmark.
+pub fn tpch_catalog(scale: usize, dirt: &DirtProfile, seed: u64) -> Catalog {
+    let mut c = Catalog::new();
+    c.add_generated(
+        &TableSpec::new("lineitem", lineitem_schema(), scale, "l_lineid"),
+        dirt,
+        seed,
+    );
+    c.add_generated(
+        &TableSpec::new("orders", orders_schema(), scale / 4, "o_orderkey"),
+        dirt,
+        seed.wrapping_add(1),
+    );
+    c.add_generated(
+        &TableSpec::new("customer", customer_schema(), scale / 10, "c_custkey"),
+        dirt,
+        seed.wrapping_add(2),
+    );
+    c
+}
+
+/// Handles to noteworthy operations of the TPC-H flow, for tests and
+/// benchmarks that need to point at specific application points.
+#[derive(Debug, Clone, Copy)]
+pub struct TpchFlowIds {
+    /// The expensive revenue-derivation node (`ParallelizeTask` target).
+    pub derive_revenue: NodeId,
+    /// The first join.
+    pub join_orders: NodeId,
+    /// The segment-level load.
+    pub load_segment: NodeId,
+}
+
+/// Builds the TPC-H demo ETL flow (21 operators, 3 sources, 2 targets).
+///
+/// Shape: lineitem and orders are filtered and joined; revenue is derived;
+/// a router splits high-priority orders from the rest, each branch derives a
+/// priority-specific score and the branches merge; the result is joined with
+/// customers and aggregated into a per-segment mart, while a parallel branch
+/// aggregates into a per-day mart.
+pub fn tpch_flow() -> (EtlFlow, TpchFlowIds) {
+    let mut f = EtlFlow::new("tpch_etl");
+
+    // lineitem leg
+    let ext_li = f.add_op(Operation::extract("lineitem", lineitem_schema()));
+    let f_li = f.add_op(
+        Operation::filter(
+            "FILTER valid lineitems",
+            Expr::col("l_qty")
+                .gt(Expr::lit_i(0))
+                .and(Expr::col("l_shipdate").is_not_null()),
+        )
+        .with_selectivity(0.9),
+    );
+    let conv = f.add_op(Operation::new(
+        "CONVERT qty to float",
+        OpKind::Convert {
+            column: "l_qty".into(),
+            to: DataType::Float,
+        },
+    ));
+    let d_rev = f.add_op(
+        Operation::derive(
+            "DERIVE revenue",
+            vec![
+                (
+                    "revenue".to_string(),
+                    Expr::col("l_extendedprice")
+                        .mul(Expr::lit_f(1.0).sub(Expr::col("l_discount"))),
+                ),
+                (
+                    "net".to_string(),
+                    Expr::col("l_extendedprice")
+                        .mul(Expr::lit_f(1.0).sub(Expr::col("l_discount")))
+                        .mul(Expr::lit_f(1.0).add(Expr::col("l_tax"))),
+                ),
+            ],
+        )
+        .with_cost(0.030),
+    );
+
+    // orders leg
+    let ext_o = f.add_op(Operation::extract("orders", orders_schema()));
+    let f_o = f.add_op(
+        Operation::filter(
+            "FILTER open orders",
+            Expr::col("o_status").ne(Expr::lit_s("PENDING")),
+        )
+        .with_selectivity(0.66),
+    );
+
+    // join + priority split
+    let j1 = f.add_op(Operation::new(
+        "JOIN lineitem orders",
+        OpKind::Join {
+            left_key: "l_orderkey".into(),
+            right_key: "o_orderkey".into(),
+        },
+    ));
+    let router = f.add_op(Operation::new(
+        "ROUTE by priority",
+        OpKind::Router {
+            predicate: Expr::col("o_priority").eq(Expr::lit_s("HIGH")),
+        },
+    ));
+    let d_a = f.add_op(Operation::derive(
+        "DERIVE score Group_A",
+        vec![(
+            "score".to_string(),
+            Expr::col("revenue").mul(Expr::lit_f(1.25)),
+        )],
+    ));
+    let d_b = f.add_op(Operation::derive(
+        "DERIVE score Group_B",
+        vec![(
+            "score".to_string(),
+            Expr::col("revenue").mul(Expr::lit_f(0.8)),
+        )],
+    ));
+    let merge = f.add_op(Operation::new("MERGE priority groups", OpKind::Merge));
+    let split = f.add_op(Operation::new("SPLIT to marts", OpKind::Split));
+
+    // customer mart leg
+    let ext_c = f.add_op(Operation::extract("customer", customer_schema()));
+    let p_c = f.add_op(Operation::project(
+        "PROJECT customer attrs",
+        vec![
+            "c_custkey".into(),
+            "c_name".into(),
+            "c_acctbal".into(),
+            "c_segment".into(),
+        ],
+    ));
+    let j2 = f.add_op(Operation::new(
+        "JOIN customers",
+        OpKind::Join {
+            left_key: "o_custkey".into(),
+            right_key: "c_custkey".into(),
+        },
+    ));
+    let d_flag = f.add_op(Operation::derive(
+        "DERIVE high_value flag",
+        vec![(
+            "high_value".to_string(),
+            Expr::col("c_acctbal").gt(Expr::lit_f(500.0)),
+        )],
+    ));
+    let agg1 = f.add_op(Operation::new(
+        "AGGREGATE by segment",
+        OpKind::Aggregate {
+            group_by: vec!["c_segment".into()],
+            aggs: vec![
+                ("total_revenue".into(), AggFunc::Sum, "revenue".into()),
+                ("order_count".into(), AggFunc::Count, "o_orderkey".into()),
+                ("avg_score".into(), AggFunc::Avg, "score".into()),
+            ],
+        },
+    ));
+    let sort1 = f.add_op(Operation::new(
+        "SORT by segment",
+        OpKind::Sort {
+            by: vec!["c_segment".into()],
+        },
+    ));
+    let load1 = f.add_op(Operation::load("dw_segment_sales"));
+
+    // daily mart leg
+    let agg2 = f.add_op(Operation::new(
+        "AGGREGATE by day",
+        OpKind::Aggregate {
+            group_by: vec!["o_orderdate".into()],
+            aggs: vec![
+                ("daily_revenue".into(), AggFunc::Sum, "revenue".into()),
+                ("daily_qty".into(), AggFunc::Sum, "l_qty".into()),
+            ],
+        },
+    ));
+    let load2 = f.add_op(Operation::load("dw_daily_sales"));
+
+    // wiring
+    f.connect(ext_li, f_li).unwrap();
+    f.connect(f_li, conv).unwrap();
+    f.connect(conv, d_rev).unwrap();
+    f.connect(ext_o, f_o).unwrap();
+    f.connect(d_rev, j1).unwrap();
+    f.connect(f_o, j1).unwrap();
+    f.connect(j1, router).unwrap();
+    f.connect_labelled(router, d_a, "Group_A").unwrap();
+    f.connect_labelled(router, d_b, "Group_B").unwrap();
+    f.connect(d_a, merge).unwrap();
+    f.connect(d_b, merge).unwrap();
+    f.connect(merge, split).unwrap();
+    f.connect(ext_c, p_c).unwrap();
+    f.connect(split, j2).unwrap();
+    f.connect(p_c, j2).unwrap();
+    f.connect(j2, d_flag).unwrap();
+    f.connect(d_flag, agg1).unwrap();
+    f.connect(agg1, sort1).unwrap();
+    f.connect(sort1, load1).unwrap();
+    f.connect(split, agg2).unwrap();
+    f.connect(agg2, load2).unwrap();
+
+    (
+        f,
+        TpchFlowIds {
+            derive_revenue: d_rev,
+            join_orders: j1,
+            load_segment: load1,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_validates() {
+        let (f, _) = tpch_flow();
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn flow_has_tens_of_operators() {
+        let (f, _) = tpch_flow();
+        assert!(f.op_count() >= 20, "paper demo flows have tens of operators");
+        assert_eq!(f.ops_of_kind("extract").len(), 3);
+        assert_eq!(f.ops_of_kind("load").len(), 2);
+    }
+
+    #[test]
+    fn catalog_contains_sources_and_refs() {
+        let c = tpch_catalog(400, &DirtProfile::demo(), 42);
+        for t in ["lineitem", "orders", "customer"] {
+            assert!(c.table(t).is_some(), "missing {t}");
+            assert!(c.table(&format!("ref_{t}")).is_some());
+        }
+        assert_eq!(c.table("lineitem").unwrap().schema, lineitem_schema());
+        assert!(c.table("orders").unwrap().rows.len() >= 100);
+    }
+
+    #[test]
+    fn ids_point_at_expected_ops() {
+        let (f, ids) = tpch_flow();
+        assert_eq!(f.op(ids.derive_revenue).unwrap().kind.name(), "derive");
+        assert_eq!(f.op(ids.join_orders).unwrap().kind.name(), "join");
+        assert_eq!(f.op(ids.load_segment).unwrap().kind.name(), "load");
+    }
+}

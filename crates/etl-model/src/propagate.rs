@@ -1,0 +1,493 @@
+//! Schema propagation: computes the output schema of every operation and
+//! checks the consistency FCP deployment must preserve (§3 of the paper:
+//! "ensuring the consistency between data schemata").
+
+use crate::expr::BindError;
+use crate::flow::EtlFlow;
+use crate::op::OpKind;
+use crate::types::Schema;
+use std::fmt;
+
+/// Schema-propagation failures, attributed to the offending operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemaError {
+    /// An expression referenced a missing attribute.
+    Bind {
+        /// Operation name.
+        op: String,
+        /// Missing attribute.
+        column: String,
+    },
+    /// A projection/aggregation referenced a missing attribute.
+    MissingAttr {
+        /// Operation name.
+        op: String,
+        /// Missing attribute.
+        column: String,
+    },
+    /// A derive would have introduced a duplicate attribute name.
+    DuplicateAttr {
+        /// Operation name.
+        op: String,
+        /// Clashing attribute.
+        column: String,
+    },
+    /// Merge inputs disagree on their schemas.
+    MergeMismatch {
+        /// Operation name.
+        op: String,
+    },
+    /// The flow was structurally broken (cycle) before schemas could run.
+    NotADag,
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::Bind { op, column } => {
+                write!(f, "`{op}`: expression references unknown column `{column}`")
+            }
+            SchemaError::MissingAttr { op, column } => {
+                write!(f, "`{op}`: attribute `{column}` not found in input schema")
+            }
+            SchemaError::DuplicateAttr { op, column } => {
+                write!(f, "`{op}`: attribute `{column}` already exists")
+            }
+            SchemaError::MergeMismatch { op } => {
+                write!(f, "`{op}`: merge inputs have mismatching schemas")
+            }
+            SchemaError::NotADag => write!(f, "flow graph has a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+fn bind_err(op: &str, e: BindError) -> SchemaError {
+    match e {
+        BindError::UnknownColumn(c) => SchemaError::Bind {
+            op: op.to_string(),
+            column: c,
+        },
+    }
+}
+
+/// Computes the output schema of every operation, in a dense table indexed
+/// by [`flowgraph::NodeId::index`]. Operations whose ids were removed hold `None`.
+pub fn propagate_schemas(flow: &EtlFlow) -> Result<Vec<Option<Schema>>, SchemaError> {
+    let order = flow.topo_order().map_err(|_| SchemaError::NotADag)?;
+    let mut out: Vec<Option<Schema>> = vec![None; flow.graph.node_bound()];
+    for n in order {
+        let op = flow.op(n).expect("live node");
+        let inputs: Vec<&Schema> = flow
+            .graph
+            .predecessors(n)
+            .map(|p| {
+                out[p.index()]
+                    .as_ref()
+                    .expect("topological order guarantees predecessor schemas")
+            })
+            .collect();
+        let schema = output_schema(&op.name, &op.kind, &inputs)?;
+        out[n.index()] = Some(schema);
+    }
+    Ok(out)
+}
+
+/// Output schema of one operation given its input schemas (in predecessor
+/// order). Exposed for pattern configuration, which must compute the schema
+/// at an application point before instantiating an FCP there.
+pub fn output_schema(
+    name: &str,
+    kind: &OpKind,
+    inputs: &[&Schema],
+) -> Result<Schema, SchemaError> {
+    let first = |op: &str| -> Result<Schema, SchemaError> {
+        inputs
+            .first()
+            .map(|s| (*s).clone())
+            .ok_or_else(|| SchemaError::MissingAttr {
+                op: op.to_string(),
+                column: "<input>".to_string(),
+            })
+    };
+    Ok(match kind {
+        OpKind::Extract { schema, .. } => schema.clone(),
+        OpKind::Load { .. } => first(name)?,
+        OpKind::Filter { predicate } => {
+            let s = first(name)?;
+            predicate.bind(&s).map_err(|e| bind_err(name, e))?;
+            s
+        }
+        OpKind::Project { keep } => {
+            let s = first(name)?;
+            s.project(keep).map_err(|c| SchemaError::MissingAttr {
+                op: name.to_string(),
+                column: c,
+            })?
+        }
+        OpKind::Derive { outputs } => {
+            let mut s = first(name)?;
+            for (new_name, expr) in outputs {
+                let dtype = expr.result_type(&s).map_err(|e| bind_err(name, e))?;
+                expr.bind(&s).map_err(|e| bind_err(name, e))?;
+                s = s
+                    .extend_with(crate::types::Attribute::new(new_name.clone(), dtype))
+                    .map_err(|c| SchemaError::DuplicateAttr {
+                        op: name.to_string(),
+                        column: c,
+                    })?;
+            }
+            s
+        }
+        OpKind::Convert { column, to } => {
+            let s = first(name)?;
+            if !s.contains(column) {
+                return Err(SchemaError::MissingAttr {
+                    op: name.to_string(),
+                    column: column.clone(),
+                });
+            }
+            Schema::new(
+                s.attrs()
+                    .iter()
+                    .map(|a| {
+                        let mut a = a.clone();
+                        if &a.name == column {
+                            a.dtype = *to;
+                        }
+                        a
+                    })
+                    .collect(),
+            )
+        }
+        OpKind::Join { left_key, right_key } => {
+            if inputs.len() < 2 {
+                return Err(SchemaError::MissingAttr {
+                    op: name.to_string(),
+                    column: "<second input>".to_string(),
+                });
+            }
+            let (l, r) = (inputs[0], inputs[1]);
+            if !l.contains(left_key) {
+                return Err(SchemaError::MissingAttr {
+                    op: name.to_string(),
+                    column: left_key.clone(),
+                });
+            }
+            if !r.contains(right_key) {
+                return Err(SchemaError::MissingAttr {
+                    op: name.to_string(),
+                    column: right_key.clone(),
+                });
+            }
+            l.join_concat(r, "r")
+        }
+        OpKind::Aggregate { group_by, aggs } => {
+            let s = first(name)?;
+            let mut attrs = Vec::new();
+            for g in group_by {
+                attrs.push(
+                    s.attr(g)
+                        .ok_or_else(|| SchemaError::MissingAttr {
+                            op: name.to_string(),
+                            column: g.clone(),
+                        })?
+                        .clone(),
+                );
+            }
+            for (out_name, func, input_attr) in aggs {
+                let input = s.attr(input_attr).ok_or_else(|| SchemaError::MissingAttr {
+                    op: name.to_string(),
+                    column: input_attr.clone(),
+                })?;
+                attrs.push(crate::types::Attribute::new(
+                    out_name.clone(),
+                    func.result_type(input.dtype),
+                ));
+            }
+            Schema::new(attrs)
+        }
+        OpKind::Sort { by } => {
+            let s = first(name)?;
+            for b in by {
+                if !s.contains(b) {
+                    return Err(SchemaError::MissingAttr {
+                        op: name.to_string(),
+                        column: b.clone(),
+                    });
+                }
+            }
+            s
+        }
+        OpKind::Router { predicate } => {
+            let s = first(name)?;
+            predicate.bind(&s).map_err(|e| bind_err(name, e))?;
+            s
+        }
+        OpKind::Merge => {
+            let s = first(name)?;
+            for other in &inputs[1..] {
+                if !same_shape(&s, other) {
+                    return Err(SchemaError::MergeMismatch {
+                        op: name.to_string(),
+                    });
+                }
+            }
+            s
+        }
+        OpKind::Dedup { keys } => {
+            let s = first(name)?;
+            for k in keys {
+                if !s.contains(k) {
+                    return Err(SchemaError::MissingAttr {
+                        op: name.to_string(),
+                        column: k.clone(),
+                    });
+                }
+            }
+            s
+        }
+        OpKind::FilterNulls { columns } => {
+            let s = first(name)?;
+            for c in columns {
+                if !s.contains(c) {
+                    return Err(SchemaError::MissingAttr {
+                        op: name.to_string(),
+                        column: c.clone(),
+                    });
+                }
+            }
+            // Downstream, the filtered columns are guaranteed non-null.
+            if columns.is_empty() {
+                let all: Vec<String> = s.attrs().iter().map(|a| a.name.clone()).collect();
+                s.with_non_nullable(&all)
+            } else {
+                s.with_non_nullable(columns)
+            }
+        }
+        OpKind::Crosscheck { key, .. } => {
+            let s = first(name)?;
+            if !s.contains(key) {
+                return Err(SchemaError::MissingAttr {
+                    op: name.to_string(),
+                    column: key.clone(),
+                });
+            }
+            s
+        }
+        OpKind::Split | OpKind::Partition | OpKind::Checkpoint { .. } | OpKind::Encrypt => {
+            first(name)?
+        }
+    })
+}
+
+/// Merge compatibility: same attribute names and types, position-wise
+/// (nullability may differ — a cleaned branch unions with an uncleaned one).
+fn same_shape(a: &Schema, b: &Schema) -> bool {
+    a.len() == b.len()
+        && a.attrs()
+            .iter()
+            .zip(b.attrs())
+            .all(|(x, y)| x.name == y.name && x.dtype == y.dtype)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::op::{AggFunc, Operation};
+    use crate::types::{Attribute, DataType};
+
+    fn base_schema() -> Schema {
+        Schema::new(vec![
+            Attribute::required("id", DataType::Int),
+            Attribute::new("qty", DataType::Int),
+            Attribute::new("price", DataType::Float),
+        ])
+    }
+
+    fn flow_one(op: Operation) -> EtlFlow {
+        let mut f = EtlFlow::new("t");
+        let e = f.add_op(Operation::extract("s", base_schema()));
+        let m = f.add_op(op);
+        let l = f.add_op(Operation::load("dw"));
+        f.connect(e, m).unwrap();
+        f.connect(m, l).unwrap();
+        f
+    }
+
+    fn schema_of(f: &EtlFlow, idx: usize) -> Schema {
+        let schemas = propagate_schemas(f).unwrap();
+        schemas[idx].clone().unwrap()
+    }
+
+    #[test]
+    fn extract_passes_source_schema() {
+        let f = flow_one(Operation::filter("f", Expr::col("qty").gt(Expr::lit_i(0))));
+        assert_eq!(schema_of(&f, 0), base_schema());
+        assert_eq!(schema_of(&f, 2), base_schema()); // load passthrough
+    }
+
+    #[test]
+    fn derive_extends_schema() {
+        let f = flow_one(Operation::derive(
+            "d",
+            vec![("total".into(), Expr::col("qty").mul(Expr::col("price")))],
+        ));
+        let s = schema_of(&f, 1);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.attr("total").unwrap().dtype, DataType::Float);
+    }
+
+    #[test]
+    fn derive_duplicate_rejected() {
+        let f = flow_one(Operation::derive(
+            "d",
+            vec![("qty".into(), Expr::lit_i(0))],
+        ));
+        assert!(matches!(
+            propagate_schemas(&f),
+            Err(SchemaError::DuplicateAttr { .. })
+        ));
+    }
+
+    #[test]
+    fn filter_binds_predicate() {
+        let f = flow_one(Operation::filter("f", Expr::col("ghost").gt(Expr::lit_i(0))));
+        match propagate_schemas(&f) {
+            Err(SchemaError::Bind { op, column }) => {
+                assert_eq!(op, "f");
+                assert_eq!(column, "ghost");
+            }
+            other => panic!("expected bind error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn project_subsets() {
+        let f = flow_one(Operation::project("p", vec!["id".into()]));
+        assert_eq!(schema_of(&f, 1).len(), 1);
+    }
+
+    #[test]
+    fn project_missing_attr() {
+        let f = flow_one(Operation::project("p", vec!["nope".into()]));
+        assert!(matches!(
+            propagate_schemas(&f),
+            Err(SchemaError::MissingAttr { .. })
+        ));
+    }
+
+    #[test]
+    fn aggregate_schema() {
+        let f = flow_one(Operation::new(
+            "agg",
+            OpKind::Aggregate {
+                group_by: vec!["id".into()],
+                aggs: vec![
+                    ("n".into(), AggFunc::Count, "qty".into()),
+                    ("total".into(), AggFunc::Sum, "price".into()),
+                ],
+            },
+        ));
+        let s = schema_of(&f, 1);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.attr("n").unwrap().dtype, DataType::Int);
+        assert_eq!(s.attr("total").unwrap().dtype, DataType::Float);
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let mut f = EtlFlow::new("j");
+        let e1 = f.add_op(Operation::extract("a", base_schema()));
+        let e2 = f.add_op(Operation::extract(
+            "b",
+            Schema::new(vec![
+                Attribute::required("id", DataType::Int),
+                Attribute::new("city", DataType::Str),
+            ]),
+        ));
+        let j = f.add_op(Operation::new(
+            "join",
+            OpKind::Join {
+                left_key: "id".into(),
+                right_key: "id".into(),
+            },
+        ));
+        let l = f.add_op(Operation::load("dw"));
+        f.connect(e1, j).unwrap();
+        f.connect(e2, j).unwrap();
+        f.connect(j, l).unwrap();
+        let s = schema_of(&f, j.index());
+        assert_eq!(s.len(), 5);
+        assert!(s.contains("r_id"));
+        assert!(s.contains("city"));
+    }
+
+    #[test]
+    fn merge_requires_same_shape() {
+        let mut f = EtlFlow::new("m");
+        let e1 = f.add_op(Operation::extract("a", base_schema()));
+        let e2 = f.add_op(Operation::extract(
+            "b",
+            Schema::new(vec![Attribute::new("other", DataType::Str)]),
+        ));
+        let m = f.add_op(Operation::new("merge", OpKind::Merge));
+        let l = f.add_op(Operation::load("dw"));
+        f.connect(e1, m).unwrap();
+        f.connect(e2, m).unwrap();
+        f.connect(m, l).unwrap();
+        assert!(matches!(
+            propagate_schemas(&f),
+            Err(SchemaError::MergeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_tolerates_nullability_difference() {
+        let mut f = EtlFlow::new("m");
+        let relaxed = Schema::new(vec![Attribute::new("id", DataType::Int)]);
+        let strict = Schema::new(vec![Attribute::required("id", DataType::Int)]);
+        let e1 = f.add_op(Operation::extract("a", relaxed));
+        let e2 = f.add_op(Operation::extract("b", strict));
+        let m = f.add_op(Operation::new("merge", OpKind::Merge));
+        let l = f.add_op(Operation::load("dw"));
+        f.connect(e1, m).unwrap();
+        f.connect(e2, m).unwrap();
+        f.connect(m, l).unwrap();
+        assert!(propagate_schemas(&f).is_ok());
+    }
+
+    #[test]
+    fn filter_nulls_tightens_nullability() {
+        let f = flow_one(Operation::new(
+            "fn",
+            OpKind::FilterNulls {
+                columns: vec!["qty".into()],
+            },
+        ));
+        let s = schema_of(&f, 1);
+        assert!(!s.attr("qty").unwrap().nullable);
+        assert!(s.attr("price").unwrap().nullable);
+    }
+
+    #[test]
+    fn filter_nulls_empty_means_all() {
+        let f = flow_one(Operation::new("fn", OpKind::FilterNulls { columns: vec![] }));
+        let s = schema_of(&f, 1);
+        assert!(s.attrs().iter().all(|a| !a.nullable));
+    }
+
+    #[test]
+    fn convert_changes_type() {
+        let f = flow_one(Operation::new(
+            "cv",
+            OpKind::Convert {
+                column: "qty".into(),
+                to: DataType::Float,
+            },
+        ));
+        assert_eq!(schema_of(&f, 1).attr("qty").unwrap().dtype, DataType::Float);
+    }
+}

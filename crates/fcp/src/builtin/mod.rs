@@ -1,0 +1,26 @@
+//! The built-in pattern palette.
+//!
+//! The Fig. 6 palette of the paper plus the graph-level configuration
+//! patterns §2.2 sketches:
+//!
+//! | FCP | related quality attribute | point |
+//! |-----|---------------------------|-------|
+//! | [`RemoveDuplicateEntries`] | data quality | edge |
+//! | [`FilterNullValues`] | data quality | edge |
+//! | [`CrosscheckSources`] | data quality | edge |
+//! | [`ParallelizeTask`] | performance | node |
+//! | [`AddCheckpoint`] | reliability | edge |
+//! | [`EncryptChannels`] | security | graph |
+//! | [`EnableAccessControl`] | security | graph |
+//! | [`UpgradeResources`] | performance | graph |
+//! | [`IncreaseRecurrence`] | data quality (freshness) | graph |
+
+mod checkpoint;
+mod cleaning;
+mod graphconf;
+mod parallelize;
+
+pub use checkpoint::AddCheckpoint;
+pub use cleaning::{CrosscheckSources, FilterNullValues, RemoveDuplicateEntries};
+pub use graphconf::{EnableAccessControl, EncryptChannels, IncreaseRecurrence, UpgradeResources};
+pub use parallelize::ParallelizeTask;

@@ -1,0 +1,231 @@
+//! The [`Pattern`] trait and its evaluation context.
+
+use crate::point::ApplicationPoint;
+use crate::prereq::Prerequisite;
+use etl_model::{propagate_schemas, EtlFlow, NodeId, Schema};
+use quality::Characteristic;
+use std::fmt;
+
+/// Errors during pattern application.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatternError {
+    /// The point does not satisfy the pattern's prerequisites (any more).
+    NotApplicable {
+        /// Pattern name.
+        pattern: String,
+        /// Point description.
+        point: String,
+    },
+    /// The structural edit failed.
+    Graph(String),
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::NotApplicable { pattern, point } => {
+                write!(f, "pattern `{pattern}` not applicable at {point}")
+            }
+            PatternError::Graph(e) => write!(f, "graph edit failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+/// Record of one successful pattern application.
+#[derive(Debug, Clone)]
+pub struct AppliedPattern {
+    /// Pattern name.
+    pub pattern: String,
+    /// Where it was applied.
+    pub point: ApplicationPoint,
+    /// Nodes the application added to the flow.
+    pub added_nodes: Vec<NodeId>,
+}
+
+/// Pre-computed per-flow context shared by applicability checks and fitness
+/// heuristics: output schemas, source distances and cost landmarks. Built
+/// once per flow, reused across every (pattern, point) probe.
+pub struct PatternContext<'a> {
+    /// The flow under analysis.
+    pub flow: &'a EtlFlow,
+    /// Output schema per node (dense by node index), `None` for dead ids.
+    pub schemas: Vec<Option<Schema>>,
+    /// Distance (edges) from the nearest extract, per node index.
+    pub distances: Vec<usize>,
+    /// The maximum per-tuple cost over all operations (for normalising
+    /// cost-based fitness).
+    pub max_cost_per_tuple: f64,
+    /// Cumulative upstream cost per node: the per-tuple cost of the most
+    /// expensive source→node chain (the "how much work would a failure here
+    /// lose" landmark behind checkpoint placement).
+    pub upstream_cost: Vec<f64>,
+}
+
+impl<'a> PatternContext<'a> {
+    /// Builds the context; the flow must be schema-consistent.
+    pub fn new(flow: &'a EtlFlow) -> Result<Self, PatternError> {
+        let schemas = propagate_schemas(flow).map_err(|e| PatternError::Graph(e.to_string()))?;
+        let distances = flow.distance_from_sources();
+        let max_cost_per_tuple = flow
+            .graph
+            .nodes()
+            .map(|(_, op)| op.cost.cost_per_tuple_ms)
+            .fold(0.0f64, f64::max);
+        let mut upstream_cost = vec![0.0f64; flow.graph.node_bound()];
+        if let Ok(order) = flow.topo_order() {
+            for n in order {
+                let op = flow.op(n).expect("live node");
+                let up = flow
+                    .graph
+                    .predecessors(n)
+                    .map(|p| upstream_cost[p.index()])
+                    .fold(0.0f64, f64::max);
+                upstream_cost[n.index()] = up + op.cost.cost_per_tuple_ms;
+            }
+        }
+        Ok(PatternContext {
+            flow,
+            schemas,
+            distances,
+            max_cost_per_tuple,
+            upstream_cost,
+        })
+    }
+
+    /// Schema flowing over an edge (= output schema of its source node).
+    pub fn edge_schema(&self, e: etl_model::EdgeId) -> Option<&Schema> {
+        let (src, _) = self.flow.graph.endpoints(e)?;
+        self.schemas[src.index()].as_ref()
+    }
+
+    /// Schema at a point: edge schema, node *input* schema (first
+    /// predecessor's output), or `None` for graph points.
+    pub fn point_schema(&self, p: ApplicationPoint) -> Option<&Schema> {
+        match p {
+            ApplicationPoint::Edge(e) => self.edge_schema(e),
+            ApplicationPoint::Node(n) => {
+                let pred = self.flow.graph.predecessors(n).next()?;
+                self.schemas[pred.index()].as_ref()
+            }
+            ApplicationPoint::Graph => None,
+        }
+    }
+
+    /// Distance of a point from the sources (edge: its source node's
+    /// distance; node: the node's own; graph: 0).
+    pub fn point_distance(&self, p: ApplicationPoint) -> usize {
+        match p {
+            ApplicationPoint::Edge(e) => self
+                .flow
+                .graph
+                .endpoints(e)
+                .map(|(s, _)| self.distances[s.index()])
+                .unwrap_or(usize::MAX),
+            ApplicationPoint::Node(n) => self.distances.get(n.index()).copied().unwrap_or(usize::MAX),
+            ApplicationPoint::Graph => 0,
+        }
+    }
+}
+
+/// A Flow Component Pattern.
+///
+/// Implementations must keep [`Pattern::apply`] *functionality-preserving*:
+/// the loaded data may only improve (cleaning) or stay equivalent
+/// (parallelism, savepoints, configuration) — never change semantics. The
+/// integration tests assert this per built-in.
+pub trait Pattern: Send + Sync {
+    /// Unique pattern name (the palette key).
+    fn name(&self) -> &str;
+
+    /// The quality characteristic this pattern is intended to improve
+    /// (Fig. 6's "related quality attribute" column).
+    fn improves(&self) -> Characteristic;
+
+    /// The conjunctive applicability prerequisites.
+    fn prerequisites(&self) -> Vec<Prerequisite>;
+
+    /// True when every prerequisite holds at `point`.
+    fn applicable(&self, ctx: &PatternContext<'_>, point: ApplicationPoint) -> bool {
+        point.is_live(ctx.flow)
+            && self
+                .prerequisites()
+                .iter()
+                .all(|p| p.satisfied(ctx, point, self.name()))
+    }
+
+    /// Enumerates every valid application point on the flow. The paper's
+    /// §3 guarantee — "all of the potential application points on the ETL
+    /// flow are checked for each FCP" — is this default implementation.
+    fn candidate_points(&self, ctx: &PatternContext<'_>) -> Vec<ApplicationPoint> {
+        let mut out = Vec::new();
+        if self.applicable(ctx, ApplicationPoint::Graph) {
+            out.push(ApplicationPoint::Graph);
+        }
+        for n in ctx.flow.graph.node_ids() {
+            let p = ApplicationPoint::Node(n);
+            if self.applicable(ctx, p) {
+                out.push(p);
+            }
+        }
+        for e in ctx.flow.graph.edge_ids() {
+            let p = ApplicationPoint::Edge(e);
+            if self.applicable(ctx, p) {
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    /// Placement fitness in `[0, 1]` (higher = heuristically better spot).
+    /// Defaults to indifference.
+    fn fitness(&self, _ctx: &PatternContext<'_>, _point: ApplicationPoint) -> f64 {
+        0.5
+    }
+
+    /// Applies the pattern at `point`, mutating `flow`.
+    ///
+    /// Implementations re-check applicability (the flow may have changed
+    /// since enumeration) and configure the inserted operations from the
+    /// schema at the exact application point (§3: "configured according to
+    /// the properties … of the initial ETL flow as well as the exact
+    /// application point").
+    fn apply(
+        &self,
+        flow: &mut EtlFlow,
+        point: ApplicationPoint,
+    ) -> Result<AppliedPattern, PatternError>;
+}
+
+/// Helper shared by edge-interposing patterns: re-validates applicability,
+/// splices `op` onto the edge and returns the application record.
+pub(crate) fn interpose_applying(
+    pattern: &dyn Pattern,
+    flow: &mut EtlFlow,
+    point: ApplicationPoint,
+    op: etl_model::Operation,
+) -> Result<AppliedPattern, PatternError> {
+    let ctx = PatternContext::new(flow)?;
+    if !pattern.applicable(&ctx, point) {
+        return Err(PatternError::NotApplicable {
+            pattern: pattern.name().to_string(),
+            point: point.describe(flow),
+        });
+    }
+    let ApplicationPoint::Edge(e) = point else {
+        return Err(PatternError::NotApplicable {
+            pattern: pattern.name().to_string(),
+            point: point.describe(flow),
+        });
+    };
+    let splice = flow
+        .graph
+        .interpose_on_edge(e, op, Default::default(), Default::default())
+        .map_err(|err| PatternError::Graph(err.to_string()))?;
+    Ok(AppliedPattern {
+        pattern: pattern.name().to_string(),
+        point,
+        added_nodes: vec![splice.node],
+    })
+}

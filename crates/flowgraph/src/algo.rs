@@ -1,0 +1,314 @@
+//! Graph algorithms used by the POIESIS quality measures and the planner:
+//! topological order, cycle checks, longest/critical paths, reachability.
+
+use crate::graph::{DiGraph, NodeId};
+
+/// Error returned by [`topo_sort`] when the graph has a cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopoError {
+    /// One node that participates in (or is reachable only through) a cycle.
+    pub witness: NodeId,
+}
+
+impl std::fmt::Display for TopoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "graph contains a cycle (witness node {})", self.witness)
+    }
+}
+
+impl std::error::Error for TopoError {}
+
+/// Kahn's algorithm. Returns the nodes in a topological order, or a
+/// [`TopoError`] naming a node stuck on a cycle.
+pub fn topo_sort<N, E>(g: &DiGraph<N, E>) -> Result<Vec<NodeId>, TopoError> {
+    let mut indeg = vec![0usize; g.node_bound()];
+    for n in g.node_ids() {
+        indeg[n.index()] = g.in_degree(n);
+    }
+    let mut queue: Vec<NodeId> = g.sources().collect();
+    let mut order = Vec::with_capacity(g.node_count());
+    while let Some(n) = queue.pop() {
+        order.push(n);
+        for s in g.successors(n) {
+            indeg[s.index()] -= 1;
+            if indeg[s.index()] == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    if order.len() == g.node_count() {
+        Ok(order)
+    } else {
+        let witness = g
+            .node_ids()
+            .find(|n| indeg[n.index()] > 0)
+            .expect("cycle implies a node with positive residual in-degree");
+        Err(TopoError { witness })
+    }
+}
+
+/// True if the graph is acyclic.
+pub fn is_dag<N, E>(g: &DiGraph<N, E>) -> bool {
+    topo_sort(g).is_ok()
+}
+
+/// True if the graph contains at least one directed cycle.
+pub fn has_cycle<N, E>(g: &DiGraph<N, E>) -> bool {
+    !is_dag(g)
+}
+
+/// Length (in edges) of the longest directed path in a DAG.
+///
+/// This is the paper's manageability measure *"length of process workflow's
+/// longest path"* (Fig. 1). Returns `None` when the graph has a cycle.
+pub fn longest_path_len<N, E>(g: &DiGraph<N, E>) -> Option<usize> {
+    let order = topo_sort(g).ok()?;
+    let mut dist = vec![0usize; g.node_bound()];
+    let mut best = 0;
+    // Process in reverse topological order: dist[n] = longest path starting at n.
+    for &n in order.iter().rev() {
+        let d = g
+            .successors(n)
+            .map(|s| dist[s.index()] + 1)
+            .max()
+            .unwrap_or(0);
+        dist[n.index()] = d;
+        best = best.max(d);
+    }
+    Some(best)
+}
+
+/// Critical (maximum-weight) path through a DAG where each node carries a
+/// non-negative cost. Returns `(total_cost, path)` or `None` on a cycle.
+///
+/// Used by the analytic performance estimator: the process cycle time of a
+/// pipelined flow is dominated by its most expensive source→sink chain.
+pub fn critical_path<N, E>(
+    g: &DiGraph<N, E>,
+    node_cost: impl Fn(NodeId, &N) -> f64,
+) -> Option<(f64, Vec<NodeId>)> {
+    let order = topo_sort(g).ok()?;
+    let mut dist = vec![f64::NEG_INFINITY; g.node_bound()];
+    let mut next: Vec<Option<NodeId>> = vec![None; g.node_bound()];
+    for &n in order.iter().rev() {
+        let own = node_cost(n, g.node(n).expect("live node"));
+        debug_assert!(own >= 0.0, "node costs must be non-negative");
+        let mut best_succ: Option<(f64, NodeId)> = None;
+        for s in g.successors(n) {
+            let d = dist[s.index()];
+            if best_succ.is_none_or(|(bd, _)| d > bd) {
+                best_succ = Some((d, s));
+            }
+        }
+        match best_succ {
+            Some((d, s)) => {
+                dist[n.index()] = own + d;
+                next[n.index()] = Some(s);
+            }
+            None => dist[n.index()] = own,
+        }
+    }
+    let start = g
+        .node_ids()
+        .max_by(|a, b| dist[a.index()].total_cmp(&dist[b.index()]))?;
+    let mut path = vec![start];
+    let mut cur = start;
+    while let Some(s) = next[cur.index()] {
+        path.push(s);
+        cur = s;
+    }
+    Some((dist[start.index()], path))
+}
+
+/// Set of nodes reachable from `start` (inclusive), as a sorted vector.
+pub fn reachable_from<N, E>(g: &DiGraph<N, E>, start: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.node_bound()];
+    let mut stack = vec![start];
+    seen[start.index()] = true;
+    while let Some(n) = stack.pop() {
+        for s in g.successors(n) {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    let mut out: Vec<NodeId> = g.node_ids().filter(|n| seen[n.index()]).collect();
+    out.sort();
+    out
+}
+
+/// Length (in edges) of the shortest directed path `from → to`, if any.
+pub fn shortest_path_len<N, E>(g: &DiGraph<N, E>, from: NodeId, to: NodeId) -> Option<usize> {
+    if from == to {
+        return Some(0);
+    }
+    let mut dist = vec![usize::MAX; g.node_bound()];
+    dist[from.index()] = 0;
+    let mut queue = std::collections::VecDeque::from([from]);
+    while let Some(n) = queue.pop_front() {
+        for s in g.successors(n) {
+            if dist[s.index()] == usize::MAX {
+                dist[s.index()] = dist[n.index()] + 1;
+                if s == to {
+                    return Some(dist[s.index()]);
+                }
+                queue.push_back(s);
+            }
+        }
+    }
+    None
+}
+
+/// Weakly connected components (edge direction ignored), each sorted.
+pub fn weakly_connected_components<N, E>(g: &DiGraph<N, E>) -> Vec<Vec<NodeId>> {
+    let mut comp = vec![usize::MAX; g.node_bound()];
+    let mut n_comp = 0;
+    for start in g.node_ids() {
+        if comp[start.index()] != usize::MAX {
+            continue;
+        }
+        let c = n_comp;
+        n_comp += 1;
+        let mut stack = vec![start];
+        comp[start.index()] = c;
+        while let Some(n) = stack.pop() {
+            for m in g.successors(n).chain(g.predecessors(n)) {
+                if comp[m.index()] == usize::MAX {
+                    comp[m.index()] = c;
+                    stack.push(m);
+                }
+            }
+        }
+    }
+    let mut out = vec![Vec::new(); n_comp];
+    for n in g.node_ids() {
+        out[comp[n.index()]].push(n);
+    }
+    for c in &mut out {
+        c.sort();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> (DiGraph<usize, ()>, Vec<NodeId>) {
+        let mut g = DiGraph::new();
+        let ids: Vec<NodeId> = (0..n).map(|i| g.add_node(i)).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], ()).unwrap();
+        }
+        (g, ids)
+    }
+
+    #[test]
+    fn topo_sort_chain_in_order() {
+        let (g, ids) = chain(5);
+        let order = topo_sort(&g).unwrap();
+        let pos: Vec<usize> = ids
+            .iter()
+            .map(|id| order.iter().position(|o| o == id).unwrap())
+            .collect();
+        assert!(pos.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn topo_sort_detects_cycle() {
+        let (mut g, ids) = chain(3);
+        g.add_edge(ids[2], ids[0], ()).unwrap();
+        assert!(topo_sort(&g).is_err());
+        assert!(has_cycle(&g));
+        assert!(!is_dag(&g));
+    }
+
+    #[test]
+    fn topo_sort_after_node_removal() {
+        let (mut g, ids) = chain(4);
+        g.remove_node(ids[1]);
+        let order = topo_sort(&g).unwrap();
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn longest_path_on_chain_and_diamond() {
+        let (g, _) = chain(6);
+        assert_eq!(longest_path_len(&g), Some(5));
+
+        let mut g = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        let e = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(a, c, ()).unwrap();
+        g.add_edge(b, d, ()).unwrap();
+        g.add_edge(c, d, ()).unwrap();
+        g.add_edge(d, e, ()).unwrap();
+        // longest: a->b->d->e = 3 edges
+        assert_eq!(longest_path_len(&g), Some(3));
+    }
+
+    #[test]
+    fn longest_path_none_on_cycle() {
+        let (mut g, ids) = chain(3);
+        g.add_edge(ids[2], ids[0], ()).unwrap();
+        assert_eq!(longest_path_len(&g), None);
+    }
+
+    #[test]
+    fn critical_path_prefers_expensive_branch() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(1.0);
+        let cheap = g.add_node(1.0);
+        let costly = g.add_node(10.0);
+        let z = g.add_node(1.0);
+        g.add_edge(a, cheap, ()).unwrap();
+        g.add_edge(a, costly, ()).unwrap();
+        g.add_edge(cheap, z, ()).unwrap();
+        g.add_edge(costly, z, ()).unwrap();
+        let (cost, path) = critical_path(&g, |_, w| *w).unwrap();
+        assert_eq!(cost, 12.0);
+        assert_eq!(path, vec![a, costly, z]);
+    }
+
+    #[test]
+    fn critical_path_single_node() {
+        let mut g: DiGraph<f64, ()> = DiGraph::new();
+        let a = g.add_node(3.5);
+        let (cost, path) = critical_path(&g, |_, w| *w).unwrap();
+        assert_eq!(cost, 3.5);
+        assert_eq!(path, vec![a]);
+    }
+
+    #[test]
+    fn reachability() {
+        let (mut g, ids) = chain(4);
+        let island = g.add_node(99);
+        assert_eq!(reachable_from(&g, ids[1]), vec![ids[1], ids[2], ids[3]]);
+        assert_eq!(reachable_from(&g, island), vec![island]);
+    }
+
+    #[test]
+    fn shortest_path() {
+        let (g, ids) = chain(5);
+        assert_eq!(shortest_path_len(&g, ids[0], ids[4]), Some(4));
+        assert_eq!(shortest_path_len(&g, ids[4], ids[0]), None);
+        assert_eq!(shortest_path_len(&g, ids[2], ids[2]), Some(0));
+    }
+
+    #[test]
+    fn components() {
+        let (mut g, ids) = chain(3);
+        let x = g.add_node(7);
+        let y = g.add_node(8);
+        g.add_edge(y, x, ()).unwrap();
+        let comps = weakly_connected_components(&g);
+        assert_eq!(comps.len(), 2);
+        assert!(comps.contains(&vec![ids[0], ids[1], ids[2]]));
+        assert!(comps.contains(&vec![x, y]));
+    }
+}

@@ -1,0 +1,73 @@
+//! Graphviz DOT export, used by the examples to render flows.
+
+use crate::graph::DiGraph;
+use std::fmt::Write as _;
+
+/// Renders the graph in Graphviz DOT syntax using the provided labellers.
+pub fn to_dot<N, E>(
+    g: &DiGraph<N, E>,
+    name: &str,
+    node_label: impl Fn(&N) -> String,
+    edge_label: impl Fn(&E) -> String,
+) -> String {
+    let mut s = String::with_capacity(64 + 32 * (g.node_count() + g.edge_count()));
+    let _ = writeln!(s, "digraph \"{}\" {{", escape(name));
+    let _ = writeln!(s, "  rankdir=LR;");
+    for (id, w) in g.nodes() {
+        let _ = writeln!(
+            s,
+            "  {} [label=\"{}\", shape=box];",
+            id,
+            escape(&node_label(w))
+        );
+    }
+    for e in g.edges() {
+        let lbl = edge_label(e.weight);
+        if lbl.is_empty() {
+            let _ = writeln!(s, "  {} -> {};", e.src, e.dst);
+        } else {
+            let _ = writeln!(s, "  {} -> {} [label=\"{}\"];", e.src, e.dst, escape(&lbl));
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut g: DiGraph<&str, &str> = DiGraph::new();
+        let a = g.add_node("extract");
+        let b = g.add_node("load");
+        g.add_edge(a, b, "rows").unwrap();
+        let dot = to_dot(&g, "demo", |n| n.to_string(), |e| e.to_string());
+        assert!(dot.contains("digraph \"demo\""));
+        assert!(dot.contains("n0 [label=\"extract\""));
+        assert!(dot.contains("n0 -> n1 [label=\"rows\"]"));
+    }
+
+    #[test]
+    fn escapes_quotes() {
+        let mut g: DiGraph<String, ()> = DiGraph::new();
+        g.add_node("say \"hi\"".to_string());
+        let dot = to_dot(&g, "q", |n| n.clone(), |_| String::new());
+        assert!(dot.contains("say \\\"hi\\\""));
+    }
+
+    #[test]
+    fn empty_edge_label_omitted() {
+        let mut g: DiGraph<&str, ()> = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge(a, b, ()).unwrap();
+        let dot = to_dot(&g, "x", |n| n.to_string(), |_| String::new());
+        assert!(dot.contains("n0 -> n1;"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Structural graph metrics backing the paper's manageability measures
+//! (Fig. 1: coupling of the process workflow, number of merge elements, …).
+
+use crate::graph::{DiGraph, NodeId};
+
+/// Summary statistics over node degrees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Mean total degree (in + out) over live nodes.
+    pub mean: f64,
+    /// Maximum total degree.
+    pub max: usize,
+    /// Number of nodes with total degree ≥ 3 (branch/merge points).
+    pub branchy: usize,
+}
+
+/// Fan-in of a node (number of incoming edges).
+pub fn fan_in<N, E>(g: &DiGraph<N, E>, n: NodeId) -> usize {
+    g.in_degree(n)
+}
+
+/// Fan-out of a node (number of outgoing edges).
+pub fn fan_out<N, E>(g: &DiGraph<N, E>, n: NodeId) -> usize {
+    g.out_degree(n)
+}
+
+/// Edge density: `|E| / (|V| * (|V| - 1))` for a simple directed graph.
+/// Returns 0 for graphs with fewer than two nodes.
+pub fn density<N, E>(g: &DiGraph<N, E>) -> f64 {
+    let v = g.node_count();
+    if v < 2 {
+        return 0.0;
+    }
+    g.edge_count() as f64 / (v as f64 * (v as f64 - 1.0))
+}
+
+/// Workflow coupling in the sense of Reijers & Vanderfeesten, the metric the
+/// paper's manageability characteristic cites: the probability that two
+/// distinct activities are directly connected, i.e. the mean over nodes of
+/// `degree(n) / (|V| - 1)`; equivalently `2|E| / (|V|·(|V|−1))` for simple
+/// graphs. Higher coupling means edits ripple further, hurting manageability.
+pub fn coupling<N, E>(g: &DiGraph<N, E>) -> f64 {
+    let v = g.node_count();
+    if v < 2 {
+        return 0.0;
+    }
+    2.0 * g.edge_count() as f64 / (v as f64 * (v as f64 - 1.0))
+}
+
+/// Degree statistics over the whole graph.
+pub fn degree_stats<N, E>(g: &DiGraph<N, E>) -> DegreeStats {
+    let mut total = 0usize;
+    let mut max = 0usize;
+    let mut branchy = 0usize;
+    let mut count = 0usize;
+    for n in g.node_ids() {
+        let d = g.in_degree(n) + g.out_degree(n);
+        total += d;
+        max = max.max(d);
+        if d >= 3 {
+            branchy += 1;
+        }
+        count += 1;
+    }
+    DegreeStats {
+        mean: if count == 0 {
+            0.0
+        } else {
+            total as f64 / count as f64
+        },
+        max,
+        branchy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph<(), ()> {
+        let mut g = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(a, c, ()).unwrap();
+        g.add_edge(b, d, ()).unwrap();
+        g.add_edge(c, d, ()).unwrap();
+        g
+    }
+
+    #[test]
+    fn fan_in_out() {
+        let g = diamond();
+        let a = g.node_ids().next().unwrap();
+        assert_eq!(fan_out(&g, a), 2);
+        assert_eq!(fan_in(&g, a), 0);
+    }
+
+    #[test]
+    fn density_and_coupling() {
+        let g = diamond();
+        // 4 edges, 4 nodes: density 4/12, coupling 8/12.
+        assert!((density(&g) - 4.0 / 12.0).abs() < 1e-12);
+        assert!((coupling(&g) - 8.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coupling_degenerate() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        assert_eq!(coupling(&g), 0.0);
+        g.add_node(());
+        assert_eq!(coupling(&g), 0.0);
+    }
+
+    #[test]
+    fn chain_has_lower_coupling_than_clique_ish() {
+        let mut chain: DiGraph<(), ()> = DiGraph::new();
+        let ids: Vec<_> = (0..5).map(|_| chain.add_node(())).collect();
+        for w in ids.windows(2) {
+            chain.add_edge(w[0], w[1], ()).unwrap();
+        }
+        let mut dense: DiGraph<(), ()> = DiGraph::new();
+        let ids: Vec<_> = (0..5).map(|_| dense.add_node(())).collect();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                dense.add_edge(ids[i], ids[j], ()).unwrap();
+            }
+        }
+        assert!(coupling(&chain) < coupling(&dense));
+    }
+
+    #[test]
+    fn stats() {
+        let g = diamond();
+        let s = degree_stats(&g);
+        assert_eq!(s.max, 2);
+        assert_eq!(s.branchy, 0);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the flowgraph invariants the planner relies on:
+//! splices never create cycles in a DAG, id stability, and adjacency
+//! consistency under random edit sequences.
+
+use flowgraph::{is_dag, longest_path_len, topo_sort, DiGraph, NodeId};
+use proptest::prelude::*;
+
+/// Builds a random DAG with `n` nodes; edges only go from lower to higher
+/// node index so acyclicity holds by construction.
+fn arb_dag(max_nodes: usize) -> impl Strategy<Value = DiGraph<u32, u32>> {
+    (2..max_nodes).prop_flat_map(|n| {
+        let pairs = proptest::collection::vec((0..n, 0..n), 0..n * 2);
+        pairs.prop_map(move |pairs| {
+            let mut g = DiGraph::new();
+            let ids: Vec<NodeId> = (0..n).map(|i| g.add_node(i as u32)).collect();
+            for (a, b) in pairs {
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                if lo != hi {
+                    let _ = g.add_edge(ids[lo], ids[hi], (lo * 100 + hi) as u32);
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn dag_by_construction_is_dag(g in arb_dag(20)) {
+        prop_assert!(is_dag(&g));
+    }
+
+    #[test]
+    fn topo_order_respects_edges(g in arb_dag(20)) {
+        let order = topo_sort(&g).unwrap();
+        prop_assert_eq!(order.len(), g.node_count());
+        let mut pos = vec![usize::MAX; g.node_bound()];
+        for (i, n) in order.iter().enumerate() {
+            pos[n.index()] = i;
+        }
+        for e in g.edges() {
+            prop_assert!(pos[e.src.index()] < pos[e.dst.index()]);
+        }
+    }
+
+    #[test]
+    fn interpose_preserves_dag_and_grows_by_one(g in arb_dag(15), pick in any::<prop::sample::Index>()) {
+        let mut g = g;
+        let edges: Vec<_> = g.edge_ids().collect();
+        prop_assume!(!edges.is_empty());
+        let e = edges[pick.index(edges.len())];
+        let before_nodes = g.node_count();
+        let before_edges = g.edge_count();
+        let lp_before = longest_path_len(&g).unwrap();
+        g.interpose_on_edge(e, 999, 0, 0).unwrap();
+        prop_assert!(is_dag(&g));
+        prop_assert_eq!(g.node_count(), before_nodes + 1);
+        prop_assert_eq!(g.edge_count(), before_edges + 1);
+        // Longest path never shrinks when a node is interposed.
+        prop_assert!(longest_path_len(&g).unwrap() >= lp_before);
+    }
+
+    #[test]
+    fn node_removal_keeps_adjacency_consistent(g in arb_dag(15), pick in any::<prop::sample::Index>()) {
+        let mut g = g;
+        let nodes: Vec<_> = g.node_ids().collect();
+        let victim = nodes[pick.index(nodes.len())];
+        g.remove_node(victim);
+        // No edge may reference the removed node.
+        for e in g.edges() {
+            prop_assert!(e.src != victim && e.dst != victim);
+            prop_assert!(g.contains_node(e.src) && g.contains_node(e.dst));
+        }
+        // Degree bookkeeping must match edge list.
+        for n in g.node_ids() {
+            let out = g.edges().filter(|e| e.src == n).count();
+            let inc = g.edges().filter(|e| e.dst == n).count();
+            prop_assert_eq!(g.out_degree(n), out);
+            prop_assert_eq!(g.in_degree(n), inc);
+        }
+    }
+
+    #[test]
+    fn embed_preserves_both_structures(host in arb_dag(10), donor in arb_dag(8)) {
+        let mut host = host;
+        let hn = host.node_count();
+        let he = host.edge_count();
+        let splice = host.embed(&donor);
+        prop_assert_eq!(host.node_count(), hn + donor.node_count());
+        prop_assert_eq!(host.edge_count(), he + donor.edge_count());
+        prop_assert!(is_dag(&host));
+        // Every donor edge must exist (remapped) in the host.
+        for e in donor.edges() {
+            let s = splice.mapped(e.src).unwrap();
+            let d = splice.mapped(e.dst).unwrap();
+            prop_assert!(host.successors(s).any(|x| x == d));
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! The analytic estimator: predicts runtime measures from the model alone.
+//!
+//! The paper's Planner "estimates defined measures for various quality
+//! attributes" for *thousands* of alternative flows — executing each one
+//! would defeat the interactive loop. The estimator propagates expected row
+//! counts through the flow via per-operator selectivities, replays the same
+//! virtual-clock arithmetic the simulator uses, and derives data-quality
+//! expectations from per-source dirtiness statistics. The ablation bench
+//! (`fig3_pipeline`) checks that estimator rankings agree with simulation.
+
+use crate::measure::{MeasureId, MeasureVector};
+use crate::runtime::{freshness_score, recoverability};
+use crate::static_measures::evaluate_static;
+use datagen::{Catalog, CORRUPT_MARKER};
+use etl_model::{EtlFlow, OpKind, Value};
+use std::collections::HashMap;
+
+/// Per-source statistics the estimator propagates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SourceStats {
+    /// Row count.
+    pub rows: f64,
+    /// Fraction of null cells.
+    pub null_rate: f64,
+    /// Fraction of duplicated rows.
+    pub dup_rate: f64,
+    /// Fraction of corrupted string cells.
+    pub corrupt_rate: f64,
+    /// Source staleness in seconds.
+    pub staleness_s: f64,
+}
+
+impl SourceStats {
+    /// Neutral stats for an unknown source.
+    pub fn unknown(default_rows: f64) -> Self {
+        SourceStats {
+            rows: default_rows,
+            null_rate: 0.0,
+            dup_rate: 0.0,
+            corrupt_rate: 0.0,
+            staleness_s: 0.0,
+        }
+    }
+
+    /// Derives stats by scanning a catalog table (cheap one-off pass; the
+    /// planner does this once per session, not per alternative).
+    pub fn from_table(table: &datagen::Table, request_time: i64) -> Self {
+        let rows = table.rows.len();
+        if rows == 0 {
+            return SourceStats::unknown(0.0);
+        }
+        let mut cells = 0usize;
+        let mut nulls = 0usize;
+        let mut strs = 0usize;
+        let mut corrupt = 0usize;
+        let mut seen = std::collections::HashSet::with_capacity(rows);
+        let mut distinct = 0usize;
+        for row in &table.rows {
+            let key: String = row.iter().map(Value::group_key).collect::<Vec<_>>().join("\u{1}");
+            if seen.insert(key) {
+                distinct += 1;
+            }
+            for v in row {
+                cells += 1;
+                match v {
+                    Value::Null => nulls += 1,
+                    Value::Str(s) => {
+                        strs += 1;
+                        if s.ends_with(CORRUPT_MARKER) {
+                            corrupt += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        SourceStats {
+            rows: rows as f64,
+            null_rate: nulls as f64 / cells.max(1) as f64,
+            dup_rate: 1.0 - distinct as f64 / rows as f64,
+            corrupt_rate: corrupt as f64 / strs.max(1) as f64,
+            staleness_s: (request_time - table.last_update).max(0) as f64,
+        }
+    }
+}
+
+/// Builds the estimator's source-statistics table from a catalog.
+pub fn source_stats(catalog: &Catalog) -> HashMap<String, SourceStats> {
+    catalog
+        .tables()
+        .map(|(name, t)| (name.clone(), SourceStats::from_table(t, catalog.request_time())))
+        .collect()
+}
+
+#[derive(Clone, Copy)]
+struct NodeEst {
+    rows: f64,
+    null_rate: f64,
+    dup_rate: f64,
+    corrupt_rate: f64,
+    staleness_s: f64,
+    done_ms: f64,
+    latency_ms: f64,
+    redo_span_ms: f64,
+}
+
+impl Default for NodeEst {
+    fn default() -> Self {
+        NodeEst {
+            rows: 0.0,
+            null_rate: 0.0,
+            dup_rate: 0.0,
+            corrupt_rate: 0.0,
+            staleness_s: 0.0,
+            done_ms: 0.0,
+            latency_ms: 0.0,
+            redo_span_ms: 0.0,
+        }
+    }
+}
+
+/// How strongly each cleaning pattern is expected to reduce its defect
+/// class (residual fraction). Calibrated against simulation in tests.
+const NULLFILTER_RESIDUAL: f64 = 0.05;
+const DEDUP_RESIDUAL: f64 = 0.02;
+const CROSSCHECK_RESIDUAL: f64 = 0.10;
+const ENCRYPTION_OVERHEAD: f64 = 1.08;
+
+/// Estimates the full measure vector of a flow without executing it.
+///
+/// `stats` maps source names to their statistics (see [`source_stats`]);
+/// unknown sources get [`SourceStats::unknown`] with 1 000 rows.
+pub fn estimate(flow: &EtlFlow, stats: &HashMap<String, SourceStats>) -> MeasureVector {
+    let mut v = evaluate_static(flow);
+    let order = match flow.topo_order() {
+        Ok(o) => o,
+        Err(_) => return v,
+    };
+    let speed = flow.config.resources.speed_factor();
+    let tax = if flow.config.encrypted {
+        ENCRYPTION_OVERHEAD
+    } else {
+        1.0
+    };
+    let mut est: Vec<NodeEst> = vec![NodeEst::default(); flow.graph.node_bound()];
+    let mut expected_redo = 0.0;
+
+    for &n in &order {
+        let op = flow.op(n).expect("live node");
+        let preds: Vec<_> = flow.graph.predecessors(n).collect();
+        let n_out = flow.graph.out_degree(n).max(1) as f64;
+
+        let in_rows: f64 = preds.iter().map(|p| branch_rows(&est, flow, *p, n)).sum();
+        let agg = |f: fn(&NodeEst) -> f64| -> f64 {
+            if preds.is_empty() {
+                0.0
+            } else {
+                // row-weighted mean over inputs
+                let total: f64 = preds
+                    .iter()
+                    .map(|p| f(&est[p.index()]) * est[p.index()].rows.max(1.0))
+                    .sum();
+                let w: f64 = preds.iter().map(|p| est[p.index()].rows.max(1.0)).sum();
+                total / w
+            }
+        };
+
+        let mut e = NodeEst {
+            null_rate: agg(|x| x.null_rate),
+            dup_rate: agg(|x| x.dup_rate),
+            corrupt_rate: agg(|x| x.corrupt_rate),
+            staleness_s: preds
+                .iter()
+                .map(|p| est[p.index()].staleness_s)
+                .fold(0.0f64, f64::max),
+            ..NodeEst::default()
+        };
+
+        // rows and DQ effects per kind
+        e.rows = match &op.kind {
+            OpKind::Extract { source, .. } => {
+                let s = stats
+                    .get(source)
+                    .copied()
+                    .unwrap_or_else(|| SourceStats::unknown(1_000.0));
+                e.null_rate = s.null_rate;
+                e.dup_rate = s.dup_rate;
+                e.corrupt_rate = s.corrupt_rate;
+                e.staleness_s = s.staleness_s;
+                s.rows
+            }
+            OpKind::FilterNulls { .. } => {
+                let out = in_rows * op.selectivity();
+                e.null_rate *= NULLFILTER_RESIDUAL;
+                out
+            }
+            OpKind::Dedup { .. } => {
+                let out = in_rows * (1.0 - e.dup_rate).max(0.1);
+                e.dup_rate *= DEDUP_RESIDUAL;
+                out
+            }
+            OpKind::Crosscheck { .. } => {
+                e.null_rate *= CROSSCHECK_RESIDUAL;
+                e.corrupt_rate *= CROSSCHECK_RESIDUAL;
+                in_rows
+            }
+            OpKind::Join { .. } => {
+                // equi-join on surrogate-ish keys: bounded by the larger input
+                let m = preds
+                    .iter()
+                    .map(|p| branch_rows(&est, flow, *p, n))
+                    .fold(0.0f64, f64::max);
+                m * op.selectivity()
+            }
+            _ => in_rows * op.selectivity(),
+        };
+
+        // timing — mirrors the simulator's clock arithmetic
+        let par = op.parallelism.max(1) as f64;
+        let work_rows = match op.kind {
+            OpKind::Extract { .. } => e.rows,
+            _ => in_rows,
+        };
+        let service = (op.cost.startup_ms + work_rows * op.cost.cost_per_tuple_ms / par) * tax / speed;
+        let ready = preds
+            .iter()
+            .map(|p| est[p.index()].done_ms)
+            .fold(0.0f64, f64::max);
+        e.done_ms = ready + service;
+        e.latency_ms = preds
+            .iter()
+            .map(|p| est[p.index()].latency_ms)
+            .fold(0.0f64, f64::max)
+            + op.cost.cost_per_tuple_ms * tax / (par * speed);
+
+        let upstream_span = preds
+            .iter()
+            .map(|p| {
+                let pop = flow.op(*p).expect("live node");
+                if matches!(pop.kind, OpKind::Checkpoint { .. }) {
+                    pop.cost.startup_ms
+                } else {
+                    est[p.index()].redo_span_ms
+                }
+            })
+            .fold(0.0f64, f64::max);
+        e.redo_span_ms = service + upstream_span;
+        expected_redo += op.cost.failure_rate.clamp(0.0, 1.0) * e.redo_span_ms;
+
+        // Partition rows are split across successors; handled in branch_rows
+        // via out-degree division, so store total rows here.
+        let _ = n_out;
+        est[n.index()] = e;
+    }
+
+    let loads = flow.ops_of_kind("load");
+    let cycle = loads
+        .iter()
+        .map(|n| est[n.index()].done_ms)
+        .fold(0.0f64, f64::max);
+    let latency = if loads.is_empty() {
+        0.0
+    } else {
+        loads.iter().map(|n| est[n.index()].latency_ms).sum::<f64>() / loads.len() as f64
+    };
+    let rows_loaded: f64 = loads.iter().map(|n| est[n.index()].rows).sum();
+
+    v.set(MeasureId::CycleTimeMs, cycle);
+    v.set(MeasureId::AvgLatencyMs, latency);
+    if cycle > 0.0 {
+        v.set(MeasureId::Throughput, rows_loaded / (cycle / 1_000.0));
+    }
+
+    // DQ at the loads (row-weighted means)
+    let wmean = |f: fn(&NodeEst) -> f64| -> f64 {
+        let w: f64 = loads.iter().map(|n| est[n.index()].rows.max(1.0)).sum();
+        loads
+            .iter()
+            .map(|n| f(&est[n.index()]) * est[n.index()].rows.max(1.0))
+            .sum::<f64>()
+            / w.max(1.0)
+    };
+    if !loads.is_empty() {
+        v.set(MeasureId::Completeness, (1.0 - wmean(|e| e.null_rate)).clamp(0.0, 1.0));
+        v.set(MeasureId::Uniqueness, (1.0 - wmean(|e| e.dup_rate)).clamp(0.0, 1.0));
+        v.set(MeasureId::Accuracy, (1.0 - wmean(|e| e.corrupt_rate)).clamp(0.0, 1.0));
+        let stale = loads
+            .iter()
+            .map(|n| est[n.index()].staleness_s)
+            .fold(0.0f64, f64::max);
+        v.set(
+            MeasureId::FreshnessAgeS,
+            crate::runtime::effective_age_s(stale, flow.config.recurrence_minutes),
+        );
+        v.set(
+            MeasureId::FreshnessScore,
+            freshness_score(stale, flow.config.recurrence_minutes),
+        );
+    }
+
+    v.set(MeasureId::ExpectedRedoMs, expected_redo);
+    v.set(MeasureId::Recoverability, recoverability(cycle, expected_redo));
+    v.set(
+        MeasureId::MonetaryCost,
+        crate::runtime::monetary_cost(cycle, flow),
+    );
+    v
+}
+
+/// Rows arriving at `to` from predecessor `from`: partitioned parents split
+/// their output across successors, everything else sends its full output.
+fn branch_rows(est: &[NodeEst], flow: &EtlFlow, from: etl_model::NodeId, to: etl_model::NodeId) -> f64 {
+    let op = flow.op(from).expect("live node");
+    let out_deg = flow.graph.out_degree(from).max(1) as f64;
+    let rows = est[from.index()].rows;
+    match op.kind {
+        OpKind::Partition => rows / out_deg,
+        OpKind::Router { .. } => rows / 2.0,
+        _ => {
+            let _ = to;
+            rows
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::fig2::{purchases_catalog, purchases_flow};
+    use datagen::tpch::{tpch_catalog, tpch_flow};
+    use datagen::DirtProfile;
+    use simulator::{simulate, SimConfig};
+
+    #[test]
+    fn source_stats_from_dirty_table() {
+        let cat = purchases_catalog(500, &DirtProfile::filthy(), 3);
+        let stats = SourceStats::from_table(cat.table("s_purchases_3").unwrap(), cat.request_time());
+        assert!(stats.rows > 500.0, "dups inflate row count");
+        assert!(stats.null_rate > 0.05);
+        assert!(stats.dup_rate > 0.02);
+        assert!(stats.staleness_s > 0.0);
+        let clean = SourceStats::from_table(
+            cat.table("ref_s_purchases_3").unwrap(),
+            cat.request_time(),
+        );
+        // Clean twins still carry *semantic* nulls (open-ended record_end_date)
+        // but strictly fewer than the dirty table, and no duplicates.
+        assert!(clean.null_rate < stats.null_rate);
+        assert_eq!(clean.dup_rate, 0.0);
+    }
+
+    #[test]
+    fn estimator_fills_all_runtime_measures() {
+        let (f, _) = tpch_flow();
+        let cat = tpch_catalog(400, &DirtProfile::demo(), 5);
+        let v = estimate(&f, &source_stats(&cat));
+        for id in [
+            MeasureId::CycleTimeMs,
+            MeasureId::AvgLatencyMs,
+            MeasureId::Completeness,
+            MeasureId::Uniqueness,
+            MeasureId::Accuracy,
+            MeasureId::FreshnessScore,
+            MeasureId::Recoverability,
+            MeasureId::MonetaryCost,
+            MeasureId::LongestPath,
+        ] {
+            assert!(v.get(id).is_some(), "missing {id:?}");
+        }
+    }
+
+    #[test]
+    fn estimate_tracks_simulation_direction() {
+        // The estimator must rank a parallelised flow as faster, a
+        // checkpointed flow as more recoverable — same direction as sim.
+        let (f, ids) = purchases_flow();
+        let cat = purchases_catalog(400, &DirtProfile::demo(), 5);
+        let stats = source_stats(&cat);
+        let base_est = estimate(&f, &stats);
+        let base_sim =
+            crate::evaluate(&f, &simulate(&f, &cat, &SimConfig::default()).unwrap());
+
+        // estimator and simulator agree on cycle time within 2x
+        let est_ct = base_est.get(MeasureId::CycleTimeMs).unwrap();
+        let sim_ct = base_sim.get(MeasureId::CycleTimeMs).unwrap();
+        assert!(
+            est_ct / sim_ct < 2.0 && sim_ct / est_ct < 2.0,
+            "estimate {est_ct} vs simulated {sim_ct}"
+        );
+
+        // add a checkpoint → both paths report higher recoverability
+        let router = f.ops_of_kind("router")[0];
+        let mut fragile = f.fork("fragile");
+        fragile.op_mut(router).unwrap().cost.failure_rate = 0.3;
+        let frag_est = estimate(&fragile, &stats);
+        let mut cp = fragile.fork("cp");
+        let e = cp.graph.out_edges(ids.derive_values).next().unwrap();
+        cp.graph
+            .interpose_on_edge(
+                e,
+                etl_model::Operation::new("SAVE", OpKind::Checkpoint { tag: "s".into() }),
+                Default::default(),
+                Default::default(),
+            )
+            .unwrap();
+        let cp_est = estimate(&cp, &stats);
+        assert!(
+            cp_est.get(MeasureId::ExpectedRedoMs).unwrap()
+                < frag_est.get(MeasureId::ExpectedRedoMs).unwrap()
+        );
+    }
+
+    #[test]
+    fn cleaning_ops_improve_estimated_dq() {
+        let (f, _) = purchases_flow();
+        let cat = purchases_catalog(400, &DirtProfile::filthy(), 5);
+        let stats = source_stats(&cat);
+        let base = estimate(&f, &stats);
+
+        // interpose FilterNulls + Dedup right after the merge of sources
+        let mut g = f.fork("cleaned");
+        let merge0 = g.ops_of_kind("merge")[0];
+        let e = g.graph.out_edges(merge0).next().unwrap();
+        let splice = g
+            .graph
+            .interpose_on_edge(
+                e,
+                etl_model::Operation::new("FN", OpKind::FilterNulls { columns: vec![] }),
+                Default::default(),
+                Default::default(),
+            )
+            .unwrap();
+        g.graph
+            .interpose_on_edge(
+                splice.out_edge,
+                etl_model::Operation::new("DD", OpKind::Dedup { keys: vec![] }),
+                Default::default(),
+                Default::default(),
+            )
+            .unwrap();
+        let cleaned = estimate(&g, &stats);
+        assert!(
+            cleaned.get(MeasureId::Completeness).unwrap()
+                > base.get(MeasureId::Completeness).unwrap()
+        );
+        assert!(
+            cleaned.get(MeasureId::Uniqueness).unwrap() > base.get(MeasureId::Uniqueness).unwrap()
+        );
+        // Cleaning near the sources shrinks the rows reaching the expensive
+        // derive, so cycle time may go either way — it must stay positive.
+        assert!(cleaned.get(MeasureId::CycleTimeMs).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn unknown_sources_get_defaults() {
+        let (f, _) = purchases_flow();
+        let v = estimate(&f, &HashMap::new());
+        assert!(v.get(MeasureId::CycleTimeMs).unwrap() > 0.0);
+        assert_eq!(v.get(MeasureId::Completeness), Some(1.0));
+    }
+}

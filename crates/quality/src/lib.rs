@@ -1,0 +1,40 @@
+//! `quality` — ETL process quality characteristics and measures.
+//!
+//! Implements the measure framework of the paper's Fig. 1 (drawn from the
+//! authors' DaWaK 2014 catalogue "Quality Measures for ETL Processes"):
+//! measures either **derive directly from the static structure of the
+//! process model** ([`static_measures`]) or are **obtained from analysis of
+//! runtime traces** ([`runtime`]). A third path, the [`estimator`], predicts
+//! the runtime measures analytically from the model alone — this is what
+//! lets POIESIS score thousands of alternative designs without executing
+//! each one.
+//!
+//! Measures roll up into **characteristics** (performance, data quality,
+//! reliability, manageability, cost). The drill-down the paper demonstrates
+//! (clicking a bar expands the composite into its detailed metrics, Fig. 5)
+//! maps to [`report::QualityReport`].
+
+pub mod estimator;
+mod measure;
+pub mod report;
+pub mod runtime;
+pub mod static_measures;
+
+pub use estimator::{estimate, source_stats, SourceStats};
+pub use measure::{Characteristic, MeasureId, MeasureVector};
+pub use report::{relative_change, QualityReport, RelativeChange};
+pub use runtime::evaluate_trace;
+pub use static_measures::evaluate_static;
+
+use etl_model::EtlFlow;
+use simulator::Trace;
+
+/// Full evaluation: static + runtime measures in one vector.
+///
+/// This is the measure set the planner attaches to a simulated alternative;
+/// for estimate-only scoring see [`estimate`].
+pub fn evaluate(flow: &EtlFlow, trace: &Trace) -> MeasureVector {
+    let mut v = evaluate_static(flow);
+    runtime::fill_from_trace(&mut v, flow, trace);
+    v
+}

@@ -1,0 +1,162 @@
+//! Quality reports: the data behind the paper's Fig. 5 — relative change of
+//! measures for an alternative flow against the initial flow as baseline,
+//! with composite characteristics that "expand" into detailed metrics.
+
+use crate::measure::{Characteristic, MeasureId, MeasureVector};
+
+/// Relative change of one measure against the baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelativeChange {
+    /// The measure.
+    pub id: MeasureId,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Alternative's value.
+    pub value: f64,
+    /// Signed improvement in percent: positive = better, regardless of the
+    /// measure's direction (a 20 % *drop* in cycle time reports +20).
+    pub improvement_pct: f64,
+}
+
+/// Computes relative changes for every measure present in both vectors.
+pub fn relative_change(baseline: &MeasureVector, alt: &MeasureVector) -> Vec<RelativeChange> {
+    MeasureId::ALL
+        .iter()
+        .filter_map(|&id| {
+            let b = baseline.get(id)?;
+            let v = alt.get(id)?;
+            let eps = 1e-9;
+            let raw = if id.higher_is_better() {
+                (v - b) / (b.abs() + eps)
+            } else {
+                (b - v) / (b.abs() + eps)
+            };
+            Some(RelativeChange {
+                id,
+                baseline: b,
+                value: v,
+                improvement_pct: raw * 100.0,
+            })
+        })
+        .collect()
+}
+
+/// One characteristic's entry in a quality report: composite score plus the
+/// detailed metrics it expands into (the Fig. 5 drill-down).
+#[derive(Debug, Clone)]
+pub struct CharacteristicReport {
+    /// The characteristic.
+    pub characteristic: Characteristic,
+    /// Composite score against the baseline (baseline = 100).
+    pub score: f64,
+    /// Detailed per-measure changes.
+    pub details: Vec<RelativeChange>,
+}
+
+/// Full per-flow quality report against a baseline.
+#[derive(Debug, Clone)]
+pub struct QualityReport {
+    /// Name of the evaluated flow.
+    pub flow_name: String,
+    /// Per-characteristic entries, in [`Characteristic::ALL`] order.
+    pub characteristics: Vec<CharacteristicReport>,
+}
+
+impl QualityReport {
+    /// Builds the report for `alt` measured against `baseline`.
+    pub fn build(flow_name: impl Into<String>, baseline: &MeasureVector, alt: &MeasureVector) -> Self {
+        let changes = relative_change(baseline, alt);
+        let characteristics = Characteristic::ALL
+            .iter()
+            .map(|&c| CharacteristicReport {
+                characteristic: c,
+                score: alt.characteristic_score(baseline, c),
+                details: changes
+                    .iter()
+                    .filter(|rc| rc.id.characteristic() == c)
+                    .copied()
+                    .collect(),
+            })
+            .collect();
+        QualityReport {
+            flow_name: flow_name.into(),
+            characteristics,
+        }
+    }
+
+    /// Looks up one characteristic's entry.
+    pub fn characteristic(&self, c: Characteristic) -> Option<&CharacteristicReport> {
+        self.characteristics.iter().find(|r| r.characteristic == c)
+    }
+
+    /// The "expand" interaction of Fig. 5: the detailed metrics behind a
+    /// composite bar.
+    pub fn expand(&self, c: Characteristic) -> &[RelativeChange] {
+        self.characteristic(c).map(|r| r.details.as_slice()).unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vectors() -> (MeasureVector, MeasureVector) {
+        let mut base = MeasureVector::new();
+        base.set(MeasureId::CycleTimeMs, 100.0);
+        base.set(MeasureId::Completeness, 0.8);
+        base.set(MeasureId::Recoverability, 0.5);
+        let mut alt = MeasureVector::new();
+        alt.set(MeasureId::CycleTimeMs, 80.0); // 20% faster
+        alt.set(MeasureId::Completeness, 0.9);
+        alt.set(MeasureId::Recoverability, 0.75);
+        (base, alt)
+    }
+
+    #[test]
+    fn improvement_sign_convention() {
+        let (base, alt) = vectors();
+        let changes = relative_change(&base, &alt);
+        let ct = changes
+            .iter()
+            .find(|c| c.id == MeasureId::CycleTimeMs)
+            .unwrap();
+        assert!((ct.improvement_pct - 20.0).abs() < 1e-6);
+        let comp = changes
+            .iter()
+            .find(|c| c.id == MeasureId::Completeness)
+            .unwrap();
+        assert!(comp.improvement_pct > 12.0 && comp.improvement_pct < 13.0);
+    }
+
+    #[test]
+    fn regression_reports_negative() {
+        let (base, mut alt) = vectors();
+        alt.set(MeasureId::CycleTimeMs, 200.0);
+        let changes = relative_change(&base, &alt);
+        let ct = changes
+            .iter()
+            .find(|c| c.id == MeasureId::CycleTimeMs)
+            .unwrap();
+        assert!(ct.improvement_pct < -99.0);
+    }
+
+    #[test]
+    fn report_structure_and_expand() {
+        let (base, alt) = vectors();
+        let r = QualityReport::build("alt_1", &base, &alt);
+        assert_eq!(r.characteristics.len(), Characteristic::ALL.len());
+        let perf = r.characteristic(Characteristic::Performance).unwrap();
+        assert!(perf.score > 100.0);
+        assert_eq!(r.expand(Characteristic::Performance).len(), 1);
+        assert_eq!(r.expand(Characteristic::DataQuality).len(), 1);
+        assert!(r.expand(Characteristic::Cost).is_empty());
+    }
+
+    #[test]
+    fn missing_measures_skipped() {
+        let mut base = MeasureVector::new();
+        base.set(MeasureId::CycleTimeMs, 10.0);
+        let alt = MeasureVector::new();
+        assert!(relative_change(&base, &alt).is_empty());
+    }
+}

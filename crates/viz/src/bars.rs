@@ -1,0 +1,135 @@
+//! The Fig. 5 bar graph: relative change of measures for an ETL flow,
+//! compared with the initial flow as a baseline, with composite bars that
+//! "expand" into detailed metrics.
+
+use quality::{QualityReport, RelativeChange};
+use std::fmt::Write as _;
+
+const BAR_HALF_WIDTH: usize = 25;
+
+fn bar(pct: f64) -> String {
+    let clamped = pct.clamp(-100.0, 100.0);
+    let cells = ((clamped.abs() / 100.0) * BAR_HALF_WIDTH as f64).round() as usize;
+    let mut s = String::with_capacity(2 * BAR_HALF_WIDTH + 1);
+    if clamped < 0.0 {
+        s.push_str(&" ".repeat(BAR_HALF_WIDTH - cells));
+        s.push_str(&"█".repeat(cells));
+        s.push('|');
+        s.push_str(&" ".repeat(BAR_HALF_WIDTH));
+    } else {
+        s.push_str(&" ".repeat(BAR_HALF_WIDTH));
+        s.push('|');
+        s.push_str(&"█".repeat(cells));
+        s.push_str(&" ".repeat(BAR_HALF_WIDTH - cells));
+    }
+    s
+}
+
+fn detail_line(rc: &RelativeChange) -> String {
+    format!(
+        "      {:<36} {} {:+7.1}%  ({:.4} → {:.4})",
+        rc.id.name(),
+        bar(rc.improvement_pct),
+        rc.improvement_pct,
+        rc.baseline,
+        rc.value
+    )
+}
+
+/// Renders the Fig. 5 view for one alternative: one composite bar per
+/// characteristic (score vs baseline-100), and — when `expand_all` — the
+/// detailed measures under each (the click-to-expand interaction).
+pub fn render_bars(report: &QualityReport, expand_all: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Relative change of measures — {} (baseline = 100)",
+        report.flow_name
+    );
+    let _ = writeln!(
+        out,
+        "  {:<38} {:^width$} change",
+        "characteristic",
+        "worse  ←  |  →  better",
+        width = 2 * BAR_HALF_WIDTH + 1
+    );
+    for c in &report.characteristics {
+        if c.details.is_empty() {
+            continue;
+        }
+        let pct = c.score - 100.0;
+        let _ = writeln!(
+            out,
+            "  {:<38} {} {:+7.1}%",
+            c.characteristic.name(),
+            bar(pct),
+            pct
+        );
+        if expand_all {
+            for d in &c.details {
+                let _ = writeln!(out, "{}", detail_line(d));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quality::{MeasureId, MeasureVector};
+
+    fn report() -> QualityReport {
+        let mut base = MeasureVector::new();
+        base.set(MeasureId::CycleTimeMs, 100.0);
+        base.set(MeasureId::Completeness, 0.8);
+        let mut alt = MeasureVector::new();
+        alt.set(MeasureId::CycleTimeMs, 50.0);
+        alt.set(MeasureId::Completeness, 0.72);
+        QualityReport::build("alt_x", &base, &alt)
+    }
+
+    #[test]
+    fn collapsed_view_shows_characteristics_only() {
+        let s = render_bars(&report(), false);
+        assert!(s.contains("performance"));
+        assert!(s.contains("data quality"));
+        assert!(!s.contains("process cycle time"));
+        assert!(s.contains("alt_x"));
+    }
+
+    #[test]
+    fn expanded_view_drills_down() {
+        let s = render_bars(&report(), true);
+        assert!(s.contains("process cycle time (ms)"));
+        assert!(s.contains("completeness"));
+        assert!(s.contains("0.8"));
+    }
+
+    #[test]
+    fn improvement_and_regression_render_on_opposite_sides() {
+        let s = render_bars(&report(), false);
+        // performance improved (+100%), data quality regressed (-10%)
+        let perf_line = s.lines().find(|l| l.contains("performance")).unwrap();
+        let dq_line = s.lines().find(|l| l.contains("data quality")).unwrap();
+        assert!(perf_line.contains("+"));
+        assert!(dq_line.contains("-"));
+        let bar_pos = |l: &str| l.find('|').unwrap();
+        let perf_fill = perf_line[bar_pos(perf_line)..].matches('█').count();
+        assert!(perf_fill > 0, "improvement fills right of the axis");
+        let dq_fill = dq_line[..bar_pos(dq_line)].matches('█').count();
+        assert!(dq_fill > 0, "regression fills left of the axis");
+    }
+
+    #[test]
+    fn extreme_values_clamped() {
+        let mut base = MeasureVector::new();
+        base.set(MeasureId::CycleTimeMs, 1.0);
+        let mut alt = MeasureVector::new();
+        alt.set(MeasureId::CycleTimeMs, 1e9);
+        let r = QualityReport::build("bad", &base, &alt);
+        let s = render_bars(&r, true);
+        // renders without panicking, bar capped at half width
+        assert!(s.lines().all(|l| l.chars().count() < 140));
+    }
+}

@@ -1,0 +1,19 @@
+//! `viz` — terminal and SVG renderings of the POIESIS visualisations.
+//!
+//! The original tool had an interactive GUI; the substance of its two views
+//! is reproduced here as renderers the examples and bench binaries print:
+//!
+//! * [`scatter`]: the multidimensional scatter-plot of alternative flows
+//!   (Fig. 4) — 2-D ASCII projection with the third dimension encoded in
+//!   the glyph, plus an SVG writer for the same data;
+//! * [`bars`]: the relative-change bar graph against the initial flow
+//!   (Fig. 5), with the composite→detail drill-down;
+//! * [`table`]: plain-text tables for the Fig. 1 / Fig. 6 style listings.
+
+pub mod bars;
+pub mod scatter;
+pub mod table;
+
+pub use bars::render_bars;
+pub use scatter::{render_scatter, scatter_svg, ScatterPoint};
+pub use table::render_table;

@@ -1,0 +1,250 @@
+//! The Fig. 4 multidimensional scatter-plot, as ASCII art and SVG.
+
+use std::fmt::Write as _;
+
+/// One point of the scatter-plot: an alternative ETL flow positioned by its
+/// characteristic scores.
+#[derive(Debug, Clone)]
+pub struct ScatterPoint {
+    /// Label (flow name).
+    pub label: String,
+    /// X coordinate (first quality dimension).
+    pub x: f64,
+    /// Y coordinate (second quality dimension).
+    pub y: f64,
+    /// Optional third dimension, encoded as glyph intensity.
+    pub z: Option<f64>,
+    /// Whether this point is on the Pareto frontier.
+    pub on_skyline: bool,
+}
+
+fn bounds(points: &[ScatterPoint]) -> (f64, f64, f64, f64) {
+    let (mut min_x, mut max_x, mut min_y, mut max_y) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for p in points {
+        min_x = min_x.min(p.x);
+        max_x = max_x.max(p.x);
+        min_y = min_y.min(p.y);
+        max_y = max_y.max(p.y);
+    }
+    if (max_x - min_x).abs() < 1e-9 {
+        max_x = min_x + 1.0;
+    }
+    if (max_y - min_y).abs() < 1e-9 {
+        max_y = min_y + 1.0;
+    }
+    (min_x, max_x, min_y, max_y)
+}
+
+/// Renders an ASCII scatter-plot of `width × height` characters.
+///
+/// Skyline points render as `◆`/`o` (high/low z); dominated points as `·`.
+pub fn render_scatter(
+    points: &[ScatterPoint],
+    width: usize,
+    height: usize,
+    x_label: &str,
+    y_label: &str,
+) -> String {
+    let width = width.max(10);
+    let height = height.max(5);
+    if points.is_empty() {
+        return format!("(no points)\n x: {x_label}\n y: {y_label}\n");
+    }
+    let (min_x, max_x, min_y, max_y) = bounds(points);
+    let (z_min, z_max) = points
+        .iter()
+        .filter_map(|p| p.z)
+        .fold((f64::MAX, f64::MIN), |(lo, hi), z| (lo.min(z), hi.max(z)));
+
+    let mut grid = vec![vec![' '; width]; height];
+    for p in points {
+        let cx = ((p.x - min_x) / (max_x - min_x) * (width - 1) as f64).round() as usize;
+        let cy = ((p.y - min_y) / (max_y - min_y) * (height - 1) as f64).round() as usize;
+        let row = height - 1 - cy;
+        let glyph = if p.on_skyline {
+            match p.z {
+                Some(z) if z_max > z_min => {
+                    if (z - z_min) / (z_max - z_min) > 0.5 {
+                        '◆'
+                    } else {
+                        'o'
+                    }
+                }
+                _ => '◆',
+            }
+        } else {
+            '·'
+        };
+        // skyline glyphs win over dominated dots sharing a cell
+        let cell = &mut grid[row][cx];
+        if *cell == ' ' || *cell == '·' {
+            *cell = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "  {y_label} ↑");
+    for row in grid {
+        out.push_str("  |");
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str("  +");
+    out.push_str(&"-".repeat(width));
+    let _ = writeln!(out, "→ {x_label}");
+    let _ = writeln!(
+        out,
+        "  ◆/o skyline (z high/low)   · dominated   [{} points, {} on frontier]",
+        points.len(),
+        points.iter().filter(|p| p.on_skyline).count()
+    );
+    out
+}
+
+/// Writes the scatter-plot as a standalone SVG document.
+pub fn scatter_svg(
+    points: &[ScatterPoint],
+    width_px: usize,
+    height_px: usize,
+    x_label: &str,
+    y_label: &str,
+) -> String {
+    let margin = 40.0;
+    let w = width_px as f64;
+    let h = height_px as f64;
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width_px}" height="{height_px}" viewBox="0 0 {width_px} {height_px}">"#
+    );
+    let _ = writeln!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#);
+    let _ = writeln!(
+        svg,
+        r#"<line x1="{margin}" y1="{y}" x2="{x2}" y2="{y}" stroke="black"/>"#,
+        y = h - margin,
+        x2 = w - margin / 2.0
+    );
+    let _ = writeln!(
+        svg,
+        r#"<line x1="{margin}" y1="{y1}" x2="{margin}" y2="{y2}" stroke="black"/>"#,
+        y1 = h - margin,
+        y2 = margin / 2.0
+    );
+    let _ = writeln!(
+        svg,
+        r#"<text x="{x}" y="{y}" font-size="12">{x_label}</text>"#,
+        x = w / 2.0 - 30.0,
+        y = h - 8.0
+    );
+    let _ = writeln!(
+        svg,
+        r#"<text x="12" y="{y}" font-size="12" transform="rotate(-90 12 {y})">{y_label}</text>"#,
+        y = h / 2.0
+    );
+    if !points.is_empty() {
+        let (min_x, max_x, min_y, max_y) = bounds(points);
+        for p in points {
+            let px = margin + (p.x - min_x) / (max_x - min_x) * (w - 1.5 * margin);
+            let py = (h - margin) - (p.y - min_y) / (max_y - min_y) * (h - 1.5 * margin);
+            let (r, fill) = if p.on_skyline {
+                (4.0, "#d62728")
+            } else {
+                (2.0, "#9e9e9e")
+            };
+            let _ = writeln!(
+                svg,
+                r#"<circle cx="{px:.1}" cy="{py:.1}" r="{r}" fill="{fill}"><title>{}</title></circle>"#,
+                xml_escape(&p.label)
+            );
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts() -> Vec<ScatterPoint> {
+        vec![
+            ScatterPoint {
+                label: "base".into(),
+                x: 100.0,
+                y: 100.0,
+                z: Some(100.0),
+                on_skyline: false,
+            },
+            ScatterPoint {
+                label: "fast".into(),
+                x: 150.0,
+                y: 100.0,
+                z: Some(90.0),
+                on_skyline: true,
+            },
+            ScatterPoint {
+                label: "safe".into(),
+                x: 100.0,
+                y: 140.0,
+                z: Some(130.0),
+                on_skyline: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn ascii_plot_contains_axes_and_counts() {
+        let s = render_scatter(&pts(), 40, 12, "performance", "data quality");
+        assert!(s.contains("performance"));
+        assert!(s.contains("data quality"));
+        assert!(s.contains("3 points, 2 on frontier"));
+        assert!(s.contains('◆') || s.contains('o'));
+        assert!(s.contains('·'));
+    }
+
+    #[test]
+    fn empty_plot_does_not_panic() {
+        let s = render_scatter(&[], 30, 10, "x", "y");
+        assert!(s.contains("no points"));
+    }
+
+    #[test]
+    fn degenerate_single_point() {
+        let p = vec![ScatterPoint {
+            label: "only".into(),
+            x: 5.0,
+            y: 5.0,
+            z: None,
+            on_skyline: true,
+        }];
+        let s = render_scatter(&p, 20, 8, "x", "y");
+        assert!(s.contains('◆'));
+    }
+
+    #[test]
+    fn svg_structure() {
+        let svg = scatter_svg(&pts(), 400, 300, "perf", "dq");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.contains("#d62728")); // skyline colour present
+        assert!(svg.contains("<title>fast</title>"));
+    }
+
+    #[test]
+    fn svg_escapes_labels() {
+        let p = vec![ScatterPoint {
+            label: "a<b&c".into(),
+            x: 1.0,
+            y: 1.0,
+            z: None,
+            on_skyline: true,
+        }];
+        let svg = scatter_svg(&p, 100, 100, "x", "y");
+        assert!(svg.contains("a&lt;b&amp;c"));
+    }
+}

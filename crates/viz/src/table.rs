@@ -1,0 +1,64 @@
+//! Plain-text tables (Fig. 1 / Fig. 6 style listings).
+
+/// Renders a header + rows as an aligned plain-text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let sep: String = widths
+        .iter()
+        .map(|w| format!("+{}", "-".repeat(w + 2)))
+        .collect::<String>()
+        + "+\n";
+    let fmt_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, w) in widths.iter().enumerate() {
+            let empty = String::new();
+            let cell = cells.get(i).unwrap_or(&empty);
+            line.push_str(&format!("| {cell:<w$} "));
+        }
+        line.push_str("|\n");
+        line
+    };
+    let mut out = String::new();
+    out.push_str(&sep);
+    out.push_str(&fmt_row(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    ));
+    out.push_str(&sep);
+    for row in rows {
+        out.push_str(&fmt_row(row));
+    }
+    out.push_str(&sep);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_table() {
+        let t = render_table(
+            &["FCP", "Related quality attribute"],
+            &[
+                vec!["FilterNullValues".into(), "Data Quality".into()],
+                vec!["AddCheckpoint".into(), "Reliability".into()],
+            ],
+        );
+        assert!(t.contains("| FCP "));
+        assert!(t.contains("| FilterNullValues "));
+        let widths: Vec<usize> = t.lines().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "all lines same width");
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let t = render_table(&["a", "b"], &[vec!["only-a".into()]]);
+        assert!(t.contains("| only-a |"));
+    }
+}

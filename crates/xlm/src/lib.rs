@@ -1,0 +1,26 @@
+//! `xlm` — logical ETL model interchange.
+//!
+//! §3 of the paper: "The first step is to import an initial ETL model to the
+//! system. This model can be a logical representation of the ETL process and
+//! we currently support the loading of xLM and PDI." xLM is the XML-based
+//! logical ETL model of Wilkinson et al. (ER 2010); PDI is Pentaho Data
+//! Integration's `.ktr` format.
+//!
+//! No XML crate exists in the sanctioned offline dependency set, so this
+//! crate ships its own spec-scoped parser ([`xml`]): elements, attributes,
+//! text, comments, prolog, the five predefined entities. On top of it:
+//!
+//! * [`write_flow`] / [`read_flow`] — a faithful xLM-style serialisation of
+//!   [`etl_model::EtlFlow`] that round-trips every operator kind, schema,
+//!   expression, cost annotation and graph-level configuration;
+//! * [`pdi::import_ktr`] — a PDI subset importer mapping common Kettle step
+//!   types onto the operator taxonomy;
+//! * [`expr_text`] — a total writer + recursive-descent parser for the
+//!   expression language (xLM stores predicates as text).
+
+pub mod expr_text;
+pub mod pdi;
+mod xlm;
+pub mod xml;
+
+pub use xlm::{read_flow, write_flow, XlmError};

@@ -1,0 +1,103 @@
+//! Model interchange (§3: "we currently support the loading of xLM and
+//! PDI"): export a demo flow to xLM, re-import it, import a PDI `.ktr`
+//! transformation, and plan directly on the imported model.
+//!
+//! ```sh
+//! cargo run --release --example model_interchange
+//! ```
+
+use datagen::tpch::tpch_flow;
+use datagen::{Catalog, DirtProfile, TableSpec};
+use fcp::PatternRegistry;
+use poiesis::{Planner, PlannerConfig};
+
+const ORDERS_KTR: &str = r#"<?xml version="1.0"?>
+<transformation>
+  <info><name>orders_from_pdi</name></info>
+  <step>
+    <name>read orders</name>
+    <type>TableInput</type>
+    <table>orders</table>
+    <fields>
+      <field><name>o_id</name><type>int</type><nullable>N</nullable></field>
+      <field><name>o_total</name><type>float</type></field>
+      <field><name>o_status</name><type>str</type></field>
+    </fields>
+  </step>
+  <step>
+    <name>keep shipped</name>
+    <type>FilterRows</type>
+    <condition>o_status = 'SHIPPED' AND o_total &gt; 0</condition>
+  </step>
+  <step>
+    <name>discounted total</name>
+    <type>Calculator</type>
+    <calculation><field_name>net</field_name><formula>o_total * 0.93</formula></calculation>
+  </step>
+  <step>
+    <name>write mart</name>
+    <type>TableOutput</type>
+    <table>dw_orders</table>
+  </step>
+  <order>
+    <hop><from>read orders</from><to>keep shipped</to></hop>
+    <hop><from>keep shipped</from><to>discounted total</to></hop>
+    <hop><from>discounted total</from><to>write mart</to></hop>
+  </order>
+</transformation>"#;
+
+fn main() {
+    // ---- xLM round-trip of the TPC-H demo flow
+    let (flow, _) = tpch_flow();
+    let xml = xlm::write_flow(&flow);
+    println!(
+        "exported `{}` to xLM: {} bytes, {} ops",
+        flow.name,
+        xml.len(),
+        flow.op_count()
+    );
+    println!("first lines:\n{}", xml.lines().take(8).collect::<Vec<_>>().join("\n"));
+
+    let reloaded = xlm::read_flow(&xml).expect("xLM re-imports");
+    reloaded.validate().expect("re-imported flow is valid");
+    assert_eq!(reloaded.op_count(), flow.op_count());
+    println!("\nre-imported `{}` — {} ops, valid ✓\n", reloaded.name, reloaded.op_count());
+
+    // ---- PDI import, then plan on the imported model
+    let pdi_flow = xlm::pdi::import_ktr(ORDERS_KTR).expect("ktr imports");
+    println!(
+        "imported PDI transformation `{}`: {} steps → {} operators",
+        pdi_flow.name,
+        4,
+        pdi_flow.op_count()
+    );
+    println!("{}", pdi_flow.to_dot());
+
+    let mut catalog = Catalog::new();
+    catalog.add_generated(
+        &TableSpec::new(
+            "orders",
+            pdi_flow
+                .op(pdi_flow.ops_of_kind("extract")[0])
+                .map(|op| match &op.kind {
+                    etl_model::OpKind::Extract { schema, .. } => schema.clone(),
+                    _ => unreachable!(),
+                })
+                .unwrap(),
+            1_500,
+            "o_id",
+        ),
+        &DirtProfile::demo(),
+        9,
+    );
+    let registry = PatternRegistry::standard_for_catalog(&catalog);
+    let planner = Planner::new(pdi_flow, catalog, registry, PlannerConfig::default());
+    let outcome = planner.plan().expect("planning on imported model succeeds");
+    println!(
+        "planned on the imported model: {} alternatives, {} on the frontier",
+        outcome.alternatives.len(),
+        outcome.skyline.len()
+    );
+    let best = outcome.skyline_alternatives().next().unwrap();
+    println!("best: {} — {}", best.name, best.applied.join(" + "));
+}

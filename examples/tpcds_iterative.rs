@@ -1,0 +1,78 @@
+//! The paper's iterative redesign loop (§3, last paragraph) on the TPC-DS
+//! workload: plan → inspect frontier → select → integrate → repeat, "until
+//! the user considers that the flow adequately satisfies quality goals".
+//!
+//! ```sh
+//! cargo run --release --example tpcds_iterative
+//! ```
+
+use datagen::tpcds::{tpcds_catalog, tpcds_flow};
+use datagen::DirtProfile;
+use fcp::{DeploymentPolicy, PatternRegistry};
+use poiesis::{Planner, PlannerConfig, Session};
+
+fn main() {
+    let (mut flow, ids) = tpcds_flow();
+    // make the expensive derive somewhat failure-prone so reliability
+    // patterns have work to do
+    flow.op_mut(ids.derive_net).unwrap().cost.failure_rate = 0.08;
+
+    let catalog = tpcds_catalog(800, &DirtProfile::demo(), 11);
+    let registry = PatternRegistry::standard_for_catalog(&catalog);
+    let planner = Planner::new(
+        flow,
+        catalog,
+        registry,
+        PlannerConfig {
+            policy: DeploymentPolicy::balanced(),
+            ..PlannerConfig::default()
+        },
+    );
+    let mut session = Session::new(planner);
+
+    for cycle in 1..=3 {
+        let outcome = session.explore().expect("cycle plans");
+        println!(
+            "cycle {cycle}: {} alternatives, {} on the frontier",
+            outcome.alternatives.len(),
+            outcome.skyline.len()
+        );
+        for (i, alt) in outcome.skyline_alternatives().take(3).enumerate() {
+            println!(
+                "    #{i}: perf {:6.1} dq {:6.1} rel {:6.1} — {}",
+                alt.scores[0],
+                alt.scores[1],
+                alt.scores[2],
+                alt.applied.join(" + ")
+            );
+        }
+        // the "user" picks the top design; the planner integrates it
+        let selected = session
+            .select(&outcome, 0)
+            .expect("frontier non-empty")
+            .selected
+            .clone();
+        println!(
+            "    selected `{}`; flow is now {} ops\n",
+            selected,
+            session.current_flow().op_count()
+        );
+    }
+
+    println!("redesign history:");
+    for rec in session.history() {
+        println!(
+            "  cycle {}: {} (scores {:?})",
+            rec.cycle, rec.selected, rec.scores
+        );
+    }
+    let f = session.current_flow();
+    println!(
+        "\nfinal flow: {} ops, encrypted={}, resources={:?}, recurrence={} min",
+        f.op_count(),
+        f.config.encrypted,
+        f.config.resources,
+        f.config.recurrence_minutes
+    );
+    f.validate().expect("integrated flow stays valid");
+}

@@ -1,0 +1,61 @@
+//! The paper's demo, part P1, on the TPC-H workload: explore the
+//! scatter-plot of alternatives, click a frontier point, inspect its
+//! process representation and drill into its measures.
+//!
+//! ```sh
+//! cargo run --release --example tpch_redesign
+//! ```
+
+use datagen::tpch::{tpch_catalog, tpch_flow};
+use datagen::DirtProfile;
+use fcp::PatternRegistry;
+use poiesis::{Planner, PlannerConfig};
+use viz::ScatterPoint;
+
+fn main() {
+    let (flow, _ids) = tpch_flow();
+    println!(
+        "TPC-H demo flow: {} operators, {} sources, {} targets",
+        flow.op_count(),
+        flow.ops_of_kind("extract").len(),
+        flow.ops_of_kind("load").len()
+    );
+    let catalog = tpch_catalog(1_000, &DirtProfile::demo(), 7);
+    let registry = PatternRegistry::standard_for_catalog(&catalog);
+    let planner = Planner::new(flow, catalog, registry, PlannerConfig::default());
+
+    let outcome = planner.plan().expect("planning succeeds");
+    println!(
+        "{} alternatives, {} on the frontier\n",
+        outcome.alternatives.len(),
+        outcome.skyline.len()
+    );
+
+    // P1: the scatter-plot of alternatives over quality dimensions.
+    let points: Vec<ScatterPoint> = outcome
+        .alternatives
+        .iter()
+        .enumerate()
+        .map(|(i, a)| ScatterPoint {
+            label: a.name.clone(),
+            x: a.scores[0],
+            y: a.scores[2], // reliability on the y axis, like Fig. 4's z
+            z: Some(a.scores[1]),
+            on_skyline: outcome.skyline.contains(&i),
+        })
+        .collect();
+    print!(
+        "{}",
+        viz::render_scatter(&points, 70, 20, "performance", "reliability")
+    );
+
+    // P1: "click" the best frontier point → its process representation …
+    let best = outcome.skyline_alternatives().next().unwrap();
+    println!("\nselected flow `{}`:", best.name);
+    println!("{}", best.flow.to_dot());
+
+    // … and its measures, expandable to detailed metrics.
+    println!("{}", viz::render_bars(&outcome.report(best), false));
+    println!("-- expanded --\n");
+    println!("{}", viz::render_bars(&outcome.report(best), true));
+}

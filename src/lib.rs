@@ -1,0 +1,15 @@
+//! Umbrella crate for the POIESIS reproduction workspace.
+//!
+//! Re-exports every member crate so examples and integration tests can use a
+//! single dependency. See the individual crates for the actual library
+//! surface; [`poiesis`] is the paper's primary contribution (the Planner).
+
+pub use datagen;
+pub use etl_model;
+pub use fcp;
+pub use flowgraph;
+pub use poiesis;
+pub use quality;
+pub use simulator;
+pub use viz;
+pub use xlm;

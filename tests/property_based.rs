@@ -1,0 +1,135 @@
+//! Cross-crate property-based tests: skyline laws, xLM/expression
+//! round-trips over generated inputs, and estimator sanity over random
+//! flow perturbations.
+
+use etl_model::expr::Expr;
+use etl_model::Value;
+use proptest::prelude::*;
+
+// ------------------------------------------------------------- skyline laws
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (1usize..max, 2usize..4).prop_flat_map(|(n, dims)| {
+        proptest::collection::vec(
+            proptest::collection::vec(0.0f64..200.0, dims..=dims),
+            n..=n,
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn skyline_members_are_mutually_incomparable(points in arb_points(120)) {
+        let sky = poiesis::pareto_skyline(&points);
+        for (a, &i) in sky.iter().enumerate() {
+            for &j in sky.iter().skip(a + 1) {
+                prop_assert!(!poiesis::skyline::dominates(&points[i], &points[j]));
+                prop_assert!(!poiesis::skyline::dominates(&points[j], &points[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn every_non_skyline_point_is_dominated(points in arb_points(80)) {
+        let sky = poiesis::pareto_skyline(&points);
+        for i in 0..points.len() {
+            if sky.contains(&i) {
+                continue;
+            }
+            prop_assert!(
+                points.iter().any(|p| poiesis::skyline::dominates(p, &points[i])),
+                "point {i} excluded but not dominated"
+            );
+        }
+    }
+
+    #[test]
+    fn skyline_algorithms_agree(points in arb_points(100)) {
+        prop_assert_eq!(
+            poiesis::pareto_skyline_bnl(&points),
+            poiesis::pareto_skyline_sorted(&points)
+        );
+    }
+}
+
+// -------------------------------------------------- expression text roundtrip
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        (-1.0e6f64..1.0e6).prop_map(Value::Float),
+        "[a-z ']{0,12}".prop_map(Value::Str),
+        any::<bool>().prop_map(Value::Bool),
+        (-40_000i64..40_000).prop_map(Value::Date),
+        any::<i32>().prop_map(|t| Value::Timestamp(t as i64)),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        "[a-z][a-z0-9_]{0,8}".prop_map(Expr::Col),
+        arb_value().prop_map(Expr::Lit),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.mul(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.lt(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.clone().prop_map(|a| a.not()),
+            inner.clone().prop_map(|a| a.is_null()),
+            proptest::collection::vec(inner, 1..4).prop_map(Expr::Coalesce),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn expression_text_roundtrips(e in arb_expr()) {
+        let text = xlm::expr_text::write_expr(&e);
+        let parsed = xlm::expr_text::parse_expr(&text)
+            .map_err(|err| TestCaseError::fail(format!("parse `{text}`: {err}")))?;
+        prop_assert_eq!(parsed, e);
+    }
+}
+
+// ----------------------------------------------------- xLM flow perturbations
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn xlm_roundtrips_randomly_patterned_flows(picks in proptest::collection::vec(any::<prop::sample::Index>(), 0..4)) {
+        let (mut flow, _) = datagen::fig2::purchases_flow();
+        let catalog = datagen::fig2::purchases_catalog(50, &datagen::DirtProfile::demo(), 9);
+        let registry = fcp::PatternRegistry::standard_for_catalog(&catalog);
+        // apply a random sequence of pattern applications
+        for pick in picks {
+            let ctx = fcp::PatternContext::new(&flow).unwrap();
+            let mut cands = Vec::new();
+            for p in registry.iter() {
+                for pt in p.candidate_points(&ctx) {
+                    cands.push((p.clone(), pt));
+                }
+            }
+            drop(ctx);
+            if cands.is_empty() {
+                break;
+            }
+            let (p, pt) = &cands[pick.index(cands.len())];
+            let _ = p.apply(&mut flow, *pt);
+        }
+        flow.validate().unwrap();
+        let xml = xlm::write_flow(&flow);
+        let back = xlm::read_flow(&xml).unwrap();
+        prop_assert_eq!(back.op_count(), flow.op_count());
+        prop_assert_eq!(back.edge_count(), flow.edge_count());
+        // simulation equivalence: identical traces row-for-row
+        let cfg = simulator::SimConfig::default();
+        let t1 = simulator::simulate(&flow, &catalog, &cfg).unwrap();
+        let t2 = simulator::simulate(&back, &catalog, &cfg).unwrap();
+        prop_assert_eq!(t1.rows_loaded(), t2.rows_loaded());
+        prop_assert!((t1.cycle_time_ms - t2.cycle_time_ms).abs() < 1e-9);
+    }
+}

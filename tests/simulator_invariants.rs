@@ -1,0 +1,84 @@
+//! Simulator invariants under random workload parameters: timing
+//! monotonicity, row conservation, and estimator/simulator directional
+//! agreement.
+
+use datagen::fig2::{purchases_catalog, purchases_flow};
+use datagen::DirtProfile;
+use proptest::prelude::*;
+use simulator::{simulate, SimConfig};
+
+fn dirt(null_rate: f64, dup_rate: f64, stale: f64) -> DirtProfile {
+    DirtProfile {
+        null_rate,
+        dup_rate,
+        corrupt_rate: 0.0,
+        staleness_hours: stale,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// More input rows never make the flow faster.
+    #[test]
+    fn cycle_time_monotone_in_scale(base in 50usize..150) {
+        let (flow, _) = purchases_flow();
+        let small = purchases_catalog(base, &DirtProfile::clean(), 3);
+        let large = purchases_catalog(base * 4, &DirtProfile::clean(), 3);
+        let cfg = SimConfig::default();
+        let t_small = simulate(&flow, &small, &cfg).unwrap();
+        let t_large = simulate(&flow, &large, &cfg).unwrap();
+        prop_assert!(t_large.cycle_time_ms > t_small.cycle_time_ms);
+        prop_assert!(t_large.rows_loaded() >= t_small.rows_loaded());
+    }
+
+    /// Loads can never exceed what the sources provided (the purchases flow
+    /// contains no row-multiplying operator).
+    #[test]
+    fn loads_bounded_by_extracts(scale in 50usize..200, nr in 0.0f64..0.3, dr in 0.0f64..0.3) {
+        let (flow, _) = purchases_flow();
+        let catalog = purchases_catalog(scale, &dirt(nr, dr, 1.0), 7);
+        let trace = simulate(&flow, &catalog, &SimConfig::default()).unwrap();
+        let extracted: usize = trace
+            .ops
+            .iter()
+            .filter(|o| o.kind == "extract")
+            .map(|o| o.rows_out)
+            .sum();
+        prop_assert!(trace.rows_loaded() <= extracted);
+        // and each op's trace is time-consistent
+        for op in &trace.ops {
+            prop_assert!(op.end_ms >= op.start_ms, "{} ends before it starts", op.name);
+        }
+    }
+
+    /// Dirtier sources never yield *better* estimated data quality.
+    #[test]
+    fn estimator_dq_monotone_in_dirt(nr in 0.05f64..0.3) {
+        let (flow, _) = purchases_flow();
+        let clean_cat = purchases_catalog(120, &DirtProfile::clean(), 5);
+        let dirty_cat = purchases_catalog(120, &dirt(nr, 0.1, 1.0), 5);
+        let clean = quality::estimate(&flow, &quality::source_stats(&clean_cat));
+        let dirty = quality::estimate(&flow, &quality::source_stats(&dirty_cat));
+        let m = quality::MeasureId::Completeness;
+        prop_assert!(dirty.get(m).unwrap() <= clean.get(m).unwrap() + 1e-9);
+        let u = quality::MeasureId::Uniqueness;
+        prop_assert!(dirty.get(u).unwrap() <= clean.get(u).unwrap() + 1e-9);
+    }
+
+    /// Failure injection only ever adds time, never changes the data.
+    #[test]
+    fn failures_add_time_not_rows(seed in 0u64..500) {
+        let (mut flow, ids) = purchases_flow();
+        flow.op_mut(ids.derive_values).unwrap().cost.failure_rate = 0.5;
+        let catalog = purchases_catalog(100, &DirtProfile::clean(), 2);
+        let clean = simulate(&flow, &catalog, &SimConfig { seed, inject_failures: false }).unwrap();
+        let faulty = simulate(&flow, &catalog, &SimConfig { seed, inject_failures: true }).unwrap();
+        prop_assert!(faulty.cycle_time_ms >= clean.cycle_time_ms);
+        prop_assert_eq!(faulty.rows_loaded(), clean.rows_loaded());
+        prop_assert!(faulty.total_redo_ms >= 0.0);
+        if faulty.failures > 0 {
+            prop_assert!(faulty.total_redo_ms > 0.0);
+        }
+    }
+}
