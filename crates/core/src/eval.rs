@@ -6,8 +6,8 @@
 //! alternative flows that have to be concurrently evaluated. Therefore, we
 //! employ Amazon Cloud elastic infrastructures, by launching processing
 //! nodes that run in the background". The laptop-scale substitution is a
-//! `crossbeam` scoped worker pool; the concurrency-sweep bench measures its
-//! scaling.
+//! `std::thread::scope` worker pool; the concurrency-sweep bench measures
+//! its scaling.
 
 use datagen::Catalog;
 use etl_model::EtlFlow;
@@ -15,6 +15,7 @@ use quality::{Characteristic, MeasureVector, SourceStats};
 use simulator::{simulate, SimConfig};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// How each alternative is scored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,23 +95,22 @@ where
         }
     } else {
         let next = AtomicUsize::new(0);
-        let slots: Vec<parking_lot::Mutex<Option<Result<MeasureVector, simulator::SimError>>>> =
-            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
-        crossbeam::scope(|scope| {
+        let slots: Vec<Mutex<Option<Result<MeasureVector, simulator::SimError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
             for _ in 0..workers.min(n) {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
                     let r = evaluate_flow(flows[i].as_ref(), catalog, stats, mode, seed);
-                    *slots[i].lock() = Some(r);
+                    *slots[i].lock().expect("slot lock") = Some(r);
                 });
             }
-        })
-        .expect("evaluation workers do not panic");
+        });
         for (i, slot) in slots.into_iter().enumerate() {
-            results[i] = slot.into_inner();
+            results[i] = slot.into_inner().expect("slot lock");
         }
     }
     results

@@ -4,6 +4,7 @@ use crate::dirt::DirtProfile;
 use crate::CORRUPT_MARKER;
 use etl_model::{DataType, Schema, Tuple, Value};
 use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 /// Specification of one synthetic table.
@@ -67,11 +68,11 @@ fn gen_value(attr_name: &str, dtype: DataType, row: usize, rng: &mut SmallRng) -
             }
         }
         DataType::Str => {
-            let w = WORDS[rng.gen_range(0..WORDS.len())];
+            let w = WORDS.choose(rng).expect("WORDS is non-empty");
             if lower.contains("status") {
-                Value::Str(["OK", "PENDING", "SHIPPED"][rng.gen_range(0..3)].to_string())
+                Value::Str(["OK", "PENDING", "SHIPPED"].choose(rng).unwrap().to_string())
             } else if lower.contains("priority") {
-                Value::Str(["HIGH", "MEDIUM", "LOW"][rng.gen_range(0..3)].to_string())
+                Value::Str(["HIGH", "MEDIUM", "LOW"].choose(rng).unwrap().to_string())
             } else {
                 Value::Str(format!("{w}-{}", rng.gen_range(0..10_000)))
             }

@@ -1,0 +1,207 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! reproduces the API shape the workspace's ten benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group` with `sample_size` / `bench_with_input` / `finish`,
+//! `Bencher::iter` / `iter_batched`, `BenchmarkId`, `BatchSize` — backed by
+//! a plain wall-clock loop instead of criterion's statistical machinery.
+//! Each benchmark reports the mean time over an adaptively chosen number of
+//! iterations; there is no warm-up, outlier rejection, or HTML report.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; only a hint here, as in criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark name with an optional parameter, e.g. `bnl/1000`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark name (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Runs closures and reports mean wall-clock time.
+pub struct Bencher {
+    label: String,
+    /// Upper bound on measured iterations, set from `sample_size`.
+    max_iters: u64,
+}
+
+impl Bencher {
+    fn measure(&mut self, mut once: impl FnMut() -> Duration) {
+        // One probe iteration decides how many more we can afford while
+        // keeping each benchmark near the 200ms target budget.
+        let probe = once();
+        let target = Duration::from_millis(200);
+        let extra = if probe.is_zero() {
+            self.max_iters - 1
+        } else {
+            ((target.as_nanos() / probe.as_nanos()) as u64).min(self.max_iters - 1)
+        };
+        let mut total = probe;
+        for _ in 0..extra {
+            total += once();
+        }
+        let iters = 1 + extra;
+        let mean = total / iters as u32;
+        println!("{:<48} time: {mean:>12.3?}   ({iters} iterations)", self.label);
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.measure(|| {
+            let start = Instant::now();
+            black_box(routine());
+            start.elapsed()
+        });
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.measure(|| {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            start.elapsed()
+        });
+    }
+}
+
+fn run_with_bencher(label: String, max_iters: u64, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { label, max_iters };
+    f(&mut b);
+}
+
+/// Mirror of `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_with_bencher(id.to_string(), self.sample_size, |b| f(b));
+        self
+    }
+
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: group_name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// Mirror of `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    pub fn bench_function<ID, F>(&mut self, id: ID, mut f: F) -> &mut Self
+    where
+        ID: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_with_bencher(label, self.sample_size, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<ID, I, F>(&mut self, id: ID, input: &I, mut f: F) -> &mut Self
+    where
+        ID: IntoBenchmarkId,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_with_bencher(label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,664 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! implements the subset of proptest the workspace's property tests use:
+//! the [`proptest!`] macro, [`strategy::Strategy`] with `prop_map` /
+//! `prop_flat_map` / `prop_recursive`, [`prop_oneof!`], ranges and tuples as
+//! strategies, simple regex-class string strategies (`"[a-z]{0,8}"` style),
+//! [`collection::vec`], [`arbitrary::any`], and [`sample::Index`].
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **no shrinking** — a failing case reports its inputs via the assertion
+//!   message but is not minimized;
+//! * **deterministic** — the RNG seed is derived from the test name, so runs
+//!   are reproducible and CI is stable;
+//! * regex strategies support only concatenations of literals and
+//!   `[...]{m,n}` character classes, which covers every pattern in-tree.
+
+pub mod test_runner {
+    /// Per-test configuration, mirroring `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Mirror of `proptest::test_runner::TestCaseError`.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        Fail(String),
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+            }
+        }
+    }
+
+    /// SplitMix64 — small, fast, and plenty for test-case generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seed deterministically from the test name (FNV-1a) so every run
+        /// of a given test explores the same cases.
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng(h)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// Generate-only mirror of `proptest::strategy::Strategy`.
+    pub trait Strategy {
+        type Value;
+
+        fn gen(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Bounded recursion by unrolling: level 0 is `self` (the leaves),
+        /// level *d* is `recurse(level d-1)`. Generated values therefore
+        /// nest at most `depth` levels — no shrinking is needed to keep
+        /// them finite.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut level = self.boxed();
+            for _ in 0..depth {
+                level = recurse(level).boxed();
+            }
+            level
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng| self.gen(rng)))
+        }
+    }
+
+    /// A clonable, type-erased strategy (a shared generator closure).
+    pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut TestRng) -> V>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn gen(&self, rng: &mut TestRng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn gen(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn gen(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.gen(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn gen(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.gen(rng)).gen(rng)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives — backs [`prop_oneof!`].
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn gen(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.arms.len());
+            self.arms[i].gen(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn gen(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn gen(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn gen(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn gen(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    lo + (rng.unit_f64() as $t) * (hi - lo)
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($S:ident . $idx:tt),+))*) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+
+                fn gen(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// `"[a-z][a-z0-9_]{0,8}"`-style patterns: a concatenation of literal
+    /// characters and `[...]` classes, each optionally repeated `{m}` or
+    /// `{m,n}` times. That is the entire regex dialect used in-tree.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn gen(&self, rng: &mut TestRng) -> String {
+            let atoms = parse_pattern(self);
+            let mut out = String::new();
+            for (chars, lo, hi) in &atoms {
+                let n = lo + rng.below(hi - lo + 1);
+                for _ in 0..n {
+                    out.push(chars[rng.below(chars.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    type Atom = (Vec<char>, usize, usize);
+
+    fn parse_pattern(pat: &str) -> Vec<Atom> {
+        let mut atoms = Vec::new();
+        let mut it = pat.chars().peekable();
+        while let Some(c) = it.next() {
+            let chars = if c == '[' {
+                let raw: Vec<char> = it.by_ref().take_while(|&c| c != ']').collect();
+                let mut class = Vec::new();
+                let mut i = 0;
+                while i < raw.len() {
+                    // `a-z` only counts as a range with chars on both sides;
+                    // a leading or trailing `-` is a literal dash.
+                    if i + 2 < raw.len() && raw[i + 1] == '-' {
+                        for r in (raw[i] as u32)..=(raw[i + 2] as u32) {
+                            class.push(char::from_u32(r).expect("char range"));
+                        }
+                        i += 3;
+                    } else {
+                        class.push(raw[i]);
+                        i += 1;
+                    }
+                }
+                assert!(!class.is_empty(), "empty char class in `{pat}`");
+                class
+            } else {
+                vec![c]
+            };
+            let (lo, hi) = if it.peek() == Some(&'{') {
+                it.next();
+                let spec: String = it.by_ref().take_while(|&c| c != '}').collect();
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad {m,n}"),
+                        n.trim().parse().expect("bad {m,n}"),
+                    ),
+                    None => {
+                        let m = spec.trim().parse().expect("bad {m}");
+                        (m, m)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            atoms.push((chars, lo, hi));
+        }
+        atoms
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn pattern_parse_and_gen() {
+            let mut rng = TestRng::for_test("pattern_parse_and_gen");
+            for _ in 0..500 {
+                let s = "[a-z][a-z0-9_]{0,8}".gen(&mut rng);
+                assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+                assert!(s.chars().next().unwrap().is_ascii_lowercase());
+                assert!(s
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+                let t = "[a-z ']{0,12}".gen(&mut rng);
+                assert!(t.len() <= 12);
+                assert!(t
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c == ' ' || c == '\''));
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Mirror of `proptest::arbitrary::Arbitrary`, generate-only.
+    pub trait Arbitrary: Sized {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> f64 {
+            rng.unit_f64() * 2.0e6 - 1.0e6
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary_value(rng: &mut TestRng) -> char {
+            char::from_u32(0x20 + rng.below(0x5f) as u32).expect("printable ascii")
+        }
+    }
+
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+
+        fn gen(&self, rng: &mut TestRng) -> A {
+            A::arbitrary_value(rng)
+        }
+    }
+
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive element-count bounds, mirroring `proptest::collection::SizeRange`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.lo + rng.below(self.size.hi - self.size.lo + 1);
+            (0..n).map(|_| self.element.gen(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::arbitrary::Arbitrary;
+    use crate::test_runner::TestRng;
+
+    /// Mirror of `proptest::sample::Index`: a position into any collection,
+    /// resolved against its length at use time.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// `prop::sample::Index`-style paths, as the real prelude exposes them.
+pub mod prop {
+    pub use crate::{collection, sample, strategy};
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)+) => {
+        $crate::__proptest_fns!($cfg; $($rest)+);
+    };
+    ($($rest:tt)+) => {
+        $crate::__proptest_fns!($crate::test_runner::ProptestConfig::default(); $($rest)+);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let __strat = ($($strat,)+);
+                for __case in 0..__config.cases {
+                    let ($($arg,)+) = $crate::strategy::Strategy::gen(&__strat, &mut __rng);
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest `{}` failed at case {}: {}",
+                                stringify!($name),
+                                __case,
+                                msg
+                            );
+                        }
+                    }
+                }
+            }
+        )+
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            __l
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}

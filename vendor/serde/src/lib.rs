@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the minimal surface the POIESIS crates actually consume: the
+//! `Serialize` / `Deserialize` traits (as markers) and the derive macros
+//! (which expand to nothing). No crate in the workspace performs real
+//! serialization yet; the derives exist so model types advertise intent and
+//! can switch to the real `serde` without source changes.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

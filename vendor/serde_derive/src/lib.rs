@@ -1,0 +1,18 @@
+//! No-op derive macros backing the vendored `serde` stand-in.
+//!
+//! `#[derive(Serialize, Deserialize)]` on the model types compiles to
+//! nothing; the real impls arrive when the workspace can depend on the real
+//! serde. The `serde` helper attribute is accepted so field annotations do
+//! not break the build if they are introduced later.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
