@@ -14,9 +14,7 @@ fn bench_baseline(c: &mut Criterion) {
     let mut g = c.benchmark_group("baseline");
     g.sample_size(10);
     g.bench_function("manual_random_effort6", |b| {
-        b.iter(|| {
-            black_box(manual_redesign(&planner, ManualStrategy::Random, 6, 7).unwrap())
-        })
+        b.iter(|| black_box(manual_redesign(&planner, ManualStrategy::Random, 6, 7).unwrap()))
     });
     g.bench_function("manual_greedy_effort6", |b| {
         b.iter(|| {

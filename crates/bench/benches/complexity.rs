@@ -22,13 +22,7 @@ fn bench_complexity(c: &mut Criterion) {
                 BenchmarkId::new(format!("enumerate_depth{depth}"), take),
                 &(cands, policy),
                 |b, (cands, policy)| {
-                    b.iter(|| {
-                        black_box(enumerate_combinations(
-                            black_box(cands),
-                            policy,
-                            200_000,
-                        ))
-                    })
+                    b.iter(|| black_box(enumerate_combinations(black_box(cands), policy, 200_000)))
                 },
             );
         }

@@ -20,7 +20,13 @@ fn bench_fig5(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("fig5_report");
     g.bench_function("build_report", |b| {
-        b.iter(|| black_box(QualityReport::build("alt", black_box(&base), black_box(&alt))))
+        b.iter(|| {
+            black_box(QualityReport::build(
+                "alt",
+                black_box(&base),
+                black_box(&alt),
+            ))
+        })
     });
     let report = QualityReport::build("alt", &base, &alt);
     g.bench_function("render_bars_collapsed", |b| {

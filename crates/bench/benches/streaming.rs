@@ -1,0 +1,70 @@
+//! STREAMING bench: the streaming exploration engine vs. the
+//! materialize-all pipeline on the fig2 purchases flow, plus the
+//! incremental skyline against the batch algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::DirtProfile;
+use fcp::PatternRegistry;
+use poiesis::{pareto_skyline_sorted, Planner, PlannerConfig, SearchStrategyKind, SkylineSet};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn purchases_planner(config: PlannerConfig) -> Planner {
+    let (flow, _) = datagen::fig2::purchases_flow();
+    let catalog = datagen::fig2::purchases_catalog(100, &DirtProfile::demo(), 7);
+    let registry = PatternRegistry::standard_for_catalog(&catalog);
+    Planner::new(flow, catalog, registry, config)
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("streaming_engine");
+    g.sample_size(10);
+    let streaming = purchases_planner(PlannerConfig {
+        retain_dominated: false,
+        ..PlannerConfig::default()
+    });
+    g.bench_function("plan_streaming_drop_dominated", |b| {
+        b.iter(|| black_box(streaming.plan().unwrap()))
+    });
+    let retain = purchases_planner(PlannerConfig::default());
+    g.bench_function("plan_streaming_retain_all", |b| {
+        b.iter(|| black_box(retain.plan().unwrap()))
+    });
+    g.bench_function("plan_materialized", |b| {
+        b.iter(|| black_box(retain.plan_materialized().unwrap()))
+    });
+    let beam = purchases_planner(PlannerConfig {
+        strategy: SearchStrategyKind::Beam { width: 8 },
+        retain_dominated: false,
+        ..PlannerConfig::default()
+    });
+    g.bench_function("plan_beam8", |b| b.iter(|| black_box(beam.plan().unwrap())));
+    g.finish();
+}
+
+fn bench_incremental_skyline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("incremental_skyline");
+    for n in [1_000usize, 10_000] {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let pts: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..3).map(|_| rng.gen_range(50.0..200.0)).collect())
+            .collect();
+        g.bench_with_input(BenchmarkId::new("skyline_set_insert", n), &pts, |b, pts| {
+            b.iter(|| {
+                let mut s = SkylineSet::new();
+                for (i, p) in pts.iter().enumerate() {
+                    black_box(s.insert(i, p.clone()));
+                }
+                black_box(s.len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("batch_sorted", n), &pts, |b, pts| {
+            b.iter(|| black_box(pareto_skyline_sorted(black_box(pts))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_incremental_skyline);
+criterion_main!(benches);

@@ -59,10 +59,7 @@ fn main() {
     }
     print!(
         "{}",
-        viz::render_table(
-            &["workers", "wall (s)", "speedup", "alternatives/s"],
-            &rows
-        )
+        viz::render_table(&["workers", "wall (s)", "speedup", "alternatives/s"], &rows)
     );
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())

@@ -7,8 +7,15 @@ use simulator::{simulate, SimConfig};
 
 fn main() {
     let (flow, catalog) = tpch_setup(2_000);
-    let trace = simulate(&flow, &catalog, &SimConfig { seed: SEED, inject_failures: false })
-        .expect("demo flow simulates");
+    let trace = simulate(
+        &flow,
+        &catalog,
+        &SimConfig {
+            seed: SEED,
+            inject_failures: false,
+        },
+    )
+    .expect("demo flow simulates");
     let v: MeasureVector = quality::evaluate(&flow, &trace);
 
     println!("FIG1 — example quality measures (TPC-H demo flow, scale 2000)\n");

@@ -4,8 +4,8 @@
 //! produces savepoints around the expensive task.
 
 use bench::{fmt, purchases_setup, SEED};
-use fcp::{ApplicationPoint, Pattern, PatternContext};
 use fcp::builtin::{AddCheckpoint, ParallelizeTask};
+use fcp::{ApplicationPoint, Pattern, PatternContext};
 use simulator::{simulate, simulate_trials, SimConfig};
 
 fn main() {
@@ -18,7 +18,10 @@ fn main() {
             flow.op_mut(n).unwrap().cost.failure_rate = 0.10;
         }
     }
-    let cfg = SimConfig { seed: SEED, inject_failures: false };
+    let cfg = SimConfig {
+        seed: SEED,
+        inject_failures: false,
+    };
     let base_trace = simulate(&flow, &catalog, &cfg).unwrap();
     let base = quality::evaluate(&flow, &base_trace);
     let base_trials = simulate_trials(&flow, &catalog, &cfg, 50).unwrap();
@@ -87,7 +90,14 @@ fn main() {
     print!(
         "{}",
         viz::render_table(
-            &["design", "cycle (ms)", "E[redo] (ms)", "recoverability", "MC mean cycle", "#ops"],
+            &[
+                "design",
+                "cycle (ms)",
+                "E[redo] (ms)",
+                "recoverability",
+                "MC mean cycle",
+                "#ops"
+            ],
             &rows
         )
     );
@@ -96,8 +106,14 @@ fn main() {
     let speedup = base.get(CycleTimeMs).unwrap() / a.get(CycleTimeMs).unwrap();
     let redo_cut = base.get(ExpectedRedoMs).unwrap() / b.get(ExpectedRedoMs).unwrap().max(1e-9);
     println!("\nshape checks:");
-    println!("  (a) cycle-time speedup      : {:.2}x (expect > 1)", speedup);
-    println!("  (b) expected-redo reduction : {:.2}x (expect > 1)", redo_cut);
+    println!(
+        "  (a) cycle-time speedup      : {:.2}x (expect > 1)",
+        speedup
+    );
+    println!(
+        "  (b) expected-redo reduction : {:.2}x (expect > 1)",
+        redo_cut
+    );
     assert!(speedup > 1.0, "parallelisation must speed the flow up");
     assert!(redo_cut > 1.0, "savepoint must cut expected redo");
     assert_eq!(fig2a.ops_of_kind("partition").len(), 1);

@@ -44,8 +44,14 @@ fn main() {
     println!("  skyline size         : {}", est_out.skyline.len());
     println!();
     println!("ablation — estimation vs full simulation over the same space:");
-    println!("  estimate mode : {:>8.1} ms total", est_time.as_secs_f64() * 1e3);
-    println!("  simulate mode : {:>8.1} ms total", sim_time.as_secs_f64() * 1e3);
+    println!(
+        "  estimate mode : {:>8.1} ms total",
+        est_time.as_secs_f64() * 1e3
+    );
+    println!(
+        "  simulate mode : {:>8.1} ms total",
+        sim_time.as_secs_f64() * 1e3
+    );
     println!(
         "  estimator speedup: {:.1}x",
         sim_time.as_secs_f64() / est_time.as_secs_f64()

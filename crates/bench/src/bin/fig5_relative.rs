@@ -29,8 +29,5 @@ fn main() {
     // shape checks: report covers every populated characteristic, and the
     // selection improves at least one of them
     assert!(alt.scores.iter().any(|&s| s > 100.0));
-    assert!(report
-        .characteristics
-        .iter()
-        .any(|c| !c.details.is_empty()));
+    assert!(report.characteristics.iter().any(|c| !c.details.is_empty()));
 }

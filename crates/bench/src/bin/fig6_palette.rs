@@ -29,19 +29,20 @@ fn headline(pattern: &str, c: Characteristic) -> MeasureId {
 fn main() {
     println!("FIG6 — available FCPs and their related quality attribute\n");
     let mut rows = Vec::new();
-    for (workload, (mut flow, catalog)) in
-        [
+    for (workload, (mut flow, catalog)) in [
         ("tpch", tpch_setup(3_000)),
         ("tpcds", tpcds_setup(3_000)),
         ("purchases", purchases_setup(3_000)),
-    ]
-    {
+    ] {
         // give reliability something to protect
         for n in flow.ops_of_kind("derive") {
             flow.op_mut(n).unwrap().cost.failure_rate = 0.05;
         }
         let registry = PatternRegistry::standard_for_catalog(&catalog);
-        let cfg = SimConfig { seed: SEED, inject_failures: false };
+        let cfg = SimConfig {
+            seed: SEED,
+            inject_failures: false,
+        };
         let base_trace = simulate(&flow, &catalog, &cfg).unwrap();
         let base = quality::evaluate(&flow, &base_trace);
 
@@ -50,7 +51,11 @@ fn main() {
             let points = pattern.candidate_points(&ctx);
             let best = points
                 .iter()
-                .max_by(|a, b| pattern.fitness(&ctx, **a).total_cmp(&pattern.fitness(&ctx, **b)))
+                .max_by(|a, b| {
+                    pattern
+                        .fitness(&ctx, **a)
+                        .total_cmp(&pattern.fitness(&ctx, **b))
+                })
                 .copied();
             drop(ctx);
             let (applied, delta) = match best {
@@ -60,10 +65,7 @@ fn main() {
                     match pattern.apply(&mut g, p) {
                         Err(e) => (format!("apply failed: {e}"), "-".to_string()),
                         Ok(_) => {
-                            let v = quality::evaluate(
-                                &g,
-                                &simulate(&g, &catalog, &cfg).unwrap(),
-                            );
+                            let v = quality::evaluate(&g, &simulate(&g, &catalog, &cfg).unwrap());
                             let m = headline(pattern.name(), pattern.improves());
                             let d = match (base.get(m), v.get(m)) {
                                 (Some(b), Some(x)) => {
@@ -93,7 +95,13 @@ fn main() {
     print!(
         "{}",
         viz::render_table(
-            &["workload", "FCP", "related quality attribute", "valid points", "best-placement effect"],
+            &[
+                "workload",
+                "FCP",
+                "related quality attribute",
+                "valid points",
+                "best-placement effect"
+            ],
             &rows
         )
     );

@@ -6,6 +6,8 @@
 //! poiesis_cli measures  <model.(xlm|ktr)>          simulate + Fig.1 table
 //! poiesis_cli plan      <model.(xlm|ktr)> [opts]   one planning cycle
 //!     --policy <balanced|performance|reliability|data-quality>
+//!     --strategy <exhaustive|beam[:W]|greedy>  space walk (default exhaustive)
+//!     --drop-dominated        keep only the frontier in memory (O(frontier))
 //!     --alternatives <N>      cap on enumerated alternatives (default 2000)
 //!     --simulate              score by full simulation instead of estimation
 //!     --rows <N>              synthetic rows per source (default 500)
@@ -20,7 +22,7 @@
 use datagen::{Catalog, DirtProfile, TableSpec};
 use etl_model::{EtlFlow, OpKind};
 use fcp::{DeploymentPolicy, PatternRegistry};
-use poiesis::{EvalMode, Planner, PlannerConfig};
+use poiesis::{EvalMode, Planner, PlannerConfig, SearchStrategyKind};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -124,6 +126,19 @@ fn plan_cmd(args: &[String]) -> Result<(), String> {
     } else {
         EvalMode::Estimate
     };
+    let strategy = match opt_value(args, "--strategy").unwrap_or("exhaustive") {
+        "exhaustive" => SearchStrategyKind::Exhaustive,
+        "greedy" => SearchStrategyKind::GreedyHillClimb,
+        s if s == "beam" => SearchStrategyKind::Beam { width: 16 },
+        s if s.starts_with("beam:") => {
+            let width = s["beam:".len()..]
+                .parse()
+                .map_err(|_| format!("bad beam width in `{s}`"))?;
+            SearchStrategyKind::Beam { width }
+        }
+        other => return Err(format!("unknown strategy `{other}`")),
+    };
+    let retain_dominated = !opt_flag(args, "--drop-dominated");
 
     let catalog = synthesize_catalog(&flow, rows)?;
     let registry = PatternRegistry::standard_for_catalog(&catalog);
@@ -135,17 +150,20 @@ fn plan_cmd(args: &[String]) -> Result<(), String> {
             policy,
             eval_mode,
             max_alternatives,
+            strategy,
+            retain_dominated,
             ..PlannerConfig::default()
         },
     );
     let outcome = planner.plan().map_err(|e| e.to_string())?;
 
     println!(
-        "candidates {} | alternatives {} | frontier {} | rejected-by-constraint {}",
+        "strategy {strategy} | candidates {} | alternatives {} | frontier {} | rejected-by-constraint {} | failed-evals {}",
         outcome.candidates.len(),
         outcome.alternatives.len(),
         outcome.skyline.len(),
-        outcome.rejected_by_constraints
+        outcome.rejected_by_constraints,
+        outcome.failed_evaluations
     );
     for (i, alt) in outcome.skyline_alternatives().take(top).enumerate() {
         println!(

@@ -17,6 +17,7 @@
 //! | `complexity_sweep` | §2.2 factorial-complexity claim |
 //! | `concurrency_sweep` | §3 concurrent background evaluation claim |
 //! | `baseline_manual` | §1 manual-redesign comparison |
+//! | `streaming_sweep` | streaming engine vs. materialize-all, search strategies |
 
 use datagen::{Catalog, DirtProfile};
 use etl_model::EtlFlow;

@@ -87,9 +87,7 @@ pub fn manual_redesign(
         trials.push(sampled.iter().take(depth).copied().collect());
     }
     for combo in trials {
-        let Ok((alt, _)) =
-            crate::apply::apply_combination(flow, &combo, "manual_trial")
-        else {
+        let Ok((alt, _)) = crate::apply::apply_combination(flow, &combo, "manual_trial") else {
             continue; // a conflicting stack: the engineer gives up on it
         };
         let Ok(m) = evaluate_flow(&alt, catalog, &stats, EvalMode::Estimate, seed) else {
@@ -149,7 +147,9 @@ mod tests {
             let mut sum = 0.0;
             let trials = 5;
             for s in 0..trials {
-                sum += manual_redesign(&p, strategy, 5, 100 + s).unwrap().best_score_sum;
+                sum += manual_redesign(&p, strategy, 5, 100 + s)
+                    .unwrap()
+                    .best_score_sum;
             }
             let manual_avg = sum / trials as f64;
             assert!(

@@ -15,7 +15,7 @@ use quality::{Characteristic, MeasureVector, SourceStats};
 use simulator::{simulate, SimConfig};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::mpsc;
 
 /// How each alternative is scored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +70,48 @@ pub fn evaluate_flow(
     }
 }
 
+/// Order-preserving parallel map over `0..n` on a scoped worker pool:
+/// workers pull indices from a shared atomic cursor and own their results
+/// outright until the channel is drained after the scope — no per-slot
+/// locking. `workers <= 1` (or `n <= 1`) degenerates to a sequential loop.
+/// Shared by [`evaluate_pool`] and the planner's streaming engine.
+pub(crate) fn par_map_indexed<T: Send>(
+    n: usize,
+    workers: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    let workers = workers.max(1).min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                tx.send((i, f(i))).expect("receiver outlives the scope");
+            });
+        }
+    });
+    drop(tx);
+    let mut results: Vec<Option<T>> = Vec::new();
+    results.resize_with(n, || None);
+    for (i, r) in rx {
+        results[i] = Some(r);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every index mapped"))
+        .collect()
+}
+
 /// Evaluates many flows on a scoped worker pool, preserving input order.
 ///
 /// `workers == 1` degenerates to sequential evaluation (the baseline of the
@@ -85,38 +127,9 @@ pub fn evaluate_pool<F>(
 where
     F: AsRef<EtlFlow> + Sync,
 {
-    let workers = workers.max(1);
-    let n = flows.len();
-    let mut results: Vec<Option<Result<MeasureVector, simulator::SimError>>> = Vec::new();
-    results.resize_with(n, || None);
-    if workers == 1 || n <= 1 {
-        for (i, f) in flows.iter().enumerate() {
-            results[i] = Some(evaluate_flow(f.as_ref(), catalog, stats, mode, seed));
-        }
-    } else {
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Result<MeasureVector, simulator::SimError>>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers.min(n) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let r = evaluate_flow(flows[i].as_ref(), catalog, stats, mode, seed);
-                    *slots[i].lock().expect("slot lock") = Some(r);
-                });
-            }
-        });
-        for (i, slot) in slots.into_iter().enumerate() {
-            results[i] = slot.into_inner().expect("slot lock");
-        }
-    }
-    results
-        .into_iter()
-        .map(|r| r.expect("every flow evaluated"))
-        .collect()
+    par_map_indexed(flows.len(), workers, |i| {
+        evaluate_flow(flows[i].as_ref(), catalog, stats, mode, seed)
+    })
 }
 
 /// Computes characteristic scores for the scatter-plot axes.
@@ -180,14 +193,19 @@ mod tests {
         assert_eq!(seq.len(), par.len());
         for (a, b) in seq.iter().zip(&par) {
             let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
-            assert_eq!(
-                a.get(MeasureId::CycleTimeMs),
-                b.get(MeasureId::CycleTimeMs)
-            );
+            assert_eq!(a.get(MeasureId::CycleTimeMs), b.get(MeasureId::CycleTimeMs));
         }
         // encrypted variants are slower — order preserved means alternating
-        let c0 = par[0].as_ref().unwrap().get(MeasureId::CycleTimeMs).unwrap();
-        let c1 = par[1].as_ref().unwrap().get(MeasureId::CycleTimeMs).unwrap();
+        let c0 = par[0]
+            .as_ref()
+            .unwrap()
+            .get(MeasureId::CycleTimeMs)
+            .unwrap();
+        let c1 = par[1]
+            .as_ref()
+            .unwrap()
+            .get(MeasureId::CycleTimeMs)
+            .unwrap();
         assert!(c0 > c1);
     }
 

@@ -46,59 +46,136 @@ pub fn combination_valid(combo: &[&Candidate], policy: &DeploymentPolicy) -> boo
     true
 }
 
+/// Lazy k-subset cursor over the combination space: yields valid
+/// combinations (ascending candidate-index vectors) on demand, for
+/// `k = 1..=policy.combination_depth(n)`, in the same lexicographic order
+/// the eager enumeration used, stopping after `budget` valid combinations.
+///
+/// Nothing is materialised: memory is O(depth) regardless of how large the
+/// space is, which is what lets the streaming planner walk budgets of 100k+
+/// without holding the combination list (let alone the flows) in memory.
+/// [`stats`](CombinationIter::stats) reports what the cursor has seen so
+/// far; it is complete once the iterator returns `None`.
+pub struct CombinationIter<'a> {
+    candidates: &'a [Candidate],
+    policy: &'a DeploymentPolicy,
+    budget: usize,
+    depth: usize,
+    /// Current subset size; 0 = exhausted.
+    k: usize,
+    /// Next index vector to examine (len == k when active).
+    idx: Vec<usize>,
+    yielded: usize,
+    conflicts: usize,
+    truncated: bool,
+}
+
+impl<'a> CombinationIter<'a> {
+    /// Creates a cursor over `candidates` under `policy`, capped at
+    /// `budget` valid combinations.
+    pub fn new(candidates: &'a [Candidate], policy: &'a DeploymentPolicy, budget: usize) -> Self {
+        let n = candidates.len();
+        let depth = policy.combination_depth(n);
+        let k = if depth == 0 { 0 } else { 1 };
+        CombinationIter {
+            candidates,
+            policy,
+            budget,
+            depth,
+            k,
+            idx: if k == 0 { Vec::new() } else { vec![0] },
+            yielded: 0,
+            conflicts: 0,
+            truncated: false,
+        }
+    }
+
+    /// Exploration-space statistics for everything the cursor has examined
+    /// so far (complete after exhaustion).
+    pub fn stats(&self) -> SpaceStats {
+        SpaceStats {
+            candidates: self.candidates.len(),
+            theoretical: theoretical_space(self.candidates.len(), self.depth),
+            enumerated: self.yielded,
+            conflicts: self.conflicts,
+            truncated: self.truncated,
+        }
+    }
+
+    /// Advances `idx` to the next k-combination in lexicographic order,
+    /// rolling over to size k+1; returns false when the space is exhausted.
+    fn advance(&mut self) -> bool {
+        let n = self.candidates.len();
+        let k = self.k;
+        let mut pos = k;
+        while pos > 0 && self.idx[pos - 1] == pos - 1 + n - k {
+            pos -= 1;
+        }
+        if pos == 0 {
+            // all k-combinations exhausted; move to size k+1
+            if k >= self.depth {
+                self.k = 0;
+                return false;
+            }
+            self.k = k + 1;
+            self.idx = (0..self.k).collect();
+            return true;
+        }
+        self.idx[pos - 1] += 1;
+        for j in pos..k {
+            self.idx[j] = self.idx[j - 1] + 1;
+        }
+        true
+    }
+}
+
+impl Iterator for CombinationIter<'_> {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        while self.k != 0 {
+            let combo: Vec<&Candidate> = self.idx.iter().map(|&i| &self.candidates[i]).collect();
+            let valid = combination_valid(&combo, self.policy);
+            if valid && self.yielded >= self.budget {
+                // the eager semantics: budget full and one more valid combo
+                // exists ⇒ the enumeration was truncated
+                self.truncated = true;
+                self.k = 0;
+                return None;
+            }
+            let item = if valid {
+                self.yielded += 1;
+                Some(self.idx.clone())
+            } else {
+                self.conflicts += 1;
+                None
+            };
+            if !self.advance() && item.is_none() {
+                return None;
+            }
+            if item.is_some() {
+                return item;
+            }
+        }
+        None
+    }
+}
+
 /// Enumerates all valid combinations of size `1..=policy.max_patterns_per_flow`
 /// over `candidates`, stopping after `budget` combinations.
 ///
-/// Returns `(combinations, stats)` where each combination is a vector of
-/// candidate indices (ascending).
+/// Eager compatibility wrapper over [`CombinationIter`] — prefer the
+/// iterator (or the streaming planner) for large budgets. Returns
+/// `(combinations, stats)` where each combination is a vector of candidate
+/// indices (ascending).
 pub fn enumerate_combinations(
     candidates: &[Candidate],
     policy: &DeploymentPolicy,
     budget: usize,
 ) -> (Vec<Vec<usize>>, SpaceStats) {
-    let n = candidates.len();
-    let depth = policy.max_patterns_per_flow.min(n);
-    let mut out = Vec::new();
-    let mut conflicts = 0usize;
-    let mut truncated = false;
-
-    // iterative k-subset enumeration, k = 1..=depth
-    'outer: for k in 1..=depth {
-        let mut idx: Vec<usize> = (0..k).collect();
-        loop {
-            let combo: Vec<&Candidate> = idx.iter().map(|&i| &candidates[i]).collect();
-            if combination_valid(&combo, policy) {
-                if out.len() >= budget {
-                    truncated = true;
-                    break 'outer;
-                }
-                out.push(idx.clone());
-            } else {
-                conflicts += 1;
-            }
-            // advance to the next k-combination in lexicographic order
-            let mut pos = k;
-            while pos > 0 && idx[pos - 1] == pos - 1 + n - k {
-                pos -= 1;
-            }
-            if pos == 0 {
-                break; // all k-combinations exhausted
-            }
-            idx[pos - 1] += 1;
-            for j in pos..k {
-                idx[j] = idx[j - 1] + 1;
-            }
-        }
-    }
-
-    let stats = SpaceStats {
-        candidates: n,
-        theoretical: theoretical_space(n, depth),
-        enumerated: out.len(),
-        conflicts,
-        truncated,
-    };
-    (out, stats)
+    let mut iter = CombinationIter::new(candidates, policy, budget);
+    let combos: Vec<Vec<usize>> = iter.by_ref().collect();
+    (combos, iter.stats())
 }
 
 /// `Σ_{k=1..depth} C(n, k)` — the raw size of the combination space.
@@ -210,5 +287,53 @@ mod tests {
         let (combos, stats) = enumerate_combinations(&[], &policy, 100);
         assert!(combos.is_empty());
         assert_eq!(stats.theoretical, 0.0);
+    }
+
+    #[test]
+    fn lazy_iterator_matches_eager_enumeration() {
+        let cands = candidates();
+        for depth in 1..=3 {
+            for budget in [10usize, 500, usize::MAX] {
+                let policy = fcp::DeploymentPolicy::exhaustive(depth);
+                let (eager, eager_stats) = enumerate_combinations(&cands, &policy, budget);
+                let mut iter = CombinationIter::new(&cands, &policy, budget);
+                let lazy: Vec<Vec<usize>> = iter.by_ref().collect();
+                assert_eq!(eager, lazy, "depth={depth} budget={budget}");
+                assert_eq!(eager_stats, iter.stats(), "depth={depth} budget={budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn iterator_is_lazy_and_stats_track_progress() {
+        let cands = candidates();
+        let policy = fcp::DeploymentPolicy::exhaustive(2);
+        let mut iter = CombinationIter::new(&cands, &policy, usize::MAX);
+        let first: Vec<Vec<usize>> = iter.by_ref().take(7).collect();
+        assert_eq!(first.len(), 7);
+        let mid = iter.stats();
+        assert_eq!(mid.enumerated, 7);
+        assert!(!mid.truncated);
+        // resuming continues exactly where the cursor stopped
+        let rest: Vec<Vec<usize>> = iter.by_ref().collect();
+        let (all, _) = enumerate_combinations(&cands, &policy, usize::MAX);
+        let resumed: Vec<Vec<usize>> = first.into_iter().chain(rest).collect();
+        assert_eq!(all, resumed);
+    }
+
+    #[test]
+    fn iterator_budget_truncation_matches_eager_flag() {
+        let cands = candidates();
+        let policy = fcp::DeploymentPolicy::exhaustive(3);
+        let mut iter = CombinationIter::new(&cands, &policy, 50);
+        let combos: Vec<Vec<usize>> = iter.by_ref().collect();
+        assert_eq!(combos.len(), 50);
+        assert!(iter.stats().truncated);
+        // exact-size budget: everything fits, not truncated
+        let (all, full_stats) = enumerate_combinations(&cands, &policy, usize::MAX);
+        let mut exact = CombinationIter::new(&cands, &policy, all.len());
+        assert_eq!(exact.by_ref().count(), all.len());
+        assert!(!exact.stats().truncated);
+        assert_eq!(exact.stats().conflicts, full_stats.conflicts);
     }
 }

@@ -10,13 +10,18 @@
 //!    potential application point — node, edge or whole graph;
 //! 2. **applies** them in varying positions and combinations
 //!    ([`explore`], [`apply`]), producing up to thousands of alternative
-//!    ETL designs while keeping the data source schemata constant;
+//!    ETL designs while keeping the data source schemata constant — the
+//!    space is walked *lazily* by a pluggable [`search`] strategy
+//!    (exhaustive, beam, greedy hill-climb), never materialised;
 //! 3. **estimates measures** for various quality attributes for each
 //!    alternative ([`eval`]) — analytically by default, by full simulation
-//!    on demand — using a pool of background workers (the paper launches
-//!    EC2 nodes; we use a thread pool);
+//!    on demand — workers pull combinations from a shared cursor and
+//!    evaluate them in place (the paper launches EC2 nodes; we use a
+//!    thread pool);
 //! 4. presents only the **Pareto frontier (skyline)** of the alternatives
-//!    over the examined quality dimensions ([`skyline`]), with per-flow
+//!    over the examined quality dimensions ([`skyline`]), maintained
+//!    *incrementally during* evaluation by a [`SkylineSet`] so dominated
+//!    designs can be dropped the moment they die, with per-flow
 //!    relative-change reports against the initial flow (Fig. 5);
 //! 5. runs **iteratively** ([`session`]): the user picks a point on the
 //!    scatter-plot, the corresponding patterns are integrated into the
@@ -46,11 +51,19 @@ pub mod eval;
 pub mod explore;
 pub mod generate;
 mod planner;
+pub mod search;
 pub mod session;
 pub mod skyline;
 
 pub use eval::{Alternative, EvalMode};
+pub use explore::CombinationIter;
 pub use generate::Candidate;
 pub use planner::{Planner, PlannerConfig, PlannerError, PlannerOutcome};
+pub use search::{
+    Beam, CombinationSink, Exhaustive, GreedyHillClimb, SearchReport, SearchSpace, SearchStrategy,
+    SearchStrategyKind,
+};
 pub use session::Session;
-pub use skyline::{pareto_skyline, pareto_skyline_bnl, pareto_skyline_sorted};
+pub use skyline::{
+    pareto_skyline, pareto_skyline_bnl, pareto_skyline_sorted, Insertion, SkylineSet,
+};

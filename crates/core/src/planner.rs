@@ -1,17 +1,32 @@
 //! The Planner: one full generation → application → estimation → skyline
-//! cycle (Fig. 3).
+//! cycle (Fig. 3), run as a *streaming* pipeline.
+//!
+//! The paper notes the analysis "is factorial to the size of the graph" and
+//! that only the Pareto frontier is ever shown to the user. The engine
+//! therefore never materialises the combination list or the flow pool: a
+//! [`SearchStrategy`] walks the space lazily and submits combination
+//! batches; workers pull combination indices from a shared cursor, apply
+//! and evaluate *per worker*, and feed scores into a shared incremental
+//! [`SkylineSet`]. With [`PlannerConfig::retain_dominated`] off, dominated
+//! designs are dropped the moment the frontier rejects them, so memory is
+//! O(frontier) instead of O(space) and the budget can grow by orders of
+//! magnitude. [`Planner::plan_materialized`] keeps the original
+//! materialize-all path for A/B comparison (see the `streaming_sweep` bin).
 
 use crate::apply::{apply_combination, combination_name};
 use crate::eval::{characteristic_scores, evaluate_flow, evaluate_pool, Alternative, EvalMode};
-use crate::explore::{enumerate_combinations, SpaceStats};
+use crate::explore::{enumerate_combinations, theoretical_space, SpaceStats};
 use crate::generate::{generate_candidates, Candidate};
-use crate::skyline::pareto_skyline;
+use crate::search::{CombinationSink, SearchSpace, SearchStrategy, SearchStrategyKind};
+use crate::skyline::{pareto_skyline, Insertion, SkylineSet};
 use datagen::Catalog;
 use etl_model::EtlFlow;
 use fcp::{DeploymentPolicy, PatternRegistry};
 use quality::{Characteristic, MeasureVector, QualityReport, SourceStats};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Planner configuration (the "user-defined configurations" input of
 /// Fig. 3).
@@ -23,8 +38,22 @@ pub struct PlannerConfig {
     pub eval_mode: EvalMode,
     /// Worker threads for concurrent evaluation.
     pub workers: usize,
-    /// Hard cap on enumerated alternatives per cycle.
+    /// Hard cap on enumerated alternatives per cycle. Memory grows with
+    /// what is *retained*, not with the budget: with
+    /// [`retain_dominated`](Self::retain_dominated) off the engine holds
+    /// O(batch + frontier) flows and this can grow far past the old
+    /// materialize-all ceiling of 5 000; with retention on (the default)
+    /// every admitted alternative is kept, so raise the budget and drop
+    /// dominated designs together.
     pub max_alternatives: usize,
+    /// How the combination space is walked.
+    pub strategy: SearchStrategyKind,
+    /// Keep dominated alternatives in [`PlannerOutcome::alternatives`]
+    /// (the historical behaviour, needed for full scatter-plots). When
+    /// `false`, dominated designs are dropped as soon as the incremental
+    /// skyline rejects them and the outcome holds only the frontier —
+    /// memory O(frontier) instead of O(space).
+    pub retain_dominated: bool,
     /// The quality dimensions of the scatter-plot (Fig. 4 uses
     /// performance × data quality × reliability).
     pub dimensions: Vec<Characteristic>,
@@ -38,7 +67,9 @@ impl Default for PlannerConfig {
             policy: DeploymentPolicy::balanced(),
             eval_mode: EvalMode::Estimate,
             workers: 4,
-            max_alternatives: 5_000,
+            max_alternatives: 50_000,
+            strategy: SearchStrategyKind::Exhaustive,
+            retain_dominated: true,
             dimensions: vec![
                 Characteristic::Performance,
                 Characteristic::DataQuality,
@@ -78,7 +109,9 @@ pub struct PlannerOutcome {
     pub baseline: MeasureVector,
     /// The candidates that were considered.
     pub candidates: Vec<Candidate>,
-    /// All evaluated, policy-admitted alternatives.
+    /// The evaluated, policy-admitted alternatives that were retained:
+    /// everything evaluated when [`PlannerConfig::retain_dominated`] is on,
+    /// only the frontier when it is off.
     pub alternatives: Vec<Alternative>,
     /// Indices (into `alternatives`) of the Pareto frontier, ascending —
     /// the only designs presented to the user (Fig. 4).
@@ -90,18 +123,70 @@ pub struct PlannerOutcome {
     /// Combinations that failed during application (conflicts discovered
     /// at apply time).
     pub failed_applications: usize,
+    /// Alternatives whose evaluation errored; they are skipped rather than
+    /// aborting the cycle, so one bad simulation no longer discards
+    /// thousands of good designs.
+    pub failed_evaluations: usize,
+    /// `skyline` re-ordered best-score-sum-first, computed once at
+    /// assembly so [`skyline_alternatives`](Self::skyline_alternatives)
+    /// neither sorts nor allocates per call.
+    ranked: Vec<usize>,
 }
 
 impl PlannerOutcome {
-    /// Iterator over the skyline alternatives, best-sum-first.
-    pub fn skyline_alternatives(&self) -> impl Iterator<Item = &Alternative> {
-        let mut idx = self.skyline.clone();
-        idx.sort_by(|&a, &b| {
-            let sa: f64 = self.alternatives[a].scores.iter().sum();
-            let sb: f64 = self.alternatives[b].scores.iter().sum();
+    /// Assembles an outcome, computing the best-sum-first skyline order
+    /// once.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        baseline: MeasureVector,
+        candidates: Vec<Candidate>,
+        alternatives: Vec<Alternative>,
+        skyline: Vec<usize>,
+        stats: SpaceStats,
+        rejected_by_constraints: usize,
+        failed_applications: usize,
+        failed_evaluations: usize,
+    ) -> Self {
+        let mut ranked = skyline.clone();
+        ranked.sort_by(|&a, &b| {
+            let sa: f64 = alternatives[a].scores.iter().sum();
+            let sb: f64 = alternatives[b].scores.iter().sum();
             sb.total_cmp(&sa)
         });
-        idx.into_iter().map(|i| &self.alternatives[i])
+        PlannerOutcome {
+            baseline,
+            candidates,
+            alternatives,
+            skyline,
+            stats,
+            rejected_by_constraints,
+            failed_applications,
+            failed_evaluations,
+            ranked,
+        }
+    }
+
+    /// Iterator over the skyline alternatives, best-sum-first.
+    pub fn skyline_alternatives(&self) -> impl Iterator<Item = &Alternative> {
+        self.ranked.iter().map(move |&i| &self.alternatives[i])
+    }
+
+    /// The skyline indices ranked best-score-sum-first (the order
+    /// [`skyline_alternatives`](Self::skyline_alternatives) walks).
+    pub fn skyline_ranked(&self) -> &[usize] {
+        &self.ranked
+    }
+
+    /// The skyline alternative names as a sorted set — the identity of the
+    /// frontier, independent of index layout or retention mode.
+    pub fn skyline_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self
+            .skyline
+            .iter()
+            .map(|&i| self.alternatives[i].name.as_str())
+            .collect();
+        names.sort_unstable();
+        names
     }
 
     /// The Fig. 5 report for one alternative: relative change of every
@@ -165,25 +250,55 @@ impl Planner {
         self.flow = flow;
     }
 
-    /// Runs one full planning cycle.
+    /// Runs one full planning cycle with the configured search strategy.
     pub fn plan(&self) -> Result<PlannerOutcome, PlannerError> {
-        self.flow
-            .validate()
-            .map_err(|e| PlannerError::InvalidFlow(e.to_string()))?;
-        let baseline = evaluate_flow(
-            &self.flow,
-            &self.catalog,
-            &self.stats_cache,
-            self.config.eval_mode,
-            self.config.seed,
-        )
-        .map_err(|e| PlannerError::Eval(e.to_string()))?;
+        self.plan_with(self.config.strategy.instantiate().as_ref())
+    }
 
-        // 1. pattern generation
-        let candidates = generate_candidates(&self.flow, &self.registry, &self.config.policy)
-            .map_err(|e| PlannerError::Pattern(e.to_string()))?;
+    /// Runs one full planning cycle with an explicit (possibly
+    /// user-defined) search strategy — the streaming engine.
+    pub fn plan_with(&self, strategy: &dyn SearchStrategy) -> Result<PlannerOutcome, PlannerError> {
+        let (baseline, candidates) = self.prepare()?;
+        let engine = StreamingEngine::new(self, &baseline, &candidates);
+        let space = SearchSpace {
+            candidates: &candidates,
+            policy: &self.config.policy,
+            budget: self.config.max_alternatives,
+        };
+        let mut sink = EngineSink {
+            engine: &engine,
+            next_seq: 0,
+        };
+        let report = strategy.run(&space, &mut sink);
+        let harvest = engine.finish();
+        let stats = SpaceStats {
+            candidates: candidates.len(),
+            theoretical: theoretical_space(
+                candidates.len(),
+                self.config.policy.combination_depth(candidates.len()),
+            ),
+            enumerated: report.enumerated,
+            conflicts: report.conflicts,
+            truncated: report.truncated,
+        };
+        Ok(PlannerOutcome::assemble(
+            baseline,
+            candidates,
+            harvest.alternatives,
+            harvest.skyline,
+            stats,
+            harvest.rejected_by_constraints,
+            harvest.failed_applications,
+            harvest.failed_evaluations,
+        ))
+    }
 
-        // 2. combination enumeration + application
+    /// The original materialize-all pipeline: enumerate every combination,
+    /// clone every flow, evaluate the whole pool, skyline once at the end.
+    /// Kept as the A/B reference for the streaming engine (equal skylines,
+    /// O(space) memory) — see `streaming_sweep` and the equivalence tests.
+    pub fn plan_materialized(&self) -> Result<PlannerOutcome, PlannerError> {
+        let (baseline, candidates) = self.prepare()?;
         let (combos, stats) = enumerate_combinations(
             &candidates,
             &self.config.policy,
@@ -208,7 +323,6 @@ impl Planner {
             }
         }
 
-        // 3. concurrent measures estimation
         struct FlowRef<'a>(&'a EtlFlow);
         impl AsRef<EtlFlow> for FlowRef<'_> {
             fn as_ref(&self) -> &EtlFlow {
@@ -226,13 +340,17 @@ impl Planner {
         );
         drop(flow_refs);
 
-        // assemble, applying policy measure constraints
         let mut alternatives = Vec::with_capacity(flows.len());
         let mut rejected = 0usize;
-        for ((flow, (name, applied, combo)), m) in
-            flows.into_iter().zip(metas).zip(measures)
-        {
-            let m = m.map_err(|e| PlannerError::Eval(e.to_string()))?;
+        let mut failed_evaluations = 0usize;
+        for ((flow, (name, applied, combo)), m) in flows.into_iter().zip(metas).zip(measures) {
+            let m = match m {
+                Ok(m) => m,
+                Err(_) => {
+                    failed_evaluations += 1;
+                    continue;
+                }
+            };
             if !self.config.policy.admits(&baseline, &m) {
                 rejected += 1;
                 continue;
@@ -248,18 +366,205 @@ impl Planner {
             });
         }
 
-        // 4. skyline
         let points: Vec<Vec<f64>> = alternatives.iter().map(|a| a.scores.clone()).collect();
         let skyline = pareto_skyline(&points);
 
-        Ok(PlannerOutcome {
+        Ok(PlannerOutcome::assemble(
             baseline,
             candidates,
             alternatives,
             skyline,
             stats,
-            rejected_by_constraints: rejected,
+            rejected,
             failed_applications,
+            failed_evaluations,
+        ))
+    }
+
+    /// Shared preamble of both pipelines: validate the flow, score the
+    /// baseline, generate candidates.
+    fn prepare(&self) -> Result<(MeasureVector, Vec<Candidate>), PlannerError> {
+        self.flow
+            .validate()
+            .map_err(|e| PlannerError::InvalidFlow(e.to_string()))?;
+        let baseline = evaluate_flow(
+            &self.flow,
+            &self.catalog,
+            &self.stats_cache,
+            self.config.eval_mode,
+            self.config.seed,
+        )
+        .map_err(|e| PlannerError::Eval(e.to_string()))?;
+        let candidates = generate_candidates(&self.flow, &self.registry, &self.config.policy)
+            .map_err(|e| PlannerError::Pattern(e.to_string()))?;
+        Ok((baseline, candidates))
+    }
+}
+
+// --------------------------------------------------------- streaming engine
+
+/// Shared mutable state of one streaming cycle: the live frontier and the
+/// retained alternatives, keyed by the combination's global sequence
+/// number (its position in the strategy's submission order, which for
+/// [`Exhaustive`](crate::search::Exhaustive) equals the lazy enumeration
+/// order — so final indices match the materialized path exactly).
+struct EngineState {
+    skyline: SkylineSet,
+    retained: Vec<(usize, Alternative)>,
+}
+
+/// Everything the engine accumulated over a cycle.
+struct Harvest {
+    alternatives: Vec<Alternative>,
+    skyline: Vec<usize>,
+    rejected_by_constraints: usize,
+    failed_applications: usize,
+    failed_evaluations: usize,
+}
+
+/// The streaming generate→apply→evaluate→skyline engine. Each submitted
+/// batch is processed by a scoped worker pool: workers pull combination
+/// indices from a shared atomic cursor, apply + evaluate locally (no
+/// up-front flow pool), and push `(seq, scores)` into the shared
+/// [`SkylineSet`] under one short-lived lock. Evaluation — the expensive
+/// part — runs outside any lock.
+struct StreamingEngine<'a> {
+    planner: &'a Planner,
+    baseline: &'a MeasureVector,
+    candidates: &'a [Candidate],
+    retain_dominated: bool,
+    state: Mutex<EngineState>,
+    rejected: AtomicUsize,
+    failed_applications: AtomicUsize,
+    failed_evaluations: AtomicUsize,
+}
+
+/// The `&mut`-requiring [`CombinationSink`] face of the engine; owns the
+/// monotone sequence counter while the engine itself stays shareable
+/// across worker threads.
+struct EngineSink<'e, 'a> {
+    engine: &'e StreamingEngine<'a>,
+    next_seq: usize,
+}
+
+impl<'a> StreamingEngine<'a> {
+    fn new(planner: &'a Planner, baseline: &'a MeasureVector, candidates: &'a [Candidate]) -> Self {
+        StreamingEngine {
+            planner,
+            baseline,
+            candidates,
+            retain_dominated: planner.config.retain_dominated,
+            state: Mutex::new(EngineState {
+                skyline: SkylineSet::new(),
+                retained: Vec::new(),
+            }),
+            rejected: AtomicUsize::new(0),
+            failed_applications: AtomicUsize::new(0),
+            failed_evaluations: AtomicUsize::new(0),
+        }
+    }
+
+    /// Applies, evaluates and skyline-feeds one combination; returns its
+    /// objective, or `None` when it failed or was rejected.
+    fn process(&self, seq: usize, combo: &[usize]) -> Option<f64> {
+        let refs: Vec<&Candidate> = combo.iter().map(|&i| &self.candidates[i]).collect();
+        let name = combination_name(&self.planner.flow, &refs);
+        let (flow, applied) = match apply_combination(&self.planner.flow, &refs, name.clone()) {
+            Ok(ok) => ok,
+            Err(_) => {
+                self.failed_applications.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        let measures = match evaluate_flow(
+            &flow,
+            &self.planner.catalog,
+            &self.planner.stats_cache,
+            self.planner.config.eval_mode,
+            self.planner.config.seed,
+        ) {
+            Ok(m) => m,
+            Err(_) => {
+                self.failed_evaluations.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        if !self.planner.config.policy.admits(self.baseline, &measures) {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let scores =
+            characteristic_scores(&measures, self.baseline, &self.planner.config.dimensions);
+        let objective: f64 = scores.iter().sum();
+        let applied = applied
+            .iter()
+            .map(|a| format!("{} {}", a.pattern, a.point))
+            .collect::<Vec<_>>();
+        let alt = Alternative {
+            name,
+            flow,
+            applied,
+            combo: combo.to_vec(),
+            measures,
+            scores: scores.clone(),
+        };
+        let mut state = self.state.lock().expect("engine state");
+        match state.skyline.insert(seq, scores) {
+            Insertion::Accepted { evicted } => {
+                if !self.retain_dominated {
+                    for seq in evicted {
+                        if let Some(pos) = state.retained.iter().position(|(s, _)| *s == seq) {
+                            state.retained.swap_remove(pos);
+                        }
+                    }
+                }
+                state.retained.push((seq, alt));
+            }
+            Insertion::Dominated => {
+                if self.retain_dominated {
+                    state.retained.push((seq, alt));
+                }
+                // else: the dominated flow is dropped right here, keeping
+                // the engine's memory proportional to the frontier
+            }
+        }
+        Some(objective)
+    }
+
+    /// Sorts the retained alternatives back into submission order (the
+    /// worker pool finishes them out of order) and maps skyline sequence
+    /// numbers to final indices — output is deterministic regardless of
+    /// thread scheduling.
+    fn finish(self) -> Harvest {
+        let state = self.state.into_inner().expect("engine state");
+        let mut retained = state.retained;
+        retained.sort_unstable_by_key(|(seq, _)| *seq);
+        let sky_seqs = state.skyline.ids();
+        let mut skyline = Vec::with_capacity(sky_seqs.len());
+        let mut pos = 0usize;
+        for seq in sky_seqs {
+            while retained[pos].0 != seq {
+                pos += 1;
+            }
+            skyline.push(pos);
+        }
+        Harvest {
+            alternatives: retained.into_iter().map(|(_, alt)| alt).collect(),
+            skyline,
+            rejected_by_constraints: self.rejected.into_inner(),
+            failed_applications: self.failed_applications.into_inner(),
+            failed_evaluations: self.failed_evaluations.into_inner(),
+        }
+    }
+}
+
+impl CombinationSink for EngineSink<'_, '_> {
+    fn submit(&mut self, combos: &[Vec<usize>]) -> Vec<Option<f64>> {
+        let engine = self.engine;
+        let base_seq = self.next_seq;
+        self.next_seq += combos.len();
+        crate::eval::par_map_indexed(combos.len(), engine.planner.config.workers, |i| {
+            engine.process(base_seq + i, &combos[i])
         })
     }
 }
@@ -289,7 +594,80 @@ mod tests {
         // skyline members must not be dominated
         for &i in &out.skyline {
             for a in &out.alternatives {
-                assert!(!crate::skyline::dominates(&a.scores, &out.alternatives[i].scores));
+                assert!(!crate::skyline::dominates(
+                    &a.scores,
+                    &out.alternatives[i].scores
+                ));
+            }
+        }
+        assert_eq!(out.failed_evaluations, 0);
+    }
+
+    #[test]
+    fn streaming_matches_materialized_on_fig2() {
+        // The acceptance bar: identical skyline (same alternative names)
+        // from the streaming exhaustive engine and the old path.
+        let p = planner(PlannerConfig::default());
+        let streaming = p.plan().unwrap();
+        let eager = p.plan_materialized().unwrap();
+        assert_eq!(streaming.skyline_names(), eager.skyline_names());
+        // with retain_dominated (default) even the full layout matches
+        assert_eq!(streaming.alternatives.len(), eager.alternatives.len());
+        assert_eq!(streaming.skyline, eager.skyline);
+        for (s, e) in streaming.alternatives.iter().zip(&eager.alternatives) {
+            assert_eq!(s.name, e.name);
+            assert_eq!(s.scores, e.scores);
+        }
+        assert_eq!(streaming.stats, eager.stats);
+        assert_eq!(
+            streaming.rejected_by_constraints,
+            eager.rejected_by_constraints
+        );
+    }
+
+    #[test]
+    fn dropping_dominated_keeps_only_the_frontier() {
+        let config = PlannerConfig {
+            retain_dominated: false,
+            ..PlannerConfig::default()
+        };
+        let p = planner(config);
+        let lean = p.plan().unwrap();
+        let full = p.plan_materialized().unwrap();
+        // only frontier members retained, but the frontier is identical
+        assert_eq!(lean.alternatives.len(), lean.skyline.len());
+        assert_eq!(lean.skyline_names(), full.skyline_names());
+        assert!(lean.alternatives.len() < full.alternatives.len());
+        // stats describe the same walked space
+        assert_eq!(lean.stats, full.stats);
+    }
+
+    #[test]
+    fn beam_and_greedy_explore_less_and_stay_on_the_true_frontier_scale() {
+        let exhaustive = planner(PlannerConfig::default()).plan().unwrap();
+        for strategy in [
+            SearchStrategyKind::Beam { width: 6 },
+            SearchStrategyKind::GreedyHillClimb,
+        ] {
+            let config = PlannerConfig {
+                strategy,
+                ..PlannerConfig::default()
+            };
+            let out = planner(config).plan().unwrap();
+            assert!(
+                out.stats.enumerated <= exhaustive.stats.enumerated,
+                "{strategy} evaluated more than exhaustive"
+            );
+            assert!(!out.skyline.is_empty(), "{strategy} found no frontier");
+            // every frontier point of a partial walk is at least not
+            // dominated by anything that walk saw
+            for &i in &out.skyline {
+                for a in &out.alternatives {
+                    assert!(!crate::skyline::dominates(
+                        &a.scores,
+                        &out.alternatives[i].scores
+                    ));
+                }
             }
         }
     }
@@ -304,6 +682,29 @@ mod tests {
             "the frontier must improve on the baseline somewhere: {:?}",
             best.scores
         );
+    }
+
+    #[test]
+    fn skyline_ranked_is_cached_and_best_first() {
+        let p = planner(PlannerConfig::default());
+        let out = p.plan().unwrap();
+        let ranked = out.skyline_ranked();
+        assert_eq!(ranked.len(), out.skyline.len());
+        let sums: Vec<f64> = ranked
+            .iter()
+            .map(|&i| out.alternatives[i].scores.iter().sum())
+            .collect();
+        assert!(sums.windows(2).all(|w| w[0] >= w[1]), "{sums:?}");
+        // iterator agrees with the cached order
+        let names: Vec<&str> = out
+            .skyline_alternatives()
+            .map(|a| a.name.as_str())
+            .collect();
+        let expect: Vec<&str> = ranked
+            .iter()
+            .map(|&i| out.alternatives[i].name.as_str())
+            .collect();
+        assert_eq!(names, expect);
     }
 
     #[test]
@@ -402,5 +803,73 @@ mod tests {
         let out = p.plan().unwrap();
         assert!(!out.alternatives.is_empty());
         assert!(out.baseline.get(MeasureId::Throughput).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn evaluation_errors_are_counted_not_fatal() {
+        // A (deliberately pathological) pattern that renames an extract's
+        // source to a table absent from the catalog: the flow still
+        // validates structurally and estimation still works, but full
+        // simulation fails with `UnknownSource`. With the bugfix the cycle
+        // survives and counts the casualty instead of aborting.
+        struct BreakSource;
+        impl fcp::Pattern for BreakSource {
+            fn name(&self) -> &str {
+                "BreakSource"
+            }
+            fn improves(&self) -> Characteristic {
+                Characteristic::DataQuality
+            }
+            fn prerequisites(&self) -> Vec<fcp::Prerequisite> {
+                vec![]
+            }
+            fn candidate_points(
+                &self,
+                _ctx: &fcp::PatternContext<'_>,
+            ) -> Vec<fcp::ApplicationPoint> {
+                vec![fcp::ApplicationPoint::Graph]
+            }
+            fn apply(
+                &self,
+                flow: &mut EtlFlow,
+                point: fcp::ApplicationPoint,
+            ) -> Result<fcp::AppliedPattern, fcp::PatternError> {
+                let n = flow.ops_of_kind("extract")[0];
+                if let etl_model::OpKind::Extract { source, .. } = &mut flow.op_mut(n).unwrap().kind
+                {
+                    *source = "__missing_table__".into();
+                }
+                Ok(fcp::AppliedPattern {
+                    pattern: "BreakSource".into(),
+                    point,
+                    added_nodes: vec![],
+                })
+            }
+        }
+
+        let (f, _) = purchases_flow();
+        let cat = purchases_catalog(60, &DirtProfile::demo(), 5);
+        let mut reg = PatternRegistry::standard_for_catalog(&cat);
+        reg.register(BreakSource);
+        let config = PlannerConfig {
+            eval_mode: EvalMode::Simulate,
+            max_alternatives: 50,
+            policy: DeploymentPolicy::exhaustive(1),
+            ..PlannerConfig::default()
+        };
+        let p = Planner::new(f, cat, reg, config);
+        let out = p.plan().unwrap();
+        assert!(
+            out.failed_evaluations > 0,
+            "the broken pattern must fail simulation"
+        );
+        assert!(!out.alternatives.is_empty(), "good designs must survive");
+        assert_eq!(
+            out.stats.enumerated,
+            out.alternatives.len()
+                + out.failed_evaluations
+                + out.failed_applications
+                + out.rejected_by_constraints
+        );
     }
 }

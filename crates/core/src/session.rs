@@ -53,6 +53,16 @@ impl Session {
         self.planner.plan()
     }
 
+    /// Like [`explore`](Self::explore) but with an explicit search
+    /// strategy, e.g. a wide beam for a quick first look at a huge space
+    /// followed by an exhaustive confirmation cycle.
+    pub fn explore_with(
+        &self,
+        strategy: &dyn crate::search::SearchStrategy,
+    ) -> Result<PlannerOutcome, PlannerError> {
+        self.planner.plan_with(strategy)
+    }
+
     /// Integrates the alternative at `skyline_rank` (0 = best score-sum on
     /// the frontier) of `outcome` into the process, ending the cycle.
     /// Returns the record, or `None` when the rank is out of range.
@@ -120,6 +130,16 @@ mod tests {
     }
 
     #[test]
+    fn explore_with_custom_strategy_feeds_selection() {
+        let mut s = session();
+        // quick beam pass instead of the configured exhaustive walk
+        let outcome = s.explore_with(&crate::search::Beam { width: 4 }).unwrap();
+        assert!(!outcome.skyline.is_empty());
+        let rec = s.select(&outcome, 0).unwrap();
+        assert_eq!(rec.cycle, 1);
+    }
+
+    #[test]
     fn out_of_range_rank_returns_none() {
         let mut s = session();
         let outcome = s.explore().unwrap();
@@ -146,7 +166,9 @@ mod tests {
         let f = s.current_flow();
         let pattern_ops = f.count_ops(|op| op.from_pattern.is_some());
         assert!(
-            pattern_ops > 0 || f.config.encrypted || f.config.role_based_access
+            pattern_ops > 0
+                || f.config.encrypted
+                || f.config.role_based_access
                 || f.config.resources != etl_model::ResourceClass::Small,
             "three cycles must leave visible integrations"
         );

@@ -65,6 +65,80 @@ pub fn pareto_skyline_sorted(points: &[Vec<f64>]) -> Vec<usize> {
     skyline
 }
 
+/// Result of one [`SkylineSet::insert`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Insertion {
+    /// The point joined the frontier; `evicted` lists the ids of members it
+    /// newly dominates (removed from the set, ascending).
+    Accepted { evicted: Vec<usize> },
+    /// The point is dominated by an existing member and was rejected.
+    Dominated,
+}
+
+/// An incrementally maintained Pareto frontier: points stream in one at a
+/// time, dominated arrivals are rejected on the spot and newly-dominated
+/// members are evicted, so the frontier is correct *during* evaluation —
+/// the planner never has to materialise the full point set.
+///
+/// Equal points follow the batch semantics of [`pareto_skyline_bnl`] /
+/// [`pareto_skyline_sorted`]: they do not dominate each other, so
+/// duplicates coexist on the frontier. For any insertion order, the final
+/// id set equals the batch skyline of the same points (the frontier of a
+/// set is unique) — `skyline_set_agrees_with_batch` below and the
+/// cross-crate proptests hold both algorithms to that.
+#[derive(Debug, Clone, Default)]
+pub struct SkylineSet {
+    members: Vec<(usize, Vec<f64>)>,
+}
+
+impl SkylineSet {
+    /// An empty frontier.
+    pub fn new() -> Self {
+        SkylineSet::default()
+    }
+
+    /// Offers `(id, point)` to the frontier.
+    pub fn insert(&mut self, id: usize, point: Vec<f64>) -> Insertion {
+        if self.members.iter().any(|(_, p)| dominates(p, &point)) {
+            return Insertion::Dominated;
+        }
+        let mut evicted = Vec::new();
+        self.members.retain(|(mid, p)| {
+            if dominates(&point, p) {
+                evicted.push(*mid);
+                false
+            } else {
+                true
+            }
+        });
+        evicted.sort_unstable();
+        self.members.push((id, point));
+        Insertion::Accepted { evicted }
+    }
+
+    /// Ids of the current frontier members, ascending.
+    pub fn ids(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self.members.iter().map(|(id, _)| *id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Current frontier size.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when no point has been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// `(id, point)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[f64])> {
+        self.members.iter().map(|(id, p)| (*id, p.as_slice()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,7 +147,10 @@ mod tests {
     fn dominance_relation() {
         assert!(dominates(&[2.0, 2.0], &[1.0, 2.0]));
         assert!(!dominates(&[2.0, 1.0], &[1.0, 2.0]));
-        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0]), "equal points don't dominate");
+        assert!(
+            !dominates(&[1.0, 1.0], &[1.0, 1.0]),
+            "equal points don't dominate"
+        );
         assert!(dominates(&[1.0, 1.0, 1.1], &[1.0, 1.0, 1.0]));
     }
 
@@ -88,11 +165,7 @@ mod tests {
 
     #[test]
     fn incomparable_points_all_survive() {
-        let pts = vec![
-            vec![3.0, 1.0],
-            vec![2.0, 2.0],
-            vec![1.0, 3.0],
-        ];
+        let pts = vec![vec![3.0, 1.0], vec![2.0, 2.0], vec![1.0, 3.0]];
         assert_eq!(pareto_skyline(&pts), vec![0, 1, 2]);
     }
 
@@ -125,5 +198,65 @@ mod tests {
     fn empty_and_single() {
         assert!(pareto_skyline(&[]).is_empty());
         assert_eq!(pareto_skyline(&[vec![1.0]]), vec![0]);
+    }
+
+    #[test]
+    fn skyline_set_rejects_dominated_and_evicts() {
+        let mut s = SkylineSet::new();
+        assert_eq!(
+            s.insert(0, vec![1.0, 1.0]),
+            Insertion::Accepted { evicted: vec![] }
+        );
+        // dominated arrival rejected on the spot
+        assert_eq!(s.insert(1, vec![0.5, 0.5]), Insertion::Dominated);
+        assert_eq!(s.len(), 1);
+        // incomparable arrival coexists
+        assert_eq!(
+            s.insert(2, vec![2.0, 0.5]),
+            Insertion::Accepted { evicted: vec![] }
+        );
+        // a dominating arrival evicts both
+        assert_eq!(
+            s.insert(3, vec![2.0, 1.0]),
+            Insertion::Accepted {
+                evicted: vec![0, 2]
+            }
+        );
+        assert_eq!(s.ids(), vec![3]);
+    }
+
+    #[test]
+    fn skyline_set_keeps_duplicates_like_batch() {
+        let mut s = SkylineSet::new();
+        for i in 0..4 {
+            assert_eq!(
+                s.insert(i, vec![1.0, 1.0]),
+                Insertion::Accepted { evicted: vec![] }
+            );
+        }
+        assert_eq!(s.ids(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn skyline_set_agrees_with_batch() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(1234);
+        for dims in [2usize, 3, 4] {
+            let pts: Vec<Vec<f64>> = (0..400)
+                .map(|_| (0..dims).map(|_| rng.gen_range(0.0..100.0)).collect())
+                .collect();
+            let mut set = SkylineSet::new();
+            for (i, p) in pts.iter().enumerate() {
+                set.insert(i, p.clone());
+            }
+            assert_eq!(set.ids(), pareto_skyline_bnl(&pts), "bnl dims={dims}");
+            assert_eq!(set.ids(), pareto_skyline_sorted(&pts), "sorted dims={dims}");
+            // reversed insertion order reaches the same frontier
+            let mut rev = SkylineSet::new();
+            for (i, p) in pts.iter().enumerate().rev() {
+                rev.insert(i, p.clone());
+            }
+            assert_eq!(rev.ids(), set.ids(), "order-independent dims={dims}");
+        }
     }
 }

@@ -146,10 +146,24 @@ mod tests {
     #[test]
     fn oldest_update_picks_minimum() {
         let mut c = Catalog::new();
-        c.add_generated(&spec(), &DirtProfile { staleness_hours: 5.0, ..DirtProfile::clean() }, 1);
+        c.add_generated(
+            &spec(),
+            &DirtProfile {
+                staleness_hours: 5.0,
+                ..DirtProfile::clean()
+            },
+            1,
+        );
         let mut other = spec();
         other.name = "items".into();
-        c.add_generated(&other, &DirtProfile { staleness_hours: 50.0, ..DirtProfile::clean() }, 2);
+        c.add_generated(
+            &other,
+            &DirtProfile {
+                staleness_hours: 50.0,
+                ..DirtProfile::clean()
+            },
+            2,
+        );
         let oldest = c
             .oldest_update(&["orders".to_string(), "items".to_string()])
             .unwrap();

@@ -22,7 +22,12 @@ pub struct TableSpec {
 
 impl TableSpec {
     /// Convenience constructor.
-    pub fn new(name: impl Into<String>, schema: Schema, rows: usize, key: impl Into<String>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        schema: Schema,
+        rows: usize,
+        key: impl Into<String>,
+    ) -> Self {
         TableSpec {
             name: name.into(),
             schema,
@@ -70,7 +75,12 @@ fn gen_value(attr_name: &str, dtype: DataType, row: usize, rng: &mut SmallRng) -
         DataType::Str => {
             let w = WORDS.choose(rng).expect("WORDS is non-empty");
             if lower.contains("status") {
-                Value::Str(["OK", "PENDING", "SHIPPED"].choose(rng).unwrap().to_string())
+                Value::Str(
+                    ["OK", "PENDING", "SHIPPED"]
+                        .choose(rng)
+                        .unwrap()
+                        .to_string(),
+                )
             } else if lower.contains("priority") {
                 Value::Str(["HIGH", "MEDIUM", "LOW"].choose(rng).unwrap().to_string())
             } else {
@@ -185,7 +195,10 @@ mod tests {
         let s = spec(200);
         let (_, dirty) = generate_table(&s, &DirtProfile::filthy(), 2);
         for row in &dirty {
-            assert!(matches!(row[0], Value::Int(k) if k >= 1), "key must survive dirt");
+            assert!(
+                matches!(row[0], Value::Int(k) if k >= 1),
+                "key must survive dirt"
+            );
         }
     }
 
@@ -194,8 +207,16 @@ mod tests {
         let s = spec(500);
         let (clean, dirty) = generate_table(&s, &DirtProfile::filthy(), 3);
         assert!(dirty.len() > clean.len(), "expected duplicates");
-        let nulls = dirty.iter().flat_map(|r| r.iter()).filter(|v| v.is_null()).count();
-        let clean_nulls = clean.iter().flat_map(|r| r.iter()).filter(|v| v.is_null()).count();
+        let nulls = dirty
+            .iter()
+            .flat_map(|r| r.iter())
+            .filter(|v| v.is_null())
+            .count();
+        let clean_nulls = clean
+            .iter()
+            .flat_map(|r| r.iter())
+            .filter(|v| v.is_null())
+            .count();
         assert!(nulls > clean_nulls, "expected injected nulls");
         let corrupted = dirty
             .iter()

@@ -6,9 +6,7 @@ use crate::catalog::Catalog;
 use crate::dirt::DirtProfile;
 use crate::gen::TableSpec;
 use etl_model::expr::Expr;
-use etl_model::{
-    AggFunc, Attribute, DataType, EtlFlow, NodeId, OpKind, Operation, Schema,
-};
+use etl_model::{AggFunc, Attribute, DataType, EtlFlow, NodeId, OpKind, Operation, Schema};
 
 /// Schema of the `store_sales`-like fact source.
 pub fn store_sales_schema() -> Schema {
@@ -95,7 +93,12 @@ pub fn tpcds_catalog(scale: usize, dirt: &DirtProfile, seed: u64) -> Catalog {
         seed.wrapping_add(3),
     );
     c.add_generated(
-        &TableSpec::new("promotion", promotion_schema(), (scale / 20).max(4), "p_promo_id"),
+        &TableSpec::new(
+            "promotion",
+            promotion_schema(),
+            (scale / 20).max(4),
+            "p_promo_id",
+        ),
         dirt,
         seed.wrapping_add(4),
     );
@@ -120,8 +123,11 @@ pub fn tpcds_flow() -> (EtlFlow, TpcdsFlowIds) {
     // fact leg
     let ext_ss = f.add_op(Operation::extract("store_sales", store_sales_schema()));
     let f_ss = f.add_op(
-        Operation::filter("FILTER positive qty", Expr::col("ss_qty").gt(Expr::lit_i(0)))
-            .with_selectivity(0.95),
+        Operation::filter(
+            "FILTER positive qty",
+            Expr::col("ss_qty").gt(Expr::lit_i(0)),
+        )
+        .with_selectivity(0.95),
     );
     let d_gross = f.add_op(
         Operation::derive(
@@ -207,17 +213,11 @@ pub fn tpcds_flow() -> (EtlFlow, TpcdsFlowIds) {
     ));
     let d_a = f.add_op(Operation::derive(
         "DERIVE score Group_A",
-        vec![(
-            "score".to_string(),
-            Expr::col("net").mul(Expr::lit_f(0.9)),
-        )],
+        vec![("score".to_string(), Expr::col("net").mul(Expr::lit_f(0.9)))],
     ));
     let d_b = f.add_op(Operation::derive(
         "DERIVE score Group_B",
-        vec![(
-            "score".to_string(),
-            Expr::col("net").mul(Expr::lit_f(1.1)),
-        )],
+        vec![("score".to_string(), Expr::col("net").mul(Expr::lit_f(1.1)))],
     ));
     let merge = f.add_op(Operation::new("MERGE groups", OpKind::Merge));
     let split = f.add_op(Operation::new("SPLIT to marts", OpKind::Split));

@@ -5,9 +5,7 @@ use crate::catalog::Catalog;
 use crate::dirt::DirtProfile;
 use crate::gen::TableSpec;
 use etl_model::expr::Expr;
-use etl_model::{
-    AggFunc, Attribute, DataType, EtlFlow, NodeId, OpKind, Operation, Schema,
-};
+use etl_model::{AggFunc, Attribute, DataType, EtlFlow, NodeId, OpKind, Operation, Schema};
 
 /// Schema of the `lineitem`-like source.
 pub fn lineitem_schema() -> Schema {
@@ -115,8 +113,7 @@ pub fn tpch_flow() -> (EtlFlow, TpchFlowIds) {
             vec![
                 (
                     "revenue".to_string(),
-                    Expr::col("l_extendedprice")
-                        .mul(Expr::lit_f(1.0).sub(Expr::col("l_discount"))),
+                    Expr::col("l_extendedprice").mul(Expr::lit_f(1.0).sub(Expr::col("l_discount"))),
                 ),
                 (
                     "net".to_string(),
@@ -273,7 +270,10 @@ mod tests {
     #[test]
     fn flow_has_tens_of_operators() {
         let (f, _) = tpch_flow();
-        assert!(f.op_count() >= 20, "paper demo flows have tens of operators");
+        assert!(
+            f.op_count() >= 20,
+            "paper demo flows have tens of operators"
+        );
         assert_eq!(f.ops_of_kind("extract").len(), 3);
         assert_eq!(f.ops_of_kind("load").len(), 2);
     }

@@ -188,15 +188,15 @@ impl Expr {
                 BoundExpr::Col(idx)
             }
             Expr::Lit(v) => BoundExpr::Lit(v.clone()),
-            Expr::Bin(op, a, b) => BoundExpr::Bin(
-                *op,
-                Box::new(a.bind(schema)?),
-                Box::new(b.bind(schema)?),
-            ),
+            Expr::Bin(op, a, b) => {
+                BoundExpr::Bin(*op, Box::new(a.bind(schema)?), Box::new(b.bind(schema)?))
+            }
             Expr::Not(a) => BoundExpr::Not(Box::new(a.bind(schema)?)),
             Expr::IsNull(a) => BoundExpr::IsNull(Box::new(a.bind(schema)?)),
             Expr::Coalesce(xs) => BoundExpr::Coalesce(
-                xs.iter().map(|x| x.bind(schema)).collect::<Result<_, _>>()?,
+                xs.iter()
+                    .map(|x| x.bind(schema))
+                    .collect::<Result<_, _>>()?,
             ),
         })
     }
@@ -438,7 +438,10 @@ mod tests {
     fn division_by_zero_is_null() {
         let e = Expr::col("a").div(Expr::lit_i(0)).bind(&schema()).unwrap();
         assert_eq!(e.eval(&tup(4, 0.0, "")), Value::Null);
-        let e = Expr::col("b").div(Expr::lit_f(0.0)).bind(&schema()).unwrap();
+        let e = Expr::col("b")
+            .div(Expr::lit_f(0.0))
+            .bind(&schema())
+            .unwrap();
         assert_eq!(e.eval(&tup(0, 4.0, "")), Value::Null);
     }
 
@@ -467,7 +470,10 @@ mod tests {
     fn null_tests() {
         let s = schema();
         let isn = Expr::col("a").is_null().bind(&s).unwrap();
-        assert_eq!(isn.eval(&vec![Value::Null, Value::Null, Value::Null]), Value::Bool(true));
+        assert_eq!(
+            isn.eval(&vec![Value::Null, Value::Null, Value::Null]),
+            Value::Bool(true)
+        );
         assert_eq!(isn.eval(&tup(1, 0.0, "")), Value::Bool(false));
         let notn = Expr::col("a").is_not_null().bind(&s).unwrap();
         assert!(notn.eval_predicate(&tup(1, 0.0, "")));
@@ -476,14 +482,22 @@ mod tests {
     #[test]
     fn coalesce_picks_first_non_null() {
         let s = schema();
-        let e = Expr::Coalesce(vec![Expr::col("a"), Expr::lit_i(-1)]).bind(&s).unwrap();
-        assert_eq!(e.eval(&vec![Value::Null, Value::Null, Value::Null]), Value::Int(-1));
+        let e = Expr::Coalesce(vec![Expr::col("a"), Expr::lit_i(-1)])
+            .bind(&s)
+            .unwrap();
+        assert_eq!(
+            e.eval(&vec![Value::Null, Value::Null, Value::Null]),
+            Value::Int(-1)
+        );
         assert_eq!(e.eval(&tup(7, 0.0, "")), Value::Int(7));
     }
 
     #[test]
     fn string_comparison() {
-        let e = Expr::col("s").eq(Expr::lit_s("hit")).bind(&schema()).unwrap();
+        let e = Expr::col("s")
+            .eq(Expr::lit_s("hit"))
+            .bind(&schema())
+            .unwrap();
         assert!(e.eval_predicate(&tup(0, 0.0, "hit")));
         assert!(!e.eval_predicate(&tup(0, 0.0, "miss")));
     }
@@ -497,16 +511,33 @@ mod tests {
     #[test]
     fn result_types() {
         let s = schema();
-        assert_eq!(Expr::col("a").add(Expr::lit_i(1)).result_type(&s).unwrap(), DataType::Int);
-        assert_eq!(Expr::col("a").add(Expr::col("b")).result_type(&s).unwrap(), DataType::Float);
-        assert_eq!(Expr::col("a").div(Expr::lit_i(2)).result_type(&s).unwrap(), DataType::Float);
-        assert_eq!(Expr::col("a").gt(Expr::lit_i(0)).result_type(&s).unwrap(), DataType::Bool);
-        assert_eq!(Expr::col("s").is_null().result_type(&s).unwrap(), DataType::Bool);
+        assert_eq!(
+            Expr::col("a").add(Expr::lit_i(1)).result_type(&s).unwrap(),
+            DataType::Int
+        );
+        assert_eq!(
+            Expr::col("a").add(Expr::col("b")).result_type(&s).unwrap(),
+            DataType::Float
+        );
+        assert_eq!(
+            Expr::col("a").div(Expr::lit_i(2)).result_type(&s).unwrap(),
+            DataType::Float
+        );
+        assert_eq!(
+            Expr::col("a").gt(Expr::lit_i(0)).result_type(&s).unwrap(),
+            DataType::Bool
+        );
+        assert_eq!(
+            Expr::col("s").is_null().result_type(&s).unwrap(),
+            DataType::Bool
+        );
     }
 
     #[test]
     fn display_roundtrips_visually() {
-        let e = Expr::col("a").gt(Expr::lit_i(0)).and(Expr::col("s").is_null());
+        let e = Expr::col("a")
+            .gt(Expr::lit_i(0))
+            .and(Expr::col("s").is_null());
         assert_eq!(e.to_string(), "((a > 0) AND s IS NULL)");
     }
 }

@@ -76,7 +76,9 @@ pub struct Channel {
 impl Channel {
     /// Labelled channel.
     pub fn labelled(label: impl Into<String>) -> Self {
-        Channel { label: label.into() }
+        Channel {
+            label: label.into(),
+        }
     }
 }
 

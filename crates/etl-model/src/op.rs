@@ -371,7 +371,9 @@ impl Operation {
 
     /// Effective selectivity: the override if set, else the kind default.
     pub fn selectivity(&self) -> f64 {
-        self.cost.selectivity.unwrap_or_else(|| self.kind.default_selectivity())
+        self.cost
+            .selectivity
+            .unwrap_or_else(|| self.kind.default_selectivity())
     }
 
     /// Marks the operation as pattern-inserted.
@@ -447,7 +449,10 @@ mod tests {
         let schema = Schema::new(vec![Attribute::new("x", DataType::Int)]);
         assert_eq!(Operation::extract("src", schema).kind.name(), "extract");
         assert_eq!(Operation::load("t").kind.name(), "load");
-        assert_eq!(Operation::filter("f", Expr::lit_b(true)).kind.name(), "filter");
+        assert_eq!(
+            Operation::filter("f", Expr::lit_b(true)).kind.name(),
+            "filter"
+        );
         assert_eq!(Operation::project("p", vec![]).kind.name(), "project");
     }
 
@@ -462,7 +467,13 @@ mod tests {
 
     #[test]
     fn agg_parse_roundtrip() {
-        for f in [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg] {
+        for f in [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Avg,
+        ] {
             assert_eq!(AggFunc::parse(f.name()), Some(f));
         }
         assert_eq!(AggFunc::parse("median"), None);

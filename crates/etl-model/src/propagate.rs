@@ -97,11 +97,7 @@ pub fn propagate_schemas(flow: &EtlFlow) -> Result<Vec<Option<Schema>>, SchemaEr
 /// Output schema of one operation given its input schemas (in predecessor
 /// order). Exposed for pattern configuration, which must compute the schema
 /// at an application point before instantiating an FCP there.
-pub fn output_schema(
-    name: &str,
-    kind: &OpKind,
-    inputs: &[&Schema],
-) -> Result<Schema, SchemaError> {
+pub fn output_schema(name: &str, kind: &OpKind, inputs: &[&Schema]) -> Result<Schema, SchemaError> {
     let first = |op: &str| -> Result<Schema, SchemaError> {
         inputs
             .first()
@@ -161,7 +157,10 @@ pub fn output_schema(
                     .collect(),
             )
         }
-        OpKind::Join { left_key, right_key } => {
+        OpKind::Join {
+            left_key,
+            right_key,
+        } => {
             if inputs.len() < 2 {
                 return Err(SchemaError::MissingAttr {
                     op: name.to_string(),
@@ -342,10 +341,7 @@ mod tests {
 
     #[test]
     fn derive_duplicate_rejected() {
-        let f = flow_one(Operation::derive(
-            "d",
-            vec![("qty".into(), Expr::lit_i(0))],
-        ));
+        let f = flow_one(Operation::derive("d", vec![("qty".into(), Expr::lit_i(0))]));
         assert!(matches!(
             propagate_schemas(&f),
             Err(SchemaError::DuplicateAttr { .. })
@@ -354,7 +350,10 @@ mod tests {
 
     #[test]
     fn filter_binds_predicate() {
-        let f = flow_one(Operation::filter("f", Expr::col("ghost").gt(Expr::lit_i(0))));
+        let f = flow_one(Operation::filter(
+            "f",
+            Expr::col("ghost").gt(Expr::lit_i(0)),
+        ));
         match propagate_schemas(&f) {
             Err(SchemaError::Bind { op, column }) => {
                 assert_eq!(op, "f");
@@ -474,7 +473,10 @@ mod tests {
 
     #[test]
     fn filter_nulls_empty_means_all() {
-        let f = flow_one(Operation::new("fn", OpKind::FilterNulls { columns: vec![] }));
+        let f = flow_one(Operation::new(
+            "fn",
+            OpKind::FilterNulls { columns: vec![] },
+        ));
         let s = schema_of(&f, 1);
         assert!(s.attrs().iter().all(|a| !a.nullable));
     }

@@ -234,7 +234,13 @@ impl fmt::Display for Schema {
             if i > 0 {
                 write!(f, ", ")?;
             }
-            write!(f, "{}:{}{}", a.name, a.dtype, if a.nullable { "?" } else { "" })?;
+            write!(
+                f,
+                "{}:{}{}",
+                a.name,
+                a.dtype,
+                if a.nullable { "?" } else { "" }
+            )?;
         }
         write!(f, ")")
     }
@@ -291,9 +297,12 @@ mod tests {
     #[test]
     fn extend_rejects_duplicates() {
         let s = s();
-        assert!(s.extend_with(Attribute::new("extra", DataType::Bool)).is_ok());
+        assert!(s
+            .extend_with(Attribute::new("extra", DataType::Bool))
+            .is_ok());
         assert_eq!(
-            s.extend_with(Attribute::new("id", DataType::Bool)).unwrap_err(),
+            s.extend_with(Attribute::new("id", DataType::Bool))
+                .unwrap_err(),
             "id"
         );
     }

@@ -139,7 +139,10 @@ mod tests {
         use Ordering::*;
         assert_eq!(Value::Int(1).sql_cmp(&Value::Int(2)), Some(Less));
         assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.0)), Some(Equal));
-        assert_eq!(Value::Str("a".into()).sql_cmp(&Value::Str("b".into())), Some(Less));
+        assert_eq!(
+            Value::Str("a".into()).sql_cmp(&Value::Str("b".into())),
+            Some(Less)
+        );
         assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
         assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
         assert_eq!(Value::Str("a".into()).sql_cmp(&Value::Int(1)), None);
@@ -149,6 +152,9 @@ mod tests {
     fn group_keys_distinguish_types() {
         assert_ne!(Value::Int(1).group_key(), Value::Float(1.0).group_key());
         assert_eq!(Value::Null.group_key(), Value::Null.group_key());
-        assert_ne!(Value::Str("1".into()).group_key(), Value::Int(1).group_key());
+        assert_ne!(
+            Value::Str("1".into()).group_key(),
+            Value::Int(1).group_key()
+        );
     }
 }

@@ -58,11 +58,8 @@ impl Pattern for AddCheckpoint {
         point: ApplicationPoint,
     ) -> Result<AppliedPattern, PatternError> {
         let tag = format!("sp_{}", flow.op_count());
-        let op = Operation::new(
-            "PERSIST intermediary data",
-            OpKind::Checkpoint { tag },
-        )
-        .tag_pattern(self.name());
+        let op = Operation::new("PERSIST intermediary data", OpKind::Checkpoint { tag })
+            .tag_pattern(self.name());
         interpose_applying(self, flow, point, op)
     }
 }
@@ -85,7 +82,10 @@ mod tests {
             ApplicationPoint::Edge(f.graph.out_edges(ids.derive_values).next().unwrap());
         // edge right after an extract
         let after_extract = ApplicationPoint::Edge(
-            f.graph.out_edges(f.ops_of_kind("extract")[0]).next().unwrap(),
+            f.graph
+                .out_edges(f.ops_of_kind("extract")[0])
+                .next()
+                .unwrap(),
         );
         assert!(p.fitness(&ctx, after_derive) > p.fitness(&ctx, after_extract));
     }
@@ -110,8 +110,7 @@ mod tests {
         let mut g = fragile.fork("with_savepoint");
         // Fig. 2b places the savepoint right after the expensive DERIVE
         // VALUES, upstream of the fragile group-derives.
-        let point =
-            ApplicationPoint::Edge(g.graph.out_edges(ids.derive_values).next().unwrap());
+        let point = ApplicationPoint::Edge(g.graph.out_edges(ids.derive_values).next().unwrap());
         let ctx = PatternContext::new(&g).unwrap();
         assert!(p.applicable(&ctx, point));
         // and the heuristic agrees this is a high-fitness spot

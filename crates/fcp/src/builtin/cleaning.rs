@@ -262,7 +262,10 @@ mod tests {
         let ctx = PatternContext::new(&f).unwrap();
         // edge out of an extract vs edge out of the late merge
         let early = ApplicationPoint::Edge(
-            f.graph.out_edges(f.ops_of_kind("extract")[0]).next().unwrap(),
+            f.graph
+                .out_edges(f.ops_of_kind("extract")[0])
+                .next()
+                .unwrap(),
         );
         let late = ApplicationPoint::Edge(f.graph.out_edges(ids.merge_groups).next().unwrap());
         let p = FilterNullValues;
@@ -301,10 +304,7 @@ mod tests {
     fn dedup_apply_improves_uniqueness() {
         let (f, _) = purchases_flow();
         let cat = purchases_catalog(300, &DirtProfile::filthy(), 8);
-        let base_v = quality::evaluate(
-            &f,
-            &simulate(&f, &cat, &SimConfig::default()).unwrap(),
-        );
+        let base_v = quality::evaluate(&f, &simulate(&f, &cat, &SimConfig::default()).unwrap());
         let mut g = f.fork("dd");
         let ctx = PatternContext::new(&g).unwrap();
         let pts = RemoveDuplicateEntries.candidate_points(&ctx);
@@ -346,10 +346,7 @@ mod tests {
     fn crosscheck_apply_repairs_nulls() {
         let (f, _) = purchases_flow();
         let cat = purchases_catalog(300, &DirtProfile::filthy(), 8);
-        let base_v = quality::evaluate(
-            &f,
-            &simulate(&f, &cat, &SimConfig::default()).unwrap(),
-        );
+        let base_v = quality::evaluate(&f, &simulate(&f, &cat, &SimConfig::default()).unwrap());
         let p = CrosscheckSources::from_catalog(&cat);
         let mut g = f.fork("cc");
         let ctx = PatternContext::new(&g).unwrap();

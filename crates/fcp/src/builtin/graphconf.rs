@@ -172,7 +172,9 @@ mod tests {
         );
         assert!(v.get(MeasureId::CycleTimeMs).unwrap() > base.get(MeasureId::CycleTimeMs).unwrap());
         // idempotence guard
-        assert!(EncryptChannels.apply(&mut g, ApplicationPoint::Graph).is_err());
+        assert!(EncryptChannels
+            .apply(&mut g, ApplicationPoint::Graph)
+            .is_err());
     }
 
     #[test]
@@ -181,25 +183,43 @@ mod tests {
         let cat = purchases_catalog(300, &DirtProfile::clean(), 1);
         let base = quality::evaluate(&f, &simulate(&f, &cat, &SimConfig::default()).unwrap());
         let mut g = f.fork("big");
-        UpgradeResources.apply(&mut g, ApplicationPoint::Graph).unwrap();
+        UpgradeResources
+            .apply(&mut g, ApplicationPoint::Graph)
+            .unwrap();
         let v = quality::evaluate(&g, &simulate(&g, &cat, &SimConfig::default()).unwrap());
         assert!(v.get(MeasureId::CycleTimeMs).unwrap() < base.get(MeasureId::CycleTimeMs).unwrap());
         assert!(
             v.get(MeasureId::MonetaryCost).unwrap() > base.get(MeasureId::MonetaryCost).unwrap()
         );
         // two upgrades hit Large, then stop
-        UpgradeResources.apply(&mut g, ApplicationPoint::Graph).unwrap();
-        assert!(UpgradeResources.apply(&mut g, ApplicationPoint::Graph).is_err());
+        UpgradeResources
+            .apply(&mut g, ApplicationPoint::Graph)
+            .unwrap();
+        assert!(UpgradeResources
+            .apply(&mut g, ApplicationPoint::Graph)
+            .is_err());
     }
 
     #[test]
     fn recurrence_improves_freshness_but_costs_money() {
         let (f, _) = purchases_flow();
-        let cat = purchases_catalog(300, &DirtProfile { staleness_hours: 24.0, ..DirtProfile::clean() }, 1);
+        let cat = purchases_catalog(
+            300,
+            &DirtProfile {
+                staleness_hours: 24.0,
+                ..DirtProfile::clean()
+            },
+            1,
+        );
         let base = quality::evaluate(&f, &simulate(&f, &cat, &SimConfig::default()).unwrap());
         let mut g = f.fork("often");
-        IncreaseRecurrence.apply(&mut g, ApplicationPoint::Graph).unwrap();
-        assert_eq!(g.config.recurrence_minutes, f.config.recurrence_minutes / 2.0);
+        IncreaseRecurrence
+            .apply(&mut g, ApplicationPoint::Graph)
+            .unwrap();
+        assert_eq!(
+            g.config.recurrence_minutes,
+            f.config.recurrence_minutes / 2.0
+        );
         let v = quality::evaluate(&g, &simulate(&g, &cat, &SimConfig::default()).unwrap());
         // fresher content at request time…
         assert!(
@@ -211,8 +231,7 @@ mod tests {
         );
         // …at double the daily cost
         assert!(
-            (v.get(MeasureId::MonetaryCost).unwrap()
-                / base.get(MeasureId::MonetaryCost).unwrap()
+            (v.get(MeasureId::MonetaryCost).unwrap() / base.get(MeasureId::MonetaryCost).unwrap()
                 - 2.0)
                 .abs()
                 < 0.2

@@ -108,13 +108,13 @@ impl Pattern for CustomPattern {
         point: ApplicationPoint,
     ) -> Result<AppliedPattern, PatternError> {
         let ctx = PatternContext::new(flow)?;
-        let schema = ctx
-            .point_schema(point)
-            .cloned()
-            .ok_or_else(|| PatternError::NotApplicable {
-                pattern: self.name.clone(),
-                point: point.describe(flow),
-            })?;
+        let schema =
+            ctx.point_schema(point)
+                .cloned()
+                .ok_or_else(|| PatternError::NotApplicable {
+                    pattern: self.name.clone(),
+                    point: point.describe(flow),
+                })?;
         drop(ctx);
         let op = (self.template)(&schema).tag_pattern(self.name.clone());
         interpose_applying(self, flow, point, op)

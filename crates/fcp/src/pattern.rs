@@ -123,7 +123,9 @@ impl<'a> PatternContext<'a> {
                 .endpoints(e)
                 .map(|(s, _)| self.distances[s.index()])
                 .unwrap_or(usize::MAX),
-            ApplicationPoint::Node(n) => self.distances.get(n.index()).copied().unwrap_or(usize::MAX),
+            ApplicationPoint::Node(n) => {
+                self.distances.get(n.index()).copied().unwrap_or(usize::MAX)
+            }
             ApplicationPoint::Graph => 0,
         }
     }

@@ -138,6 +138,14 @@ impl DeploymentPolicy {
     pub fn admits(&self, baseline: &MeasureVector, alt: &MeasureVector) -> bool {
         self.constraints.iter().all(|c| c.satisfied(baseline, alt))
     }
+
+    /// Effective combination depth over `n_candidates` candidates: the
+    /// policy's per-flow pattern cap, clamped to the candidate count. Every
+    /// walker of the combination space (lazy enumeration, beam, greedy)
+    /// derives its depth from this single place.
+    pub fn combination_depth(&self, n_candidates: usize) -> usize {
+        self.max_patterns_per_flow.min(n_candidates)
+    }
 }
 
 impl Default for DeploymentPolicy {
@@ -204,6 +212,14 @@ mod tests {
             assert!(p.max_per_pattern >= 1);
             assert!((0.0..=1.0).contains(&p.min_fitness));
         }
+    }
+
+    #[test]
+    fn combination_depth_clamps_to_candidates() {
+        let p = DeploymentPolicy::exhaustive(4);
+        assert_eq!(p.combination_depth(10), 4);
+        assert_eq!(p.combination_depth(3), 3);
+        assert_eq!(p.combination_depth(0), 0);
     }
 
     #[test]

@@ -62,9 +62,7 @@ impl Prerequisite {
             Prerequisite::IsEdge => matches!(point, P::Edge(_)),
             Prerequisite::IsNode => matches!(point, P::Node(_)),
             Prerequisite::IsGraph => matches!(point, P::Graph),
-            Prerequisite::SchemaNonEmpty => {
-                ctx.point_schema(point).is_some_and(|s| !s.is_empty())
-            }
+            Prerequisite::SchemaNonEmpty => ctx.point_schema(point).is_some_and(|s| !s.is_empty()),
             Prerequisite::SchemaHasNullable => {
                 ctx.point_schema(point).is_some_and(|s| s.has_nullable())
             }
@@ -116,9 +114,7 @@ impl Prerequisite {
                     P::Graph => true,
                 }
             }
-            Prerequisite::NotEncrypted => {
-                matches!(point, P::Graph) && !ctx.flow.config.encrypted
-            }
+            Prerequisite::NotEncrypted => matches!(point, P::Graph) && !ctx.flow.config.encrypted,
             Prerequisite::NoAccessControl => {
                 matches!(point, P::Graph) && !ctx.flow.config.role_based_access
             }
@@ -129,8 +125,6 @@ impl Prerequisite {
         }
     }
 }
-
-
 
 #[cfg(test)]
 mod tests {
@@ -219,7 +213,11 @@ mod tests {
         {
             let ctx = PatternContext::new(&f).unwrap();
             assert!(Prerequisite::NotEncrypted.satisfied(&ctx, ApplicationPoint::Graph, "x"));
-            assert!(Prerequisite::ResourcesUpgradable.satisfied(&ctx, ApplicationPoint::Graph, "x"));
+            assert!(Prerequisite::ResourcesUpgradable.satisfied(
+                &ctx,
+                ApplicationPoint::Graph,
+                "x"
+            ));
         }
         f.config.encrypted = true;
         f.config.resources = etl_model::ResourceClass::Large;

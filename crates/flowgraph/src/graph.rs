@@ -233,7 +233,10 @@ impl<N, E> DiGraph<N, E> {
 
     /// Mutably borrow a node weight.
     pub fn node_mut(&mut self, n: NodeId) -> Option<&mut N> {
-        self.nodes.get_mut(n.index())?.as_mut().map(|s| &mut s.weight)
+        self.nodes
+            .get_mut(n.index())?
+            .as_mut()
+            .map(|s| &mut s.weight)
     }
 
     /// Borrow an edge weight.
@@ -243,15 +246,15 @@ impl<N, E> DiGraph<N, E> {
 
     /// Mutably borrow an edge weight.
     pub fn edge_mut(&mut self, e: EdgeId) -> Option<&mut E> {
-        self.edges.get_mut(e.index())?.as_mut().map(|s| &mut s.weight)
+        self.edges
+            .get_mut(e.index())?
+            .as_mut()
+            .map(|s| &mut s.weight)
     }
 
     /// Endpoints `(src, dst)` of a live edge.
     pub fn endpoints(&self, e: EdgeId) -> Option<(NodeId, NodeId)> {
-        self.edges
-            .get(e.index())?
-            .as_ref()
-            .map(|s| (s.src, s.dst))
+        self.edges.get(e.index())?.as_ref().map(|s| (s.src, s.dst))
     }
 
     /// Removes a node and every incident edge, returning its weight.
@@ -500,8 +503,14 @@ mod tests {
         let mut g: DiGraph<(), ()> = DiGraph::new();
         let a = g.add_node(());
         let ghost = NodeId(99);
-        assert_eq!(g.add_edge(a, ghost, ()), Err(GraphError::MissingNode(ghost)));
-        assert_eq!(g.add_edge(ghost, a, ()), Err(GraphError::MissingNode(ghost)));
+        assert_eq!(
+            g.add_edge(a, ghost, ()),
+            Err(GraphError::MissingNode(ghost))
+        );
+        assert_eq!(
+            g.add_edge(ghost, a, ()),
+            Err(GraphError::MissingNode(ghost))
+        );
     }
 
     #[test]

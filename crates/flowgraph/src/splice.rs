@@ -115,10 +115,12 @@ impl<N, E> DiGraph<N, E> {
             .in_edges(dst)
             .position(|x| x == e)
             .expect("edge is incoming at its dst");
-        let entry = single(donor.sources())
-            .ok_or(GraphError::InvalidSubgraph("donor must have exactly one source"))?;
-        let exit = single(donor.sinks())
-            .ok_or(GraphError::InvalidSubgraph("donor must have exactly one sink"))?;
+        let entry = single(donor.sources()).ok_or(GraphError::InvalidSubgraph(
+            "donor must have exactly one source",
+        ))?;
+        let exit = single(donor.sinks()).ok_or(GraphError::InvalidSubgraph(
+            "donor must have exactly one sink",
+        ))?;
         let mut splice = self.embed(donor);
         let entry_host = splice.mapped(entry).expect("entry is live");
         let exit_host = splice.mapped(exit).expect("exit is live");
@@ -148,10 +150,12 @@ impl<N, E> DiGraph<N, E> {
         if !self.contains_node(n) {
             return Err(GraphError::MissingNode(n));
         }
-        let entry = single(donor.sources())
-            .ok_or(GraphError::InvalidSubgraph("donor must have exactly one source"))?;
-        let exit = single(donor.sinks())
-            .ok_or(GraphError::InvalidSubgraph("donor must have exactly one sink"))?;
+        let entry = single(donor.sources()).ok_or(GraphError::InvalidSubgraph(
+            "donor must have exactly one source",
+        ))?;
+        let exit = single(donor.sinks()).ok_or(GraphError::InvalidSubgraph(
+            "donor must have exactly one sink",
+        ))?;
         let mut splice = self.embed(donor);
         let entry_host = splice.mapped(entry).expect("entry is live");
         let exit_host = splice.mapped(exit).expect("exit is live");

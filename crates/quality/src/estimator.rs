@@ -56,7 +56,11 @@ impl SourceStats {
         let mut seen = std::collections::HashSet::with_capacity(rows);
         let mut distinct = 0usize;
         for row in &table.rows {
-            let key: String = row.iter().map(Value::group_key).collect::<Vec<_>>().join("\u{1}");
+            let key: String = row
+                .iter()
+                .map(Value::group_key)
+                .collect::<Vec<_>>()
+                .join("\u{1}");
             if seen.insert(key) {
                 distinct += 1;
             }
@@ -88,7 +92,12 @@ impl SourceStats {
 pub fn source_stats(catalog: &Catalog) -> HashMap<String, SourceStats> {
     catalog
         .tables()
-        .map(|(name, t)| (name.clone(), SourceStats::from_table(t, catalog.request_time())))
+        .map(|(name, t)| {
+            (
+                name.clone(),
+                SourceStats::from_table(t, catalog.request_time()),
+            )
+        })
         .collect()
 }
 
@@ -221,7 +230,8 @@ pub fn estimate(flow: &EtlFlow, stats: &HashMap<String, SourceStats>) -> Measure
             OpKind::Extract { .. } => e.rows,
             _ => in_rows,
         };
-        let service = (op.cost.startup_ms + work_rows * op.cost.cost_per_tuple_ms / par) * tax / speed;
+        let service =
+            (op.cost.startup_ms + work_rows * op.cost.cost_per_tuple_ms / par) * tax / speed;
         let ready = preds
             .iter()
             .map(|p| est[p.index()].done_ms)
@@ -281,9 +291,18 @@ pub fn estimate(flow: &EtlFlow, stats: &HashMap<String, SourceStats>) -> Measure
             / w.max(1.0)
     };
     if !loads.is_empty() {
-        v.set(MeasureId::Completeness, (1.0 - wmean(|e| e.null_rate)).clamp(0.0, 1.0));
-        v.set(MeasureId::Uniqueness, (1.0 - wmean(|e| e.dup_rate)).clamp(0.0, 1.0));
-        v.set(MeasureId::Accuracy, (1.0 - wmean(|e| e.corrupt_rate)).clamp(0.0, 1.0));
+        v.set(
+            MeasureId::Completeness,
+            (1.0 - wmean(|e| e.null_rate)).clamp(0.0, 1.0),
+        );
+        v.set(
+            MeasureId::Uniqueness,
+            (1.0 - wmean(|e| e.dup_rate)).clamp(0.0, 1.0),
+        );
+        v.set(
+            MeasureId::Accuracy,
+            (1.0 - wmean(|e| e.corrupt_rate)).clamp(0.0, 1.0),
+        );
         let stale = loads
             .iter()
             .map(|n| est[n.index()].staleness_s)
@@ -299,7 +318,10 @@ pub fn estimate(flow: &EtlFlow, stats: &HashMap<String, SourceStats>) -> Measure
     }
 
     v.set(MeasureId::ExpectedRedoMs, expected_redo);
-    v.set(MeasureId::Recoverability, recoverability(cycle, expected_redo));
+    v.set(
+        MeasureId::Recoverability,
+        recoverability(cycle, expected_redo),
+    );
     v.set(
         MeasureId::MonetaryCost,
         crate::runtime::monetary_cost(cycle, flow),
@@ -309,7 +331,12 @@ pub fn estimate(flow: &EtlFlow, stats: &HashMap<String, SourceStats>) -> Measure
 
 /// Rows arriving at `to` from predecessor `from`: partitioned parents split
 /// their output across successors, everything else sends its full output.
-fn branch_rows(est: &[NodeEst], flow: &EtlFlow, from: etl_model::NodeId, to: etl_model::NodeId) -> f64 {
+fn branch_rows(
+    est: &[NodeEst],
+    flow: &EtlFlow,
+    from: etl_model::NodeId,
+    to: etl_model::NodeId,
+) -> f64 {
     let op = flow.op(from).expect("live node");
     let out_deg = flow.graph.out_degree(from).max(1) as f64;
     let rows = est[from.index()].rows;
@@ -334,15 +361,14 @@ mod tests {
     #[test]
     fn source_stats_from_dirty_table() {
         let cat = purchases_catalog(500, &DirtProfile::filthy(), 3);
-        let stats = SourceStats::from_table(cat.table("s_purchases_3").unwrap(), cat.request_time());
+        let stats =
+            SourceStats::from_table(cat.table("s_purchases_3").unwrap(), cat.request_time());
         assert!(stats.rows > 500.0, "dups inflate row count");
         assert!(stats.null_rate > 0.05);
         assert!(stats.dup_rate > 0.02);
         assert!(stats.staleness_s > 0.0);
-        let clean = SourceStats::from_table(
-            cat.table("ref_s_purchases_3").unwrap(),
-            cat.request_time(),
-        );
+        let clean =
+            SourceStats::from_table(cat.table("ref_s_purchases_3").unwrap(), cat.request_time());
         // Clean twins still carry *semantic* nulls (open-ended record_end_date)
         // but strictly fewer than the dirty table, and no duplicates.
         assert!(clean.null_rate < stats.null_rate);
@@ -377,8 +403,7 @@ mod tests {
         let cat = purchases_catalog(400, &DirtProfile::demo(), 5);
         let stats = source_stats(&cat);
         let base_est = estimate(&f, &stats);
-        let base_sim =
-            crate::evaluate(&f, &simulate(&f, &cat, &SimConfig::default()).unwrap());
+        let base_sim = crate::evaluate(&f, &simulate(&f, &cat, &SimConfig::default()).unwrap());
 
         // estimator and simulator agree on cycle time within 2x
         let est_ct = base_est.get(MeasureId::CycleTimeMs).unwrap();

@@ -311,10 +311,18 @@ mod tests {
         let mut alt = MeasureVector::new();
         base.set(MeasureId::CycleTimeMs, 100.0);
         alt.set(MeasureId::CycleTimeMs, 50.0); // faster = better
-        assert!(alt.improvement_ratio(&base, MeasureId::CycleTimeMs).unwrap() > 1.9);
+        assert!(
+            alt.improvement_ratio(&base, MeasureId::CycleTimeMs)
+                .unwrap()
+                > 1.9
+        );
         base.set(MeasureId::Completeness, 0.5);
         alt.set(MeasureId::Completeness, 1.0); // higher = better
-        assert!(alt.improvement_ratio(&base, MeasureId::Completeness).unwrap() > 1.9);
+        assert!(
+            alt.improvement_ratio(&base, MeasureId::Completeness)
+                .unwrap()
+                > 1.9
+        );
         assert_eq!(alt.improvement_ratio(&base, MeasureId::Coupling), None);
     }
 
@@ -325,7 +333,8 @@ mod tests {
         base.set(MeasureId::CycleTimeMs, 1e12);
         alt.set(MeasureId::CycleTimeMs, 1e-12);
         assert_eq!(
-            alt.improvement_ratio(&base, MeasureId::CycleTimeMs).unwrap(),
+            alt.improvement_ratio(&base, MeasureId::CycleTimeMs)
+                .unwrap(),
             20.0
         );
     }
@@ -338,7 +347,10 @@ mod tests {
         let score = v.characteristic_score(&v.clone(), Characteristic::Performance);
         assert!((score - 100.0).abs() < 1e-9);
         // characteristic with no shared measures: neutral 100
-        assert_eq!(v.characteristic_score(&v.clone(), Characteristic::Cost), 100.0);
+        assert_eq!(
+            v.characteristic_score(&v.clone(), Characteristic::Cost),
+            100.0
+        );
     }
 
     #[test]

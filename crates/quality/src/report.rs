@@ -64,7 +64,11 @@ pub struct QualityReport {
 
 impl QualityReport {
     /// Builds the report for `alt` measured against `baseline`.
-    pub fn build(flow_name: impl Into<String>, baseline: &MeasureVector, alt: &MeasureVector) -> Self {
+    pub fn build(
+        flow_name: impl Into<String>,
+        baseline: &MeasureVector,
+        alt: &MeasureVector,
+    ) -> Self {
         let changes = relative_change(baseline, alt);
         let characteristics = Characteristic::ALL
             .iter()
@@ -92,7 +96,9 @@ impl QualityReport {
     /// The "expand" interaction of Fig. 5: the detailed metrics behind a
     /// composite bar.
     pub fn expand(&self, c: Characteristic) -> &[RelativeChange] {
-        self.characteristic(c).map(|r| r.details.as_slice()).unwrap_or(&[])
+        self.characteristic(c)
+            .map(|r| r.details.as_slice())
+            .unwrap_or(&[])
     }
 }
 

@@ -33,7 +33,11 @@ pub fn fill_from_trace(v: &mut MeasureVector, flow: &EtlFlow, trace: &Trace) {
         rows_total += load.rows.len();
         let mut seen = std::collections::HashSet::with_capacity(load.rows.len());
         for row in &load.rows {
-            let key: String = row.iter().map(Value::group_key).collect::<Vec<_>>().join("\u{1}");
+            let key: String = row
+                .iter()
+                .map(Value::group_key)
+                .collect::<Vec<_>>()
+                .join("\u{1}");
             if seen.insert(key) {
                 rows_distinct += 1;
             }
@@ -59,7 +63,10 @@ pub fn fill_from_trace(v: &mut MeasureVector, flow: &EtlFlow, trace: &Trace) {
         );
     }
     if rows_total > 0 {
-        v.set(MeasureId::Uniqueness, rows_distinct as f64 / rows_total as f64);
+        v.set(
+            MeasureId::Uniqueness,
+            rows_distinct as f64 / rows_total as f64,
+        );
     }
     if str_cells > 0 {
         v.set(

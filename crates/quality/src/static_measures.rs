@@ -70,10 +70,7 @@ mod tests {
         g.graph
             .interpose_on_edge(
                 e,
-                etl_model::Operation::new(
-                    "SAVE",
-                    OpKind::Checkpoint { tag: "sp".into() },
-                ),
+                etl_model::Operation::new("SAVE", OpKind::Checkpoint { tag: "sp".into() }),
                 Default::default(),
                 Default::default(),
             )

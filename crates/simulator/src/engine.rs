@@ -126,18 +126,15 @@ pub fn simulate(flow: &EtlFlow, catalog: &Catalog, config: &SimConfig) -> Result
         let rows_out: usize = outputs.iter().map(|v| v.len()).sum();
 
         // --- timing -----------------------------------------------------
-        let ready = preds
-            .iter()
-            .map(|p| done[p.index()])
-            .fold(0.0f64, f64::max);
+        let ready = preds.iter().map(|p| done[p.index()]).fold(0.0f64, f64::max);
         let par = op.parallelism.max(1) as f64;
         let work_rows = match op.kind {
             OpKind::Extract { .. } => rows_out,
             _ => rows_in,
         };
-        let service =
-            (op.cost.startup_ms + work_rows as f64 * op.cost.cost_per_tuple_ms / par) * crypto_tax
-                / speed;
+        let service = (op.cost.startup_ms + work_rows as f64 * op.cost.cost_per_tuple_ms / par)
+            * crypto_tax
+            / speed;
 
         // Recovery span: recomputing this op plus everything back to the
         // nearest savepoint/extract frontier (max over parallel branches).
@@ -173,8 +170,7 @@ pub fn simulate(flow: &EtlFlow, catalog: &Catalog, config: &SimConfig) -> Result
             .iter()
             .map(|p| latency[p.index()])
             .fold(0.0f64, f64::max);
-        latency[n.index()] =
-            in_latency + op.cost.cost_per_tuple_ms * crypto_tax / (par * speed);
+        latency[n.index()] = in_latency + op.cost.cost_per_tuple_ms * crypto_tax / (par * speed);
 
         // --- bookkeeping --------------------------------------------------
         if let OpKind::Extract { source, .. } = &op.kind {
@@ -381,8 +377,24 @@ mod tests {
         // make the filter fail certainly
         let fid = f.ops_of_kind("filter")[0];
         f.op_mut(fid).unwrap().cost.failure_rate = 1.0;
-        let clean = simulate(&f, &cat, &SimConfig { inject_failures: false, seed: 1 }).unwrap();
-        let failed = simulate(&f, &cat, &SimConfig { inject_failures: true, seed: 1 }).unwrap();
+        let clean = simulate(
+            &f,
+            &cat,
+            &SimConfig {
+                inject_failures: false,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        let failed = simulate(
+            &f,
+            &cat,
+            &SimConfig {
+                inject_failures: true,
+                seed: 1,
+            },
+        )
+        .unwrap();
         assert_eq!(failed.failures, 1);
         assert!(failed.total_redo_ms > 0.0);
         assert!(failed.cycle_time_ms > clean.cycle_time_ms);
@@ -538,7 +550,10 @@ mod tests {
             .filter(|v| v.is_null())
             .count();
         assert!(nulls > 0);
-        assert!(t.loads[0].rows.len() > 500, "duplicates should inflate row count");
+        assert!(
+            t.loads[0].rows.len() > 500,
+            "duplicates should inflate row count"
+        );
         let corrupt = t.loads[0]
             .rows
             .iter()

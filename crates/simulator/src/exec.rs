@@ -40,7 +40,8 @@ impl fmt::Display for ExecError {
 impl std::error::Error for ExecError {}
 
 fn bind(expr: &etl_model::expr::Expr, schema: &Schema) -> Result<BoundExpr, ExecError> {
-    expr.bind(schema).map_err(|e| ExecError::Bind(e.to_string()))
+    expr.bind(schema)
+        .map_err(|e| ExecError::Bind(e.to_string()))
 }
 
 /// Executes one operator.
@@ -158,7 +159,10 @@ pub fn execute_op(
                     .collect(),
             )
         }
-        OpKind::Join { left_key, right_key } => {
+        OpKind::Join {
+            left_key,
+            right_key,
+        } => {
             if inputs.len() < 2 {
                 return Err(ExecError::Arity {
                     op: op.name.clone(),
@@ -257,9 +261,7 @@ pub fn execute_op(
                         (true, true) => std::cmp::Ordering::Equal,
                         (true, false) => std::cmp::Ordering::Greater, // nulls last
                         (false, true) => std::cmp::Ordering::Less,
-                        (false, false) => {
-                            a[i].sql_cmp(&b[i]).unwrap_or(std::cmp::Ordering::Equal)
-                        }
+                        (false, false) => a[i].sql_cmp(&b[i]).unwrap_or(std::cmp::Ordering::Equal),
                     };
                     if ord != std::cmp::Ordering::Equal {
                         return ord;
@@ -441,14 +443,18 @@ impl Accum {
                     self.sum_is_int = true;
                     self.isum += i;
                 }
-                if self.min.as_ref().map_or(true, |m| {
-                    v.sql_cmp(m) == Some(std::cmp::Ordering::Less)
-                }) {
+                if self
+                    .min
+                    .as_ref()
+                    .map_or(true, |m| v.sql_cmp(m) == Some(std::cmp::Ordering::Less))
+                {
                     self.min = Some(v.clone());
                 }
-                if self.max.as_ref().map_or(true, |m| {
-                    v.sql_cmp(m) == Some(std::cmp::Ordering::Greater)
-                }) {
+                if self
+                    .max
+                    .as_ref()
+                    .map_or(true, |m| v.sql_cmp(m) == Some(std::cmp::Ordering::Greater))
+                {
                     self.max = Some(v.clone());
                 }
             }
@@ -530,7 +536,10 @@ mod tests {
             "d",
             vec![
                 ("double".to_string(), Expr::col("v").mul(Expr::lit_f(2.0))),
-                ("quad".to_string(), Expr::col("double").mul(Expr::lit_f(2.0))),
+                (
+                    "quad".to_string(),
+                    Expr::col("double").mul(Expr::lit_f(2.0)),
+                ),
             ],
         );
         let out = run(op, rows2(), &schema2(), 1);
@@ -542,10 +551,22 @@ mod tests {
 
     #[test]
     fn convert_int_float_roundtrip() {
-        assert_eq!(convert_value(&Value::Int(3), DataType::Float), Value::Float(3.0));
-        assert_eq!(convert_value(&Value::Float(3.7), DataType::Int), Value::Int(3));
-        assert_eq!(convert_value(&Value::Str("12".into()), DataType::Int), Value::Int(12));
-        assert_eq!(convert_value(&Value::Str("xx".into()), DataType::Int), Value::Null);
+        assert_eq!(
+            convert_value(&Value::Int(3), DataType::Float),
+            Value::Float(3.0)
+        );
+        assert_eq!(
+            convert_value(&Value::Float(3.7), DataType::Int),
+            Value::Int(3)
+        );
+        assert_eq!(
+            convert_value(&Value::Str("12".into()), DataType::Int),
+            Value::Int(12)
+        );
+        assert_eq!(
+            convert_value(&Value::Str("xx".into()), DataType::Int),
+            Value::Null
+        );
         assert_eq!(convert_value(&Value::Null, DataType::Int), Value::Null);
     }
 
@@ -649,7 +670,12 @@ mod tests {
 
     #[test]
     fn sort_nulls_last() {
-        let op = Operation::new("s", OpKind::Sort { by: vec!["v".into()] });
+        let op = Operation::new(
+            "s",
+            OpKind::Sort {
+                by: vec!["v".into()],
+            },
+        );
         let out = run(op, rows2(), &schema2(), 1);
         assert_eq!(out[0][0][1], Value::Float(-3.0));
         assert_eq!(out[0][1][1], Value::Float(10.0));
@@ -689,14 +715,7 @@ mod tests {
     fn merge_concatenates() {
         let op = Operation::new("m", OpKind::Merge);
         let s = schema2();
-        let out = execute_op(
-            &op,
-            &[rows2(), rows2()],
-            &[&s, &s],
-            1,
-            &cat(),
-        )
-        .unwrap();
+        let out = execute_op(&op, &[rows2(), rows2()], &[&s, &s], 1, &cat()).unwrap();
         assert_eq!(out[0].len(), 6);
     }
 
@@ -708,7 +727,12 @@ mod tests {
         let out = run(op, rows.clone(), &schema2(), 1);
         assert_eq!(out[0].len(), 3);
 
-        let op = Operation::new("dd", OpKind::Dedup { keys: vec!["id".into()] });
+        let op = Operation::new(
+            "dd",
+            OpKind::Dedup {
+                keys: vec!["id".into()],
+            },
+        );
         let out = run(op, rows, &schema2(), 1);
         assert_eq!(out[0].len(), 3);
     }

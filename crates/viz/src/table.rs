@@ -53,7 +53,10 @@ mod tests {
         assert!(t.contains("| FCP "));
         assert!(t.contains("| FilterNullValues "));
         let widths: Vec<usize> = t.lines().map(|l| l.chars().count()).collect();
-        assert!(widths.windows(2).all(|w| w[0] == w[1]), "all lines same width");
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "all lines same width"
+        );
     }
 
     #[test]

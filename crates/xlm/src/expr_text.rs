@@ -124,7 +124,11 @@ pub struct ExprParseError {
 
 impl fmt::Display for ExprParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "expression error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "expression error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -475,8 +479,8 @@ mod tests {
 
     fn roundtrip(e: &Expr) {
         let text = write_expr(e);
-        let parsed = parse_expr(&text)
-            .unwrap_or_else(|err| panic!("failed to parse `{text}`: {err}"));
+        let parsed =
+            parse_expr(&text).unwrap_or_else(|err| panic!("failed to parse `{text}`: {err}"));
         assert_eq!(&parsed, e, "text was `{text}`");
     }
 
@@ -501,7 +505,11 @@ mod tests {
             .add(Expr::col("b").mul(Expr::lit_i(2)))
             .sub(Expr::lit_f(0.5))
             .gt(Expr::lit_i(0))
-            .and(Expr::col("s").eq(Expr::lit_s("HIGH")).or(Expr::col("x").is_null()))
+            .and(
+                Expr::col("s")
+                    .eq(Expr::lit_s("HIGH"))
+                    .or(Expr::col("x").is_null()),
+            )
             .not();
         roundtrip(&e);
     }
@@ -535,10 +543,7 @@ mod tests {
             .and(Expr::col("c").is_null().not());
         assert_eq!(e, expected);
         // postfix IS NULL outside parens
-        assert_eq!(
-            parse_expr("(a) IS NULL").unwrap(),
-            Expr::col("a").is_null()
-        );
+        assert_eq!(parse_expr("(a) IS NULL").unwrap(), Expr::col("a").is_null());
     }
 
     #[test]

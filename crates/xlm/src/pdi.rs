@@ -56,7 +56,9 @@ fn step_fields(step: &XmlNode) -> Result<Schema, XlmError> {
 }
 
 fn text_of(step: &XmlNode, tag: &str) -> Option<String> {
-    step.find(tag).map(|n| n.text.clone()).filter(|t| !t.is_empty())
+    step.find(tag)
+        .map(|n| n.text.clone())
+        .filter(|t| !t.is_empty())
 }
 
 fn convert_step(step: &XmlNode) -> Result<Operation, XlmError> {
@@ -123,7 +125,8 @@ fn convert_step(step: &XmlNode) -> Result<Operation, XlmError> {
                 .unwrap_or_default(),
         },
         "MergeJoin" => OpKind::Join {
-            left_key: text_of(step, "key_1").ok_or_else(|| format_err("MergeJoin without key_1"))?,
+            left_key: text_of(step, "key_1")
+                .ok_or_else(|| format_err("MergeJoin without key_1"))?,
             right_key: text_of(step, "key_2")
                 .ok_or_else(|| format_err("MergeJoin without key_2"))?,
         },
@@ -138,7 +141,11 @@ fn convert_step(step: &XmlNode) -> Result<Operation, XlmError> {
         "GroupBy" => {
             let group_by = step
                 .find("group")
-                .map(|g| g.find_all("field").filter_map(|f| text_of(f, "name")).collect())
+                .map(|g| {
+                    g.find_all("field")
+                        .filter_map(|f| text_of(f, "name"))
+                        .collect()
+                })
                 .unwrap_or_default();
             let mut aggs = Vec::new();
             if let Some(fields) = step.find("fields") {

@@ -76,7 +76,10 @@ fn kind_node(kind: &OpKind) -> XmlNode {
         OpKind::Convert { column, to } => {
             n = n.attr("column", column).attr("to", to.name());
         }
-        OpKind::Join { left_key, right_key } => {
+        OpKind::Join {
+            left_key,
+            right_key,
+        } => {
             n = n.attr("left_key", left_key).attr("right_key", right_key);
         }
         OpKind::Aggregate { group_by, aggs } => {
@@ -170,7 +173,10 @@ pub fn write_flow(flow: &EtlFlow) -> String {
         edges.children.push(en);
     }
     design.children.push(edges);
-    XmlNode::new("xlm").attr("version", "1.0").child(design).to_xml()
+    XmlNode::new("xlm")
+        .attr("version", "1.0")
+        .child(design)
+        .to_xml()
 }
 
 // ---------------------------------------------------------------- reading
@@ -430,11 +436,8 @@ mod tests {
         f.graph
             .interpose_on_edge(
                 e,
-                Operation::new(
-                    "SAVE",
-                    OpKind::Checkpoint { tag: "sp1".into() },
-                )
-                .tag_pattern("AddCheckpoint"),
+                Operation::new("SAVE", OpKind::Checkpoint { tag: "sp1".into() })
+                    .tag_pattern("AddCheckpoint"),
                 Default::default(),
                 Default::default(),
             )

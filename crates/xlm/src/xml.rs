@@ -130,7 +130,9 @@ fn unescape(s: &str) -> Result<String, XmlError> {
             continue;
         }
         let rest = &s[i..];
-        let end = rest.find(';').ok_or_else(|| XmlError::at(i, "unterminated entity"))?;
+        let end = rest
+            .find(';')
+            .ok_or_else(|| XmlError::at(i, "unterminated entity"))?;
         let ent = &rest[1..end];
         out.push(match ent {
             "amp" => '&',

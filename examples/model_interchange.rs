@@ -56,12 +56,19 @@ fn main() {
         xml.len(),
         flow.op_count()
     );
-    println!("first lines:\n{}", xml.lines().take(8).collect::<Vec<_>>().join("\n"));
+    println!(
+        "first lines:\n{}",
+        xml.lines().take(8).collect::<Vec<_>>().join("\n")
+    );
 
     let reloaded = xlm::read_flow(&xml).expect("xLM re-imports");
     reloaded.validate().expect("re-imported flow is valid");
     assert_eq!(reloaded.op_count(), flow.op_count());
-    println!("\nre-imported `{}` — {} ops, valid ✓\n", reloaded.name, reloaded.op_count());
+    println!(
+        "\nre-imported `{}` — {} ops, valid ✓\n",
+        reloaded.name,
+        reloaded.op_count()
+    );
 
     // ---- PDI import, then plan on the imported model
     let pdi_flow = xlm::pdi::import_ktr(ORDERS_KTR).expect("ktr imports");

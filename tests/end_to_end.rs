@@ -21,12 +21,7 @@ fn tpch_full_cycle() {
     for &i in &outcome.skyline {
         let alt = &outcome.alternatives[i];
         alt.flow.validate().unwrap();
-        let trace = simulate(
-            &alt.flow,
-            planner.catalog(),
-            &SimConfig::default(),
-        )
-        .unwrap();
+        let trace = simulate(&alt.flow, planner.catalog(), &SimConfig::default()).unwrap();
         assert!(trace.rows_loaded() > 0, "{} loads nothing", alt.name);
     }
 }

@@ -22,7 +22,10 @@ fn sorted_load_keys(trace: &Trace) -> Vec<String> {
 }
 
 fn row_key(row: &Tuple) -> String {
-    row.iter().map(Value::group_key).collect::<Vec<_>>().join("|")
+    row.iter()
+        .map(Value::group_key)
+        .collect::<Vec<_>>()
+        .join("|")
 }
 
 fn for_each_application(
@@ -77,7 +80,10 @@ fn structural_patterns_preserve_loaded_data_exactly() {
             checked += 1;
         }
     });
-    assert!(checked >= 6, "expected several preserving applications, got {checked}");
+    assert!(
+        checked >= 6,
+        "expected several preserving applications, got {checked}"
+    );
 }
 
 #[test]
@@ -127,7 +133,10 @@ fn cleaning_patterns_never_invent_rows() {
             _ => {}
         }
     });
-    assert!(checked >= 10, "expected many cleaning applications, got {checked}");
+    assert!(
+        checked >= 10,
+        "expected many cleaning applications, got {checked}"
+    );
 }
 
 #[test]

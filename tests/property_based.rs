@@ -10,10 +10,7 @@ use proptest::prelude::*;
 
 fn arb_points(max: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
     (1usize..max, 2usize..4).prop_flat_map(|(n, dims)| {
-        proptest::collection::vec(
-            proptest::collection::vec(0.0f64..200.0, dims..=dims),
-            n..=n,
-        )
+        proptest::collection::vec(proptest::collection::vec(0.0f64..200.0, dims..=dims), n..=n)
     })
 }
 
@@ -49,6 +46,61 @@ proptest! {
             poiesis::pareto_skyline_bnl(&points),
             poiesis::pareto_skyline_sorted(&points)
         );
+    }
+
+    #[test]
+    fn incremental_skyline_set_agrees_with_batch(points in arb_points(120)) {
+        // dims 2–4 via arb_points; any insertion order must converge on the
+        // batch frontier
+        let mut set = poiesis::SkylineSet::new();
+        for (i, p) in points.iter().enumerate() {
+            set.insert(i, p.clone());
+        }
+        prop_assert_eq!(set.ids(), poiesis::pareto_skyline_bnl(&points));
+        prop_assert_eq!(set.ids(), poiesis::pareto_skyline_sorted(&points));
+        let mut reversed = poiesis::SkylineSet::new();
+        for (i, p) in points.iter().enumerate().rev() {
+            reversed.insert(i, p.clone());
+        }
+        prop_assert_eq!(reversed.ids(), set.ids());
+    }
+}
+
+// ------------------------------------------- streaming engine equivalence
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn streaming_exhaustive_matches_materialized_skyline(
+        depth in 1usize..3,
+        top_k in 3usize..7,
+        budget in 50usize..400,
+        retain in any::<bool>(),
+    ) {
+        let (flow, _) = datagen::fig2::purchases_flow();
+        let catalog = datagen::fig2::purchases_catalog(80, &datagen::DirtProfile::demo(), 3);
+        let registry = fcp::PatternRegistry::standard_for_catalog(&catalog);
+        let mut policy = fcp::DeploymentPolicy::exhaustive(depth);
+        policy.top_k_points_per_pattern = top_k;
+        let config = poiesis::PlannerConfig {
+            policy,
+            max_alternatives: budget,
+            retain_dominated: retain,
+            ..poiesis::PlannerConfig::default()
+        };
+        let planner = poiesis::Planner::new(flow, catalog, registry, config);
+        let streaming = planner.plan().unwrap();
+        let eager = planner.plan_materialized().unwrap();
+        // identical frontier identity, whatever the budget/policy/retention
+        prop_assert_eq!(streaming.skyline_names(), eager.skyline_names());
+        prop_assert_eq!(&streaming.stats, &eager.stats);
+        if retain {
+            // full layout equivalence when everything is retained
+            prop_assert_eq!(streaming.alternatives.len(), eager.alternatives.len());
+            prop_assert_eq!(&streaming.skyline, &eager.skyline);
+        } else {
+            prop_assert_eq!(streaming.alternatives.len(), streaming.skyline.len());
+        }
     }
 }
 

@@ -67,8 +67,7 @@ fn sibling_crates_resolve_through_the_umbrella() {
     assert!(flowgraph::is_dag(&g));
 
     let (flow, _) = poiesis_workspace::datagen::fig2::purchases_flow();
-    let catalog =
-        poiesis_workspace::datagen::fig2::purchases_catalog(20, &DirtProfile::clean(), 1);
+    let catalog = poiesis_workspace::datagen::fig2::purchases_catalog(20, &DirtProfile::clean(), 1);
 
     let xml = xlm::write_flow(&flow);
     assert_eq!(xlm::read_flow(&xml).unwrap().op_count(), flow.op_count());

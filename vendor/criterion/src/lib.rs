@@ -89,7 +89,10 @@ impl Bencher {
         }
         let iters = 1 + extra;
         let mean = total / iters as u32;
-        println!("{:<48} time: {mean:>12.3?}   ({iters} iterations)", self.label);
+        println!(
+            "{:<48} time: {mean:>12.3?}   ({iters} iterations)",
+            self.label
+        );
     }
 
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {

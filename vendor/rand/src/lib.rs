@@ -27,8 +27,12 @@ pub trait SeedableRng: Sized {
 /// Per-type uniform sampling, mirroring `rand::distributions::uniform::SampleUniform`.
 pub trait SampleUniform: Sized {
     /// Uniform in `[lo, hi)` when `inclusive` is false, `[lo, hi]` otherwise.
-    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
-        -> Self;
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
 }
 
 macro_rules! int_sample_uniform {
@@ -146,10 +150,7 @@ pub mod rngs {
 
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
-            let result = self.s[1]
-                .wrapping_mul(5)
-                .rotate_left(7)
-                .wrapping_mul(9);
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
             let t = self.s[1] << 17;
             self.s[2] ^= self.s[0];
             self.s[3] ^= self.s[1];
