@@ -7,22 +7,32 @@
 //! poiesis_cli plan      <model.(xlm|ktr)> [opts]   one planning cycle
 //!     --policy <balanced|performance|reliability|data-quality>
 //!     --strategy <exhaustive|beam[:W]|greedy>  space walk (default exhaustive)
+//!     --weights <c=w,..>      objective weights by characteristic key,
+//!                             e.g. performance=2,data_quality=1
+//!     --require <m:r,..>      hard constraints by measure key: the measure
+//!                             must not regress past ratio r vs baseline,
+//!                             e.g. cycle_time_ms:1.0,accuracy:0.95
 //!     --drop-dominated        keep only the frontier in memory (O(frontier))
 //!     --alternatives <N>      cap on enumerated alternatives (default 2000)
 //!     --simulate              score by full simulation instead of estimation
 //!     --rows <N>              synthetic rows per source (default 500)
 //!     --svg <path>            write the Fig. 4 scatter-plot as SVG
 //!     --top <N>               frontier designs to report (default 5)
+//!     --json                  emit the PlanResponse DTO as JSON instead of
+//!                             the human tables
 //! ```
 //!
 //! Sources named by the model's extracts are synthesised from their schemas
 //! (demo dirt profile) — the headless equivalent of pointing the tool at a
-//! test database.
+//! test database. Planning goes through the goal-driven facade
+//! (`Poiesis::session()` + `Objective`), the same path a network service
+//! will use.
 
 use datagen::{Catalog, DirtProfile, TableSpec};
 use etl_model::{EtlFlow, OpKind};
-use fcp::{DeploymentPolicy, PatternRegistry};
-use poiesis::{EvalMode, Planner, PlannerConfig, SearchStrategyKind};
+use fcp::DeploymentPolicy;
+use poiesis::{EvalMode, Objective, PlanResponse, Poiesis, SearchStrategyKind, ToJson};
+use quality::{Characteristic, MeasureId};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -100,6 +110,43 @@ fn opt_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
+/// Parses `--weights performance=2,data_quality=1` into an objective,
+/// layering `--require cycle_time_ms:1.0` constraints on top. No
+/// `--weights` keeps the balanced default axes.
+fn parse_objective(args: &[String]) -> Result<Objective, String> {
+    let mut objective = match opt_value(args, "--weights") {
+        None => Objective::balanced(),
+        Some(spec) => {
+            let mut o = Objective::new();
+            for part in spec.split(',').filter(|p| !p.is_empty()) {
+                let (key, weight) = part
+                    .split_once('=')
+                    .ok_or_else(|| format!("--weights expects key=weight, got `{part}`"))?;
+                let c = Characteristic::from_key(key)
+                    .ok_or_else(|| format!("unknown characteristic `{key}`"))?;
+                let w: f64 = weight
+                    .parse()
+                    .map_err(|_| format!("bad weight `{weight}` for `{key}`"))?;
+                o = o.weighted(c, w);
+            }
+            o
+        }
+    };
+    if let Some(spec) = opt_value(args, "--require") {
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let (key, ratio) = part
+                .split_once(':')
+                .ok_or_else(|| format!("--require expects measure:ratio, got `{part}`"))?;
+            let m = MeasureId::from_key(key).ok_or_else(|| format!("unknown measure `{key}`"))?;
+            let r: f64 = ratio
+                .parse()
+                .map_err(|_| format!("bad ratio `{ratio}` for `{key}`"))?;
+            objective = objective.constrain(m, r);
+        }
+    }
+    Ok(objective)
+}
+
 fn plan_cmd(args: &[String]) -> Result<(), String> {
     let flow = load_model(args.get(1).ok_or_else(usage)?)?;
     let rows: usize = opt_value(args, "--rows")
@@ -126,36 +173,57 @@ fn plan_cmd(args: &[String]) -> Result<(), String> {
     } else {
         EvalMode::Estimate
     };
-    let strategy = match opt_value(args, "--strategy").unwrap_or("exhaustive") {
-        "exhaustive" => SearchStrategyKind::Exhaustive,
-        "greedy" => SearchStrategyKind::GreedyHillClimb,
-        s if s == "beam" => SearchStrategyKind::Beam { width: 16 },
-        s if s.starts_with("beam:") => {
-            let width = s["beam:".len()..]
-                .parse()
-                .map_err(|_| format!("bad beam width in `{s}`"))?;
-            SearchStrategyKind::Beam { width }
-        }
-        other => return Err(format!("unknown strategy `{other}`")),
-    };
-    let retain_dominated = !opt_flag(args, "--drop-dominated");
+    let strategy: SearchStrategyKind = opt_value(args, "--strategy")
+        .unwrap_or("exhaustive")
+        .parse()?;
+    let objective = parse_objective(args)?;
 
     let catalog = synthesize_catalog(&flow, rows)?;
-    let registry = PatternRegistry::standard_for_catalog(&catalog);
-    let planner = Planner::new(
-        flow,
-        catalog,
-        registry,
-        PlannerConfig {
-            policy,
-            eval_mode,
-            max_alternatives,
-            strategy,
-            retain_dominated,
-            ..PlannerConfig::default()
-        },
-    );
-    let outcome = planner.plan().map_err(|e| e.to_string())?;
+    let session = Poiesis::session()
+        .flow(flow)
+        .catalog(catalog)
+        .policy(policy)
+        .objective(objective)
+        .strategy(strategy)
+        .eval_mode(eval_mode)
+        .budget(max_alternatives)
+        .retain_dominated(!opt_flag(args, "--drop-dominated"))
+        .build()
+        .map_err(|e| e.to_string())?;
+    let outcome = session.explore().map_err(|e| e.to_string())?;
+    let axes = session.objective().characteristics();
+
+    // --svg composes with both output modes, so it runs first
+    if let Some(path) = opt_value(args, "--svg") {
+        // the plot's x/y(/z) are the objective's first axes — a 1-goal
+        // objective degenerates to a strip chart rather than panicking
+        if axes.is_empty() {
+            return Err("--svg needs an objective with at least one goal".into());
+        }
+        let points: Vec<viz::ScatterPoint> = outcome
+            .alternatives
+            .iter()
+            .enumerate()
+            .map(|(i, a)| viz::ScatterPoint {
+                label: a.name.clone(),
+                x: a.scores[0],
+                y: a.scores.get(1).copied().unwrap_or(100.0),
+                z: a.scores.get(2).copied(),
+                on_skyline: outcome.skyline.contains(&i),
+            })
+            .collect();
+        let x_label = axes[0].key();
+        let y_label = axes.get(1).map_or("(no second goal)", |c| c.key());
+        std::fs::write(path, viz::scatter_svg(&points, 640, 480, x_label, y_label))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("scatter-plot written to {path}");
+    }
+
+    if opt_flag(args, "--json") {
+        let response = PlanResponse::from_outcome(&outcome, session.objective(), None);
+        println!("{}", response.to_json_string());
+        return Ok(());
+    }
 
     println!(
         "strategy {strategy} | candidates {} | alternatives {} | frontier {} | rejected-by-constraint {} | failed-evals {}",
@@ -165,36 +233,16 @@ fn plan_cmd(args: &[String]) -> Result<(), String> {
         outcome.rejected_by_constraints,
         outcome.failed_evaluations
     );
+    println!("baseline: {}", outcome.baseline);
     for (i, alt) in outcome.skyline_alternatives().take(top).enumerate() {
-        println!(
-            "\n#{i} perf {:6.1}  dq {:6.1}  rel {:6.1} — {}",
-            alt.scores[0],
-            alt.scores[1],
-            alt.scores[2],
-            alt.applied.join(" + ")
-        );
-        print!("{}", viz::render_bars(&outcome.report(alt), false));
-    }
-
-    if let Some(path) = opt_value(args, "--svg") {
-        let points: Vec<viz::ScatterPoint> = outcome
-            .alternatives
+        let scores = axes
             .iter()
-            .enumerate()
-            .map(|(i, a)| viz::ScatterPoint {
-                label: a.name.clone(),
-                x: a.scores[0],
-                y: a.scores[1],
-                z: a.scores.get(2).copied(),
-                on_skyline: outcome.skyline.contains(&i),
-            })
-            .collect();
-        std::fs::write(
-            path,
-            viz::scatter_svg(&points, 640, 480, "performance", "data quality"),
-        )
-        .map_err(|e| format!("writing {path}: {e}"))?;
-        println!("\nscatter-plot written to {path}");
+            .zip(&alt.scores)
+            .map(|(c, s)| format!("{} {s:6.1}", c.key()))
+            .collect::<Vec<_>>()
+            .join("  ");
+        println!("\n#{i} {scores} — {}", alt.applied.join(" + "));
+        print!("{}", viz::render_bars(&outcome.report(alt), false));
     }
     Ok(())
 }

@@ -20,8 +20,8 @@
 use datagen::DirtProfile;
 use etl_model::expr::Expr;
 use etl_model::{Attribute, DataType, EtlFlow, Operation, Schema};
-use fcp::{DeploymentPolicy, PatternRegistry};
-use poiesis::{Planner, PlannerConfig, SearchStrategyKind};
+use fcp::DeploymentPolicy;
+use poiesis::{Poiesis, SearchStrategyKind, Session};
 use std::time::Instant;
 
 fn opt<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
@@ -89,10 +89,16 @@ fn main() {
     // ---- 1. fig2 equivalence -------------------------------------------
     let (flow, _) = datagen::fig2::purchases_flow();
     let catalog = datagen::fig2::purchases_catalog(150, &DirtProfile::demo(), 5);
-    let registry = PatternRegistry::standard_for_catalog(&catalog);
-    let planner = Planner::new(flow, catalog, registry, PlannerConfig::default());
-    let streaming = planner.plan().expect("streaming plan");
-    let eager = planner.plan_materialized().expect("materialized plan");
+    let session = Poiesis::session()
+        .flow(flow)
+        .catalog(catalog)
+        .build()
+        .expect("fig2 session");
+    let streaming = session.explore().expect("streaming plan");
+    let eager = session
+        .planner()
+        .plan_materialized()
+        .expect("materialized plan");
     let equal = streaming.skyline_names() == eager.skyline_names();
     println!(
         "fig2 purchases: streaming skyline == materialized skyline: {} ({} designs)",
@@ -103,11 +109,22 @@ fn main() {
 
     // ---- 2. budget sweep ------------------------------------------------
     let (flow, catalog) = chain_flow(chain, rows);
-    let registry = PatternRegistry::standard_for_catalog(&catalog);
     let policy = DeploymentPolicy {
         top_k_points_per_pattern: usize::MAX,
         min_fitness: 0.0,
         ..DeploymentPolicy::exhaustive(depth)
+    };
+    // one facade chain per variant; flow/catalog are cloned into each
+    let chain_session = |budget: usize, retain: bool| -> Session {
+        Poiesis::session()
+            .flow(flow.clone())
+            .catalog(catalog.clone())
+            .policy(policy.clone())
+            .budget(budget)
+            .retain_dominated(retain)
+            .workers(workers)
+            .build()
+            .expect("chain session")
     };
     println!(
         "\nchain flow: {} ops, depth ≤ {depth}, workers {workers}",
@@ -116,32 +133,14 @@ fn main() {
 
     let mut table = Vec::new();
     for &budget in &budgets {
-        let streaming_cfg = PlannerConfig {
-            policy: policy.clone(),
-            max_alternatives: budget,
-            retain_dominated: false,
-            workers,
-            ..PlannerConfig::default()
-        };
-        let p = Planner::new(
-            flow.clone(),
-            catalog.clone(),
-            registry.clone(),
-            streaming_cfg,
-        );
+        let s = chain_session(budget, false);
         let t = Instant::now();
-        let lean = p.plan().expect("streaming plan");
+        let lean = s.explore().expect("streaming plan");
         let t_streaming = t.elapsed();
 
-        let eager_cfg = PlannerConfig {
-            policy: policy.clone(),
-            max_alternatives: budget,
-            workers,
-            ..PlannerConfig::default()
-        };
-        let p = Planner::new(flow.clone(), catalog.clone(), registry.clone(), eager_cfg);
+        let s = chain_session(budget, true);
         let t = Instant::now();
-        let full = p.plan_materialized().expect("materialized plan");
+        let full = s.planner().plan_materialized().expect("materialized plan");
         let t_eager = t.elapsed();
 
         assert_eq!(
@@ -192,21 +191,14 @@ fn main() {
         SearchStrategyKind::Beam { width: 32 },
         SearchStrategyKind::GreedyHillClimb,
     ] {
-        let cfg = PlannerConfig {
-            policy: policy.clone(),
-            max_alternatives: budget,
-            retain_dominated: false,
-            strategy,
-            workers,
-            ..PlannerConfig::default()
-        };
-        let p = Planner::new(flow.clone(), catalog.clone(), registry.clone(), cfg);
+        let s = chain_session(budget, false);
         let t = Instant::now();
-        let out = p.plan().expect("plan");
-        let best: f64 = out
-            .skyline_alternatives()
-            .next()
-            .map(|a| a.scores.iter().sum())
+        let out = s
+            .explore_with(strategy.instantiate().as_ref())
+            .expect("plan");
+        let best = out
+            .skyline_alternative(0)
+            .map(|a| s.objective().scalarize(&a.scores))
             .unwrap_or(0.0);
         table.push(vec![
             strategy.to_string(),

@@ -87,7 +87,7 @@ mod tests {
     fn fmt_scales() {
         assert_eq!(fmt(0.0), "0");
         assert_eq!(fmt(12345.6), "12346");
-        assert_eq!(fmt(3.14159), "3.14");
+        assert_eq!(fmt(3.25159), "3.25");
         assert_eq!(fmt(0.12345), "0.1235");
     }
 }

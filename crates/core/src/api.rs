@@ -1,0 +1,585 @@
+//! Serializable plan DTOs — the wire boundary of the facade.
+//!
+//! A future network service wraps the [`SessionManager`](crate::SessionManager)
+//! and speaks these types: a [`PlanRequest`] carries everything a client
+//! may configure (objective, strategy, budget, evaluation mode), a
+//! [`PlanResponse`] carries everything worth showing (the Fig. 4 frontier
+//! as [`AlternativeSummary`] rows plus cycle statistics). Both round-trip
+//! losslessly through the vendored serde's JSON data model
+//! ([`serde::json::Value`]) via [`ToJson`] / [`FromJson`] — a property
+//! pinned down by proptests in `tests/facade.rs`.
+//!
+//! Characteristics and measures travel as their stable snake_case keys
+//! ([`Characteristic::key`], [`MeasureId::key`]), never as display names,
+//! so renaming a label cannot break a client.
+
+use crate::builder::SessionBuilder;
+use crate::error::PoiesisError;
+use crate::eval::EvalMode;
+use crate::objective::{Direction, Goal, Objective};
+use crate::planner::{PlannerConfig, PlannerOutcome};
+use crate::search::SearchStrategyKind;
+use quality::{Characteristic, MeasureId, MeasureVector};
+use serde::json::{JsonError, Value};
+use serde::{FromJson, ToJson};
+
+fn num(n: f64) -> Value {
+    // non-finite values (only reachable through caller-constructed DTOs;
+    // planner scores are clamped finite) degrade to `null` so the emitted
+    // document always parses — the decoder then rejects it loudly instead
+    // of choking on a bare `NaN` token
+    Value::number(n).unwrap_or(Value::Null)
+}
+
+fn int(n: usize) -> Value {
+    Value::Number(n as f64)
+}
+
+fn string(s: &str) -> Value {
+    Value::String(s.to_string())
+}
+
+// ------------------------------------------------------------- objective
+
+/// One goal of an [`ObjectiveSpec`]: a characteristic key, a ranking
+/// weight and a direction (`"max"` / `"min"`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoalSpec {
+    /// Stable characteristic key (e.g. `"data_quality"`).
+    pub characteristic: String,
+    /// Ranking weight.
+    pub weight: f64,
+    /// `"max"` or `"min"`.
+    pub direction: String,
+}
+
+/// One hard constraint of an [`ObjectiveSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstraintSpec {
+    /// Stable measure key (e.g. `"cycle_time_ms"`).
+    pub measure: String,
+    /// Maximum (lower-is-better) or minimum (higher-is-better) allowed
+    /// ratio versus the baseline.
+    pub ratio_vs_baseline: f64,
+}
+
+/// The wire form of an [`Objective`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectiveSpec {
+    /// Goal axes, in order.
+    pub goals: Vec<GoalSpec>,
+    /// Hard measure constraints.
+    pub constraints: Vec<ConstraintSpec>,
+}
+
+impl ObjectiveSpec {
+    /// Captures an in-memory objective.
+    pub fn from_objective(objective: &Objective) -> Self {
+        ObjectiveSpec {
+            goals: objective
+                .goals()
+                .iter()
+                .map(|g| GoalSpec {
+                    characteristic: g.characteristic.key().to_string(),
+                    weight: g.weight,
+                    direction: match g.direction {
+                        Direction::Maximize => "max".to_string(),
+                        Direction::Minimize => "min".to_string(),
+                    },
+                })
+                .collect(),
+            constraints: objective
+                .constraints()
+                .iter()
+                .map(|c| ConstraintSpec {
+                    measure: c.measure.key().to_string(),
+                    ratio_vs_baseline: c.ratio_vs_baseline,
+                })
+                .collect(),
+        }
+    }
+
+    /// Resolves keys and rebuilds the validated [`Objective`].
+    pub fn to_objective(&self) -> Result<Objective, PoiesisError> {
+        let mut objective = Objective::new();
+        for g in &self.goals {
+            let characteristic = Characteristic::from_key(&g.characteristic).ok_or_else(|| {
+                PoiesisError::Malformed(format!("unknown characteristic `{}`", g.characteristic))
+            })?;
+            let direction = match g.direction.as_str() {
+                "max" => Direction::Maximize,
+                "min" => Direction::Minimize,
+                other => {
+                    return Err(PoiesisError::Malformed(format!(
+                        "direction must be `max` or `min`, got `{other}`"
+                    )))
+                }
+            };
+            objective = objective.goal(Goal {
+                characteristic,
+                weight: g.weight,
+                direction,
+            });
+        }
+        for c in &self.constraints {
+            let measure = MeasureId::from_key(&c.measure).ok_or_else(|| {
+                PoiesisError::Malformed(format!("unknown measure `{}`", c.measure))
+            })?;
+            objective = objective.constrain(measure, c.ratio_vs_baseline);
+        }
+        objective.validate()?;
+        Ok(objective)
+    }
+}
+
+impl ToJson for ObjectiveSpec {
+    fn to_json(&self) -> Value {
+        Value::object([
+            (
+                "goals".to_string(),
+                Value::Array(
+                    self.goals
+                        .iter()
+                        .map(|g| {
+                            Value::object([
+                                ("characteristic".to_string(), string(&g.characteristic)),
+                                ("weight".to_string(), num(g.weight)),
+                                ("direction".to_string(), string(&g.direction)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "constraints".to_string(),
+                Value::Array(
+                    self.constraints
+                        .iter()
+                        .map(|c| {
+                            Value::object([
+                                ("measure".to_string(), string(&c.measure)),
+                                ("ratio_vs_baseline".to_string(), num(c.ratio_vs_baseline)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl FromJson for ObjectiveSpec {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let goals = v
+            .get("goals")?
+            .as_array("goals")?
+            .iter()
+            .map(|g| {
+                Ok(GoalSpec {
+                    characteristic: g.get("characteristic")?.as_str("characteristic")?.into(),
+                    weight: g.get("weight")?.as_number("weight")?,
+                    direction: g.get("direction")?.as_str("direction")?.into(),
+                })
+            })
+            .collect::<Result<_, JsonError>>()?;
+        let constraints = v
+            .get("constraints")?
+            .as_array("constraints")?
+            .iter()
+            .map(|c| {
+                Ok(ConstraintSpec {
+                    measure: c.get("measure")?.as_str("measure")?.into(),
+                    ratio_vs_baseline: c
+                        .get("ratio_vs_baseline")?
+                        .as_number("ratio_vs_baseline")?,
+                })
+            })
+            .collect::<Result<_, JsonError>>()?;
+        Ok(ObjectiveSpec { goals, constraints })
+    }
+}
+
+// --------------------------------------------------------------- request
+
+/// Everything a client may configure for a planning cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanRequest {
+    /// Search strategy in [`SearchStrategyKind`] display syntax
+    /// (`"exhaustive"`, `"beam:8"`, `"greedy"`).
+    pub strategy: String,
+    /// Hard cap on enumerated alternatives.
+    pub budget: usize,
+    /// Score by full simulation instead of analytic estimation.
+    pub simulate: bool,
+    /// Worker threads for concurrent evaluation.
+    pub workers: usize,
+    /// Keep dominated alternatives (full scatter-plot) or only the
+    /// frontier (O(frontier) memory).
+    pub retain_dominated: bool,
+    /// RNG seed for simulation-mode evaluation.
+    pub seed: u64,
+    /// The quality objective.
+    pub objective: ObjectiveSpec,
+}
+
+impl Default for PlanRequest {
+    fn default() -> Self {
+        let config = PlannerConfig::default();
+        PlanRequest {
+            strategy: config.strategy.to_string(),
+            budget: config.max_alternatives,
+            simulate: false,
+            workers: config.workers,
+            retain_dominated: config.retain_dominated,
+            seed: config.seed,
+            objective: ObjectiveSpec::from_objective(&config.objective),
+        }
+    }
+}
+
+impl PlanRequest {
+    /// Applies the request to a [`SessionBuilder`], resolving strategy and
+    /// objective; malformed fields surface as
+    /// [`PoiesisError::Malformed`] / [`PoiesisError::InvalidObjective`].
+    pub fn apply(&self, builder: SessionBuilder) -> Result<SessionBuilder, PoiesisError> {
+        let strategy: SearchStrategyKind =
+            self.strategy.parse().map_err(PoiesisError::Malformed)?;
+        Ok(builder
+            .strategy(strategy)
+            .budget(self.budget)
+            .eval_mode(if self.simulate {
+                EvalMode::Simulate
+            } else {
+                EvalMode::Estimate
+            })
+            .workers(self.workers)
+            .retain_dominated(self.retain_dominated)
+            .seed(self.seed)
+            .objective(self.objective.to_objective()?))
+    }
+}
+
+impl ToJson for PlanRequest {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("strategy".to_string(), string(&self.strategy)),
+            ("budget".to_string(), int(self.budget)),
+            ("simulate".to_string(), Value::Bool(self.simulate)),
+            ("workers".to_string(), int(self.workers)),
+            (
+                "retain_dominated".to_string(),
+                Value::Bool(self.retain_dominated),
+            ),
+            // a u64 does not fit f64 losslessly past 2^53, so the seed
+            // travels as a decimal string
+            ("seed".to_string(), string(&self.seed.to_string())),
+            ("objective".to_string(), self.objective.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PlanRequest {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(PlanRequest {
+            strategy: v.get("strategy")?.as_str("strategy")?.into(),
+            budget: v.get("budget")?.as_usize("budget")?,
+            simulate: v.get("simulate")?.as_bool("simulate")?,
+            workers: v.get("workers")?.as_usize("workers")?,
+            retain_dominated: v.get("retain_dominated")?.as_bool("retain_dominated")?,
+            seed: v
+                .get("seed")?
+                .as_str("seed")?
+                .parse()
+                .map_err(|_| JsonError("seed: expected a decimal u64 string".into()))?,
+            objective: ObjectiveSpec::from_json(v.get("objective")?)?,
+        })
+    }
+}
+
+// -------------------------------------------------------------- response
+
+/// One frontier design, summarised for presentation (the Fig. 4
+/// scatter-plot point plus its drill-down handles).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlternativeSummary {
+    /// Rank on the frontier (0 = best objective).
+    pub rank: usize,
+    /// Alternative name (base flow + pattern labels).
+    pub name: String,
+    /// Human-readable descriptions of the applied patterns.
+    pub applied: Vec<String>,
+    /// Characteristic scores, axis order = `PlanResponse::axes`.
+    pub scores: Vec<f64>,
+    /// The scalarized objective value (what the ranking sorts by).
+    pub objective: f64,
+}
+
+impl ToJson for AlternativeSummary {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("rank".to_string(), int(self.rank)),
+            ("name".to_string(), string(&self.name)),
+            (
+                "applied".to_string(),
+                Value::Array(self.applied.iter().map(|a| string(a)).collect()),
+            ),
+            (
+                "scores".to_string(),
+                Value::Array(self.scores.iter().map(|&s| num(s)).collect()),
+            ),
+            ("objective".to_string(), num(self.objective)),
+        ])
+    }
+}
+
+impl FromJson for AlternativeSummary {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(AlternativeSummary {
+            rank: v.get("rank")?.as_usize("rank")?,
+            name: v.get("name")?.as_str("name")?.into(),
+            applied: v
+                .get("applied")?
+                .as_array("applied")?
+                .iter()
+                .map(|a| Ok(a.as_str("applied[]")?.to_string()))
+                .collect::<Result<_, JsonError>>()?,
+            scores: v
+                .get("scores")?
+                .as_array("scores")?
+                .iter()
+                .map(|s| s.as_number("scores[]"))
+                .collect::<Result<_, JsonError>>()?,
+            objective: v.get("objective")?.as_number("objective")?,
+        })
+    }
+}
+
+/// Everything worth showing after one planning cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanResponse {
+    /// The owning session handle, when the cycle ran under a
+    /// [`SessionManager`](crate::SessionManager).
+    pub session: Option<u64>,
+    /// The goal axes, as stable characteristic keys (score order).
+    pub axes: Vec<String>,
+    /// Baseline measures as `(measure key, value)` pairs.
+    pub baseline: Vec<(String, f64)>,
+    /// Candidate pattern applications considered.
+    pub candidates: usize,
+    /// Combinations submitted for evaluation.
+    pub enumerated: usize,
+    /// Alternatives retained after policy/objective admission.
+    pub alternatives: usize,
+    /// Alternatives rejected by policy or objective constraints.
+    pub rejected_by_constraints: usize,
+    /// Combinations that failed during application.
+    pub failed_applications: usize,
+    /// Alternatives whose evaluation errored.
+    pub failed_evaluations: usize,
+    /// The Pareto frontier, best objective first.
+    pub skyline: Vec<AlternativeSummary>,
+}
+
+impl PlanResponse {
+    /// Summarises a planner outcome under `objective`.
+    pub fn from_outcome(
+        outcome: &PlannerOutcome,
+        objective: &Objective,
+        session: Option<u64>,
+    ) -> Self {
+        PlanResponse {
+            session,
+            axes: objective
+                .characteristics()
+                .iter()
+                .map(|c| c.key().to_string())
+                .collect(),
+            baseline: measure_pairs(&outcome.baseline),
+            candidates: outcome.candidates.len(),
+            enumerated: outcome.stats.enumerated,
+            alternatives: outcome.alternatives.len(),
+            rejected_by_constraints: outcome.rejected_by_constraints,
+            failed_applications: outcome.failed_applications,
+            failed_evaluations: outcome.failed_evaluations,
+            skyline: outcome
+                .skyline_alternatives()
+                .enumerate()
+                .map(|(rank, alt)| AlternativeSummary {
+                    rank,
+                    name: alt.name.clone(),
+                    applied: alt.applied.clone(),
+                    scores: alt.scores.clone(),
+                    objective: objective.scalarize(&alt.scores),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A measure vector as `(stable key, value)` pairs, vector order.
+fn measure_pairs(v: &MeasureVector) -> Vec<(String, f64)> {
+    v.iter().map(|(id, x)| (id.key().to_string(), x)).collect()
+}
+
+impl ToJson for PlanResponse {
+    fn to_json(&self) -> Value {
+        Value::object([
+            (
+                "session".to_string(),
+                match self.session {
+                    Some(id) => int(id as usize),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "axes".to_string(),
+                Value::Array(self.axes.iter().map(|a| string(a)).collect()),
+            ),
+            (
+                "baseline".to_string(),
+                Value::Array(
+                    self.baseline
+                        .iter()
+                        .map(|(k, x)| Value::Array(vec![string(k), num(*x)]))
+                        .collect(),
+                ),
+            ),
+            ("candidates".to_string(), int(self.candidates)),
+            ("enumerated".to_string(), int(self.enumerated)),
+            ("alternatives".to_string(), int(self.alternatives)),
+            (
+                "rejected_by_constraints".to_string(),
+                int(self.rejected_by_constraints),
+            ),
+            (
+                "failed_applications".to_string(),
+                int(self.failed_applications),
+            ),
+            (
+                "failed_evaluations".to_string(),
+                int(self.failed_evaluations),
+            ),
+            (
+                "skyline".to_string(),
+                Value::Array(self.skyline.iter().map(|s| s.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for PlanResponse {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let session = match v.get_opt("session")? {
+            Some(s) => Some(s.as_usize("session")? as u64),
+            None => None,
+        };
+        let baseline = v
+            .get("baseline")?
+            .as_array("baseline")?
+            .iter()
+            .map(|pair| {
+                let pair = pair.as_array("baseline[]")?;
+                if pair.len() != 2 {
+                    return Err(JsonError("baseline pairs must be [key, value]".into()));
+                }
+                Ok((
+                    pair[0].as_str("baseline key")?.to_string(),
+                    pair[1].as_number("baseline value")?,
+                ))
+            })
+            .collect::<Result<_, JsonError>>()?;
+        Ok(PlanResponse {
+            session,
+            axes: v
+                .get("axes")?
+                .as_array("axes")?
+                .iter()
+                .map(|a| Ok(a.as_str("axes[]")?.to_string()))
+                .collect::<Result<_, JsonError>>()?,
+            baseline,
+            candidates: v.get("candidates")?.as_usize("candidates")?,
+            enumerated: v.get("enumerated")?.as_usize("enumerated")?,
+            alternatives: v.get("alternatives")?.as_usize("alternatives")?,
+            rejected_by_constraints: v
+                .get("rejected_by_constraints")?
+                .as_usize("rejected_by_constraints")?,
+            failed_applications: v
+                .get("failed_applications")?
+                .as_usize("failed_applications")?,
+            failed_evaluations: v
+                .get("failed_evaluations")?
+                .as_usize("failed_evaluations")?,
+            skyline: v
+                .get("skyline")?
+                .as_array("skyline")?
+                .iter()
+                .map(AlternativeSummary::from_json)
+                .collect::<Result<_, JsonError>>()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_request_matches_the_default_config() {
+        let req = PlanRequest::default();
+        assert_eq!(req.strategy, "exhaustive");
+        assert_eq!(req.budget, PlannerConfig::default().max_alternatives);
+        let objective = req.objective.to_objective().unwrap();
+        assert_eq!(objective, Objective::balanced());
+    }
+
+    #[test]
+    fn request_round_trips_through_json_text() {
+        let mut req = PlanRequest {
+            strategy: "beam:8".into(),
+            simulate: true,
+            ..PlanRequest::default()
+        };
+        req.objective.goals[0].weight = 2.5;
+        req.objective.constraints.push(ConstraintSpec {
+            measure: "cycle_time_ms".into(),
+            ratio_vs_baseline: 1.0,
+        });
+        let text = req.to_json_string();
+        let back = PlanRequest::from_json_str(&text).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn objective_spec_round_trips_through_the_real_objective() {
+        let objective = Objective::balanced()
+            .minimize(quality::Characteristic::Cost)
+            .constrain(MeasureId::AvgLatencyMs, 1.0);
+        let spec = ObjectiveSpec::from_objective(&objective);
+        assert_eq!(spec.to_objective().unwrap(), objective);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_stable_errors() {
+        let mut spec = ObjectiveSpec::from_objective(&Objective::balanced());
+        spec.goals[0].characteristic = "speed".into();
+        assert!(matches!(
+            spec.to_objective(),
+            Err(PoiesisError::Malformed(msg)) if msg.contains("speed")
+        ));
+        let mut spec = ObjectiveSpec::from_objective(&Objective::balanced());
+        spec.goals[0].direction = "sideways".into();
+        assert!(matches!(
+            spec.to_objective(),
+            Err(PoiesisError::Malformed(_))
+        ));
+        let req = PlanRequest {
+            strategy: "dfs".into(),
+            ..PlanRequest::default()
+        };
+        assert!(matches!(
+            req.apply(SessionBuilder::new()),
+            Err(PoiesisError::Malformed(_))
+        ));
+        assert!(PlanRequest::from_json_str("{\"strategy\":1}").is_err());
+    }
+}

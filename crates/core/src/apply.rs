@@ -25,7 +25,7 @@ pub fn apply_combination(
         .iter()
         .copied()
         .partition(|c| c.point != ApplicationPoint::Graph);
-    for c in structural.into_iter().chain(graph_level.into_iter()) {
+    for c in structural.into_iter().chain(graph_level) {
         applied.push(c.pattern.apply(&mut flow, c.point)?);
     }
     debug_assert!(flow.validate().is_ok(), "patterns must preserve validity");

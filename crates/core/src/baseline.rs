@@ -57,11 +57,14 @@ pub fn manual_redesign(
 
     let all = generate_uncapped(flow, planner.registry())
         .map_err(|e| PlannerError::Pattern(e.to_string()))?;
+    let objective = &planner.config().objective;
     if all.is_empty() {
+        let best_scores = vec![100.0; objective.dims()];
+        let best_score_sum = objective.scalarize(&best_scores);
         return Ok(ManualOutcome {
             coverage: 0.0,
-            best_scores: vec![100.0; planner.config().dimensions.len()],
-            best_score_sum: 100.0 * planner.config().dimensions.len() as f64,
+            best_scores,
+            best_score_sum,
             designs_tried: 0,
         });
     }
@@ -75,9 +78,10 @@ pub fn manual_redesign(
     }
 
     let depth = planner.config().policy.max_patterns_per_flow;
-    let dims = &planner.config().dimensions;
+    let dims = objective.characteristics();
     let mut best_scores = vec![100.0; dims.len()];
-    let mut best_sum = 100.0 * dims.len() as f64;
+    // the baseline design itself scores 100 on every axis
+    let mut best_sum = objective.scalarize(&best_scores);
     let mut tried = 0usize;
 
     // The engineer tries single placements and one stacked combination —
@@ -94,8 +98,8 @@ pub fn manual_redesign(
             continue;
         };
         tried += 1;
-        let scores = characteristic_scores(&m, &baseline, dims);
-        let sum: f64 = scores.iter().sum();
+        let scores = characteristic_scores(&m, &baseline, &dims);
+        let sum = objective.scalarize(&scores);
         if sum > best_sum {
             best_sum = sum;
             best_scores = scores;

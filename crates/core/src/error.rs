@@ -1,0 +1,114 @@
+//! The one error type of the public API.
+//!
+//! Planner, builder, manager and DTO failures all surface as
+//! [`PoiesisError`]; the variants are stable so callers (and a future
+//! network service) can match on them instead of scraping messages. The
+//! historical [`PlannerError`](crate::PlannerError) name survives as an
+//! alias — code matching `PlannerError::InvalidFlow(..)` keeps compiling.
+
+use crate::manager::SessionId;
+use std::fmt;
+
+/// Everything that can go wrong behind the poiesis facade.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PoiesisError {
+    // --- planning-cycle failures (the historical `PlannerError` variants)
+    /// The initial flow failed validation.
+    InvalidFlow(String),
+    /// Candidate generation failed.
+    Pattern(String),
+    /// Baseline evaluation failed.
+    Eval(String),
+
+    // --- builder failures
+    /// [`SessionBuilder::build`](crate::SessionBuilder::build) was called
+    /// without a flow.
+    MissingFlow,
+    /// The builder was given no catalog.
+    MissingCatalog,
+    /// The builder's catalog holds no tables, so nothing can be evaluated.
+    EmptyCatalog,
+    /// The objective is unusable (no goals, a non-positive or non-finite
+    /// weight, a duplicate characteristic, a non-positive constraint).
+    InvalidObjective(String),
+
+    // --- manager failures
+    /// No session is registered under this handle (never created, or
+    /// already closed).
+    UnknownSession(SessionId),
+    /// A selection was requested before any exploration produced a
+    /// frontier for the session.
+    NothingExplored(SessionId),
+    /// The requested skyline rank is outside the frontier.
+    RankOutOfRange {
+        /// The rank that was asked for.
+        rank: usize,
+        /// How many designs the frontier holds.
+        frontier: usize,
+    },
+
+    // --- DTO failures
+    /// A wire payload failed to decode.
+    Malformed(String),
+}
+
+impl fmt::Display for PoiesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoiesisError::InvalidFlow(e) => write!(f, "invalid initial flow: {e}"),
+            PoiesisError::Pattern(e) => write!(f, "pattern generation failed: {e}"),
+            PoiesisError::Eval(e) => write!(f, "evaluation failed: {e}"),
+            PoiesisError::MissingFlow => write!(f, "session builder: no flow was provided"),
+            PoiesisError::MissingCatalog => write!(f, "session builder: no catalog was provided"),
+            PoiesisError::EmptyCatalog => {
+                write!(f, "session builder: the catalog holds no tables")
+            }
+            PoiesisError::InvalidObjective(e) => write!(f, "invalid objective: {e}"),
+            PoiesisError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            PoiesisError::NothingExplored(id) => {
+                write!(f, "session {id} has no explored frontier to select from")
+            }
+            PoiesisError::RankOutOfRange { rank, frontier } => write!(
+                f,
+                "skyline rank {rank} out of range (frontier holds {frontier} designs)"
+            ),
+            PoiesisError::Malformed(e) => write!(f, "malformed payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PoiesisError {}
+
+impl From<serde::json::JsonError> for PoiesisError {
+    fn from(e: serde::json::JsonError) -> Self {
+        PoiesisError::Malformed(e.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_stable() {
+        assert_eq!(
+            PoiesisError::InvalidFlow("x".into()).to_string(),
+            "invalid initial flow: x"
+        );
+        assert_eq!(
+            PoiesisError::RankOutOfRange {
+                rank: 9,
+                frontier: 3
+            }
+            .to_string(),
+            "skyline rank 9 out of range (frontier holds 3 designs)"
+        );
+        assert!(PoiesisError::MissingFlow.to_string().contains("no flow"));
+    }
+
+    #[test]
+    fn json_errors_convert_to_malformed() {
+        let e: PoiesisError = serde::json::JsonError("bad".into()).into();
+        assert_eq!(e, PoiesisError::Malformed("bad".into()));
+    }
+}

@@ -29,41 +29,74 @@
 //!
 //! # Quickstart
 //!
+//! The documented entry point is the goal-driven facade:
+//! [`Poiesis::session`] returns a validating [`SessionBuilder`], the
+//! [`Objective`] states the user's quality goals, and the resulting
+//! [`Session`] runs the iterative explore → select loop.
+//!
 //! ```
-//! use poiesis::{Planner, PlannerConfig};
-//! use fcp::PatternRegistry;
+//! use poiesis::{Beam, Objective, Poiesis};
 //! use datagen::{fig2, DirtProfile};
+//! use quality::{Characteristic, MeasureId};
 //!
 //! let (flow, _) = fig2::purchases_flow();
 //! let catalog = fig2::purchases_catalog(200, &DirtProfile::demo(), 42);
-//! let registry = PatternRegistry::standard_for_catalog(&catalog);
-//! let planner = Planner::new(flow, catalog, registry, PlannerConfig::default());
-//! let outcome = planner.plan().unwrap();
+//! let mut session = Poiesis::session()
+//!     .flow(flow)
+//!     .catalog(catalog)
+//!     .objective(
+//!         Objective::balanced()
+//!             .constrain(MeasureId::AvgLatencyMs, 1.5), // latency ≤ 1.5× baseline
+//!     )
+//!     .strategy(Beam { width: 8 })
+//!     .build()
+//!     .unwrap();
+//! let outcome = session.explore().unwrap();
 //! assert!(!outcome.skyline.is_empty());
 //! for alt in outcome.skyline_alternatives().take(3) {
 //!     println!("{}: {:?}", alt.name, alt.scores);
 //! }
+//! session.select(&outcome, 0).unwrap(); // integrate the best design
 //! ```
+//!
+//! Many concurrent sessions live behind a thread-safe [`SessionManager`]
+//! (opaque [`SessionId`] handles, serializable [`api`] DTOs) — the unit a
+//! network service wraps. The legacy `Planner::new(flow, catalog,
+//! registry, config)` constructor keeps working and routes through the
+//! builder internally.
 
+pub mod api;
 pub mod apply;
 pub mod baseline;
+mod builder;
+mod error;
 pub mod eval;
 pub mod explore;
 pub mod generate;
+pub mod manager;
+pub mod objective;
 mod planner;
 pub mod search;
 pub mod session;
 pub mod skyline;
 
+pub use api::{
+    AlternativeSummary, ConstraintSpec, GoalSpec, ObjectiveSpec, PlanRequest, PlanResponse,
+};
+pub use builder::{Poiesis, SessionBuilder};
+pub use error::PoiesisError;
 pub use eval::{Alternative, EvalMode};
 pub use explore::CombinationIter;
 pub use generate::Candidate;
+pub use manager::{SessionId, SessionManager};
+pub use objective::{Direction, Goal, Objective};
 pub use planner::{Planner, PlannerConfig, PlannerError, PlannerOutcome};
 pub use search::{
     Beam, CombinationSink, Exhaustive, GreedyHillClimb, SearchReport, SearchSpace, SearchStrategy,
     SearchStrategyKind,
 };
-pub use session::Session;
+pub use serde::{FromJson, ToJson};
+pub use session::{IterationRecord, Session};
 pub use skyline::{
     pareto_skyline, pareto_skyline_bnl, pareto_skyline_sorted, Insertion, SkylineSet,
 };

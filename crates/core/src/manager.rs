@@ -1,0 +1,246 @@
+//! Handle-based, thread-safe session management — the unit a future
+//! network service will wrap.
+//!
+//! The ROADMAP's north star is a system "serving heavy traffic from
+//! millions of users"; the paper's GUI holds exactly one iterative session.
+//! A [`SessionManager`] bridges the two: it owns many concurrent
+//! [`Session`]s behind opaque [`SessionId`] handles and exposes the whole
+//! iterative loop (`create` → `explore` → `select` → `history` → `close`)
+//! over serializable DTOs. Internally the registry is a read-write-locked
+//! handle map of individually mutex-guarded slots, so sessions on
+//! *distinct* handles explore and select fully in parallel — the registry
+//! lock is only held for the microseconds of handle lookup, never across a
+//! planning cycle.
+
+use crate::api::{PlanRequest, PlanResponse};
+use crate::builder::SessionBuilder;
+use crate::error::PoiesisError;
+use crate::planner::PlannerOutcome;
+use crate::session::{IterationRecord, Session};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Opaque handle to a managed session. Serializable via
+/// [`raw`](Self::raw) / [`from_raw`](Self::from_raw) for wire use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    /// The wire representation of the handle.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a handle from its wire representation. The handle is only
+    /// meaningful to the manager that issued it; unknown handles surface
+    /// as [`PoiesisError::UnknownSession`].
+    pub fn from_raw(raw: u64) -> Self {
+        SessionId(raw)
+    }
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// One managed session plus the outcome of its latest exploration (kept so
+/// a subsequent `select` can integrate a frontier design by rank).
+struct Slot {
+    session: Session,
+    last_outcome: Option<PlannerOutcome>,
+}
+
+/// Thread-safe owner of many concurrent redesign sessions.
+#[derive(Default)]
+pub struct SessionManager {
+    slots: RwLock<HashMap<u64, Arc<Mutex<Slot>>>>,
+    next_id: AtomicU64,
+}
+
+impl SessionManager {
+    /// An empty manager.
+    pub fn new() -> Self {
+        SessionManager::default()
+    }
+
+    /// Validates `builder` and registers the resulting session, returning
+    /// its handle.
+    pub fn create(&self, builder: SessionBuilder) -> Result<SessionId, PoiesisError> {
+        let session = builder.build()?;
+        let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let slot = Arc::new(Mutex::new(Slot {
+            session,
+            last_outcome: None,
+        }));
+        self.slots
+            .write()
+            .expect("session registry")
+            .insert(id.raw(), slot);
+        Ok(id)
+    }
+
+    /// Convenience: applies a wire [`PlanRequest`] on top of `builder`
+    /// (which supplies flow/catalog) and registers the session.
+    pub fn create_from_request(
+        &self,
+        builder: SessionBuilder,
+        request: &PlanRequest,
+    ) -> Result<SessionId, PoiesisError> {
+        self.create(request.apply(builder)?)
+    }
+
+    /// Handles of all live sessions, ascending.
+    pub fn ids(&self) -> Vec<SessionId> {
+        let mut ids: Vec<SessionId> = self
+            .slots
+            .read()
+            .expect("session registry")
+            .keys()
+            .map(|&k| SessionId(k))
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.slots.read().expect("session registry").len()
+    }
+
+    /// True when no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs one planning cycle on the session, keeps the outcome for a
+    /// later `select`, and returns the frontier as a wire DTO.
+    pub fn explore(&self, id: SessionId) -> Result<PlanResponse, PoiesisError> {
+        let slot = self.slot(id)?;
+        let mut slot = slot.lock().expect("session slot");
+        let outcome = slot.session.explore()?;
+        let response =
+            PlanResponse::from_outcome(&outcome, slot.session.objective(), Some(id.raw()));
+        slot.last_outcome = Some(outcome);
+        Ok(response)
+    }
+
+    /// Integrates the frontier design at `rank` (0 = best objective) of
+    /// the session's latest exploration, ending the cycle.
+    pub fn select(&self, id: SessionId, rank: usize) -> Result<IterationRecord, PoiesisError> {
+        let slot = self.slot(id)?;
+        let mut slot = slot.lock().expect("session slot");
+        // take() — the outcome describes the pre-selection flow, so it is
+        // consumed by the selection: a fresh explore must precede the next
+        // select.
+        let outcome = slot
+            .last_outcome
+            .take()
+            .ok_or(PoiesisError::NothingExplored(id))?;
+        let frontier = outcome.skyline_ranked().len();
+        match slot.session.select(&outcome, rank) {
+            Some(record) => Ok(record.clone()),
+            None => {
+                // rank out of range: the outcome is still valid, put it back
+                let err = PoiesisError::RankOutOfRange { rank, frontier };
+                slot.last_outcome = Some(outcome);
+                Err(err)
+            }
+        }
+    }
+
+    /// The session's completed iterations.
+    pub fn history(&self, id: SessionId) -> Result<Vec<IterationRecord>, PoiesisError> {
+        let slot = self.slot(id)?;
+        let slot = slot.lock().expect("session slot");
+        Ok(slot.session.history().to_vec())
+    }
+
+    /// Closes the session, dropping its state. Subsequent calls with the
+    /// handle fail with [`PoiesisError::UnknownSession`].
+    pub fn close(&self, id: SessionId) -> Result<(), PoiesisError> {
+        self.slots
+            .write()
+            .expect("session registry")
+            .remove(&id.raw())
+            .map(|_| ())
+            .ok_or(PoiesisError::UnknownSession(id))
+    }
+
+    /// Clones the slot handle out of the registry so the registry lock is
+    /// released before any long-running work.
+    fn slot(&self, id: SessionId) -> Result<Arc<Mutex<Slot>>, PoiesisError> {
+        self.slots
+            .read()
+            .expect("session registry")
+            .get(&id.raw())
+            .cloned()
+            .ok_or(PoiesisError::UnknownSession(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Poiesis;
+    use datagen::fig2::{purchases_catalog, purchases_flow};
+    use datagen::DirtProfile;
+
+    fn builder() -> SessionBuilder {
+        let (f, _) = purchases_flow();
+        let cat = purchases_catalog(120, &DirtProfile::demo(), 5);
+        Poiesis::session().flow(f).catalog(cat).budget(400)
+    }
+
+    #[test]
+    fn full_lifecycle_over_handles() {
+        let mgr = SessionManager::new();
+        let id = mgr.create(builder()).unwrap();
+        assert_eq!(mgr.ids(), vec![id]);
+
+        let response = mgr.explore(id).unwrap();
+        assert_eq!(response.session, Some(id.raw()));
+        assert!(!response.skyline.is_empty());
+
+        let record = mgr.select(id, 0).unwrap();
+        assert_eq!(record.cycle, 1);
+        assert_eq!(record.selected, response.skyline[0].name);
+        assert_eq!(mgr.history(id).unwrap().len(), 1);
+
+        mgr.close(id).unwrap();
+        assert!(mgr.is_empty());
+        assert_eq!(mgr.explore(id), Err(PoiesisError::UnknownSession(id)));
+    }
+
+    #[test]
+    fn select_requires_a_fresh_exploration() {
+        let mgr = SessionManager::new();
+        let id = mgr.create(builder()).unwrap();
+        assert_eq!(mgr.select(id, 0), Err(PoiesisError::NothingExplored(id)));
+        let response = mgr.explore(id).unwrap();
+        let frontier = response.skyline.len();
+        assert_eq!(
+            mgr.select(id, 10_000),
+            Err(PoiesisError::RankOutOfRange {
+                rank: 10_000,
+                frontier
+            })
+        );
+        // an in-range rank still works: the outcome was put back
+        mgr.select(id, 0).unwrap();
+        // ... but is consumed by the successful selection
+        assert_eq!(mgr.select(id, 0), Err(PoiesisError::NothingExplored(id)));
+    }
+
+    #[test]
+    fn handles_are_never_reused() {
+        let mgr = SessionManager::new();
+        let a = mgr.create(builder()).unwrap();
+        mgr.close(a).unwrap();
+        let b = mgr.create(builder()).unwrap();
+        assert_ne!(a, b);
+    }
+}

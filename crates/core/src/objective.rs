@@ -1,0 +1,304 @@
+//! First-class, user-defined quality objectives.
+//!
+//! The paper's pitch is *quality-goal-driven* redesign: "the user-defined
+//! prioritization of goals, as well as the set of constraints based on
+//! estimated measures" steer which alternatives are generated and how they
+//! are ranked. Historically that intent was implicit — the planner summed
+//! characteristic scores and hoped the weights were all equal. An
+//! [`Objective`] makes it explicit: an ordered list of weighted, directed
+//! [`Goal`]s (one per scatter-plot axis) plus hard [`MeasureConstraint`]s
+//! such as "latency must not regress". It is consumed everywhere a scalar
+//! ranking used to be improvised:
+//!
+//! * the skyline operates on the goal axes, [oriented](Objective::oriented)
+//!   so `Minimize` goals dominate downwards;
+//! * [`scalarize`](Objective::scalarize) replaces the implicit score-sum in
+//!   frontier ranking, [`Session::auto_run`](crate::Session::auto_run)
+//!   selection and the steering signal fed back to the
+//!   [`Beam`](crate::Beam) / [`GreedyHillClimb`](crate::GreedyHillClimb)
+//!   strategies;
+//! * [`admits`](Objective::admits) rejects alternatives that violate a hard
+//!   constraint, on top of the deployment policy's own constraints.
+
+use crate::error::PoiesisError;
+use fcp::MeasureConstraint;
+use quality::{Characteristic, MeasureId, MeasureVector};
+
+/// Which way a goal pushes its characteristic score.
+/// Characteristic scores are *already* orientation-normalized improvement
+/// ratios (baseline = 100, larger = better — for `Cost` a score above 100
+/// means *cheaper*, because
+/// [`improvement_ratio`](quality::MeasureVector::improvement_ratio) flips
+/// lower-is-better measures). So "find the cheapest design" is
+/// `Maximize` on `Cost`, possibly with a large weight. `Minimize` inverts
+/// the preference on an axis: it hunts designs that concede the
+/// characteristic — useful for adversarial exploration ("what does the
+/// frontier look like from the other side?", "which designs sacrifice
+/// manageability, and what do they buy with it?"), not for optimizing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Larger characteristic scores (= more improvement over the baseline)
+    /// are preferred — the usual case for every characteristic.
+    Maximize,
+    /// Smaller characteristic scores (= less improvement / more
+    /// regression) are preferred on this axis.
+    Minimize,
+}
+
+/// One weighted, directed quality goal — a scatter-plot axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Goal {
+    /// The characteristic this goal tracks.
+    pub characteristic: Characteristic,
+    /// Relative importance in the scalar ranking (must be finite and
+    /// positive; it never affects Pareto dominance, only ordering).
+    pub weight: f64,
+    /// Whether the goal races up or down.
+    pub direction: Direction,
+}
+
+/// A user's quality objective: goals (the skyline axes, in order) and hard
+/// measure constraints every presented design must satisfy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Objective {
+    goals: Vec<Goal>,
+    constraints: Vec<MeasureConstraint>,
+}
+
+impl Objective {
+    /// An empty objective; add goals with [`maximize`](Self::maximize) /
+    /// [`minimize`](Self::minimize) / [`weighted`](Self::weighted).
+    pub fn new() -> Self {
+        Objective {
+            goals: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// The historical default: performance, data quality and reliability,
+    /// equally weighted, all maximized — exactly the paper's Fig. 4 axes
+    /// (and bit-for-bit the old implicit score-sum ranking).
+    pub fn balanced() -> Self {
+        Objective::new()
+            .maximize(Characteristic::Performance)
+            .maximize(Characteristic::DataQuality)
+            .maximize(Characteristic::Reliability)
+    }
+
+    /// Adds a weight-1 maximizing goal for `c`.
+    pub fn maximize(self, c: Characteristic) -> Self {
+        self.weighted(c, 1.0)
+    }
+
+    /// Adds a weight-1 minimizing goal for `c` — preferring designs that
+    /// *concede* the characteristic (see [`Direction`]: scores are already
+    /// orientation-normalized, so to optimize e.g. cost use
+    /// [`maximize`](Self::maximize)`(Cost)`, not this).
+    pub fn minimize(mut self, c: Characteristic) -> Self {
+        self.goals.push(Goal {
+            characteristic: c,
+            weight: 1.0,
+            direction: Direction::Minimize,
+        });
+        self
+    }
+
+    /// Adds a maximizing goal for `c` with an explicit ranking weight.
+    pub fn weighted(mut self, c: Characteristic, weight: f64) -> Self {
+        self.goals.push(Goal {
+            characteristic: c,
+            weight,
+            direction: Direction::Maximize,
+        });
+        self
+    }
+
+    /// Adds a fully specified goal.
+    pub fn goal(mut self, goal: Goal) -> Self {
+        self.goals.push(goal);
+        self
+    }
+
+    /// Adds the hard constraint that `measure` must not regress past
+    /// `ratio_vs_baseline` (e.g. `CycleTimeMs` at `1.0` = "latency must not
+    /// regress"; see [`MeasureConstraint`] for ratio semantics).
+    pub fn constrain(mut self, measure: MeasureId, ratio_vs_baseline: f64) -> Self {
+        self.constraints.push(MeasureConstraint {
+            measure,
+            ratio_vs_baseline,
+        });
+        self
+    }
+
+    /// The goals, in axis order.
+    pub fn goals(&self) -> &[Goal] {
+        &self.goals
+    }
+
+    /// The hard measure constraints.
+    pub fn constraints(&self) -> &[MeasureConstraint] {
+        &self.constraints
+    }
+
+    /// The skyline axes, in order.
+    pub fn characteristics(&self) -> Vec<Characteristic> {
+        self.goals.iter().map(|g| g.characteristic).collect()
+    }
+
+    /// Number of goal axes.
+    pub fn dims(&self) -> usize {
+        self.goals.len()
+    }
+
+    /// Checks the objective is usable: at least one goal, finite positive
+    /// weights, no duplicate characteristic, positive finite constraint
+    /// ratios.
+    pub fn validate(&self) -> Result<(), PoiesisError> {
+        if self.goals.is_empty() {
+            return Err(PoiesisError::InvalidObjective(
+                "an objective needs at least one goal".into(),
+            ));
+        }
+        for g in &self.goals {
+            if !(g.weight.is_finite() && g.weight > 0.0) {
+                return Err(PoiesisError::InvalidObjective(format!(
+                    "goal `{}` has non-positive weight {}",
+                    g.characteristic, g.weight
+                )));
+            }
+        }
+        for (i, g) in self.goals.iter().enumerate() {
+            if self.goals[..i]
+                .iter()
+                .any(|h| h.characteristic == g.characteristic)
+            {
+                return Err(PoiesisError::InvalidObjective(format!(
+                    "characteristic `{}` appears in two goals",
+                    g.characteristic
+                )));
+            }
+        }
+        for c in &self.constraints {
+            if !(c.ratio_vs_baseline.is_finite() && c.ratio_vs_baseline > 0.0) {
+                return Err(PoiesisError::InvalidObjective(format!(
+                    "constraint on `{}` has non-positive ratio {}",
+                    c.measure, c.ratio_vs_baseline
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Orients raw characteristic scores (axis order = goal order) into
+    /// maximize-space: `Minimize` axes are negated, so the skyline's
+    /// larger-is-better dominance applies unchanged.
+    pub fn oriented(&self, scores: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(scores.len(), self.goals.len());
+        self.goals
+            .iter()
+            .zip(scores)
+            .map(|(g, &s)| match g.direction {
+                Direction::Maximize => s,
+                Direction::Minimize => -s,
+            })
+            .collect()
+    }
+
+    /// The scalar ranking objective: the weighted sum of oriented scores.
+    /// With the [`balanced`](Self::balanced) default this is exactly the
+    /// historical score-sum.
+    pub fn scalarize(&self, scores: &[f64]) -> f64 {
+        debug_assert_eq!(scores.len(), self.goals.len());
+        self.goals
+            .iter()
+            .zip(scores)
+            .map(|(g, &s)| {
+                g.weight
+                    * match g.direction {
+                        Direction::Maximize => s,
+                        Direction::Minimize => -s,
+                    }
+            })
+            .sum()
+    }
+
+    /// True when `alt` satisfies every hard constraint against `baseline`.
+    pub fn admits(&self, baseline: &MeasureVector, alt: &MeasureVector) -> bool {
+        self.constraints.iter().all(|c| c.satisfied(baseline, alt))
+    }
+}
+
+impl Default for Objective {
+    fn default() -> Self {
+        Objective::balanced()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_replicates_the_legacy_score_sum() {
+        let o = Objective::balanced();
+        assert_eq!(
+            o.characteristics(),
+            vec![
+                Characteristic::Performance,
+                Characteristic::DataQuality,
+                Characteristic::Reliability
+            ]
+        );
+        let scores = [120.0, 95.5, 101.0];
+        assert_eq!(o.scalarize(&scores), scores.iter().sum::<f64>());
+        assert_eq!(o.oriented(&scores), scores.to_vec());
+        o.validate().unwrap();
+    }
+
+    #[test]
+    fn weights_and_directions_shape_the_scalar() {
+        let o = Objective::new()
+            .weighted(Characteristic::Performance, 3.0)
+            .minimize(Characteristic::Cost);
+        assert_eq!(o.scalarize(&[100.0, 50.0]), 3.0 * 100.0 - 50.0);
+        assert_eq!(o.oriented(&[100.0, 50.0]), vec![100.0, -50.0]);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_objectives() {
+        let empty = Objective::new();
+        assert!(matches!(
+            empty.validate(),
+            Err(PoiesisError::InvalidObjective(_))
+        ));
+        let zero = Objective::new().weighted(Characteristic::Performance, 0.0);
+        assert!(matches!(
+            zero.validate(),
+            Err(PoiesisError::InvalidObjective(msg)) if msg.contains("weight")
+        ));
+        let dup = Objective::balanced().maximize(Characteristic::Performance);
+        assert!(matches!(
+            dup.validate(),
+            Err(PoiesisError::InvalidObjective(msg)) if msg.contains("two goals")
+        ));
+        let bad_constraint = Objective::balanced().constrain(MeasureId::CycleTimeMs, f64::INFINITY);
+        assert!(bad_constraint.validate().is_err());
+    }
+
+    #[test]
+    fn constraints_gate_admission() {
+        let o = Objective::balanced().constrain(MeasureId::CycleTimeMs, 1.0);
+        let mut base = MeasureVector::new();
+        base.set(MeasureId::CycleTimeMs, 100.0);
+        let mut slower = MeasureVector::new();
+        slower.set(MeasureId::CycleTimeMs, 150.0);
+        let mut faster = MeasureVector::new();
+        faster.set(MeasureId::CycleTimeMs, 80.0);
+        assert!(!o.admits(&base, &slower), "latency regressed");
+        assert!(o.admits(&base, &faster));
+        assert!(
+            Objective::balanced().admits(&base, &slower),
+            "unconstrained"
+        );
+    }
+}

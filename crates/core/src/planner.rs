@@ -17,6 +17,7 @@ use crate::apply::{apply_combination, combination_name};
 use crate::eval::{characteristic_scores, evaluate_flow, evaluate_pool, Alternative, EvalMode};
 use crate::explore::{enumerate_combinations, theoretical_space, SpaceStats};
 use crate::generate::{generate_candidates, Candidate};
+use crate::objective::Objective;
 use crate::search::{CombinationSink, SearchSpace, SearchStrategy, SearchStrategyKind};
 use crate::skyline::{pareto_skyline, Insertion, SkylineSet};
 use datagen::Catalog;
@@ -24,9 +25,10 @@ use etl_model::EtlFlow;
 use fcp::{DeploymentPolicy, PatternRegistry};
 use quality::{Characteristic, MeasureVector, QualityReport, SourceStats};
 use std::collections::HashMap;
-use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+pub use crate::error::PoiesisError as PlannerError;
 
 /// Planner configuration (the "user-defined configurations" input of
 /// Fig. 3).
@@ -54,11 +56,21 @@ pub struct PlannerConfig {
     /// skyline rejects them and the outcome holds only the frontier —
     /// memory O(frontier) instead of O(space).
     pub retain_dominated: bool,
-    /// The quality dimensions of the scatter-plot (Fig. 4 uses
-    /// performance × data quality × reliability).
-    pub dimensions: Vec<Characteristic>,
+    /// The user's quality objective: the scatter-plot axes (Fig. 4 uses
+    /// performance × data quality × reliability), their ranking weights and
+    /// directions, and hard measure constraints. Replaces the old bare
+    /// `dimensions` list and the implicit score-sum ranking.
+    pub objective: Objective,
     /// RNG seed forwarded to simulation-mode evaluation.
     pub seed: u64,
+}
+
+impl PlannerConfig {
+    /// The scatter-plot axes, in order (shorthand for
+    /// `self.objective.characteristics()`).
+    pub fn dimensions(&self) -> Vec<Characteristic> {
+        self.objective.characteristics()
+    }
 }
 
 impl Default for PlannerConfig {
@@ -70,38 +82,11 @@ impl Default for PlannerConfig {
             max_alternatives: 50_000,
             strategy: SearchStrategyKind::Exhaustive,
             retain_dominated: true,
-            dimensions: vec![
-                Characteristic::Performance,
-                Characteristic::DataQuality,
-                Characteristic::Reliability,
-            ],
+            objective: Objective::balanced(),
             seed: 0xBEEF,
         }
     }
 }
-
-/// Planner errors.
-#[derive(Debug, Clone)]
-pub enum PlannerError {
-    /// The initial flow failed validation.
-    InvalidFlow(String),
-    /// Candidate generation failed.
-    Pattern(String),
-    /// Baseline evaluation failed.
-    Eval(String),
-}
-
-impl fmt::Display for PlannerError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            PlannerError::InvalidFlow(e) => write!(f, "invalid initial flow: {e}"),
-            PlannerError::Pattern(e) => write!(f, "pattern generation failed: {e}"),
-            PlannerError::Eval(e) => write!(f, "evaluation failed: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for PlannerError {}
 
 /// The result of one planning cycle.
 pub struct PlannerOutcome {
@@ -127,17 +112,18 @@ pub struct PlannerOutcome {
     /// aborting the cycle, so one bad simulation no longer discards
     /// thousands of good designs.
     pub failed_evaluations: usize,
-    /// `skyline` re-ordered best-score-sum-first, computed once at
+    /// `skyline` re-ordered best-objective-first, computed once at
     /// assembly so [`skyline_alternatives`](Self::skyline_alternatives)
     /// neither sorts nor allocates per call.
     ranked: Vec<usize>,
 }
 
 impl PlannerOutcome {
-    /// Assembles an outcome, computing the best-sum-first skyline order
-    /// once.
+    /// Assembles an outcome, computing the best-objective-first skyline
+    /// order (the [`Objective::scalarize`] ranking) once.
     #[allow(clippy::too_many_arguments)]
     fn assemble(
+        objective: &Objective,
         baseline: MeasureVector,
         candidates: Vec<Candidate>,
         alternatives: Vec<Alternative>,
@@ -149,8 +135,8 @@ impl PlannerOutcome {
     ) -> Self {
         let mut ranked = skyline.clone();
         ranked.sort_by(|&a, &b| {
-            let sa: f64 = alternatives[a].scores.iter().sum();
-            let sb: f64 = alternatives[b].scores.iter().sum();
+            let sa = objective.scalarize(&alternatives[a].scores);
+            let sb = objective.scalarize(&alternatives[b].scores);
             sb.total_cmp(&sa)
         });
         PlannerOutcome {
@@ -166,12 +152,18 @@ impl PlannerOutcome {
         }
     }
 
-    /// Iterator over the skyline alternatives, best-sum-first.
+    /// Iterator over the skyline alternatives, best-objective-first.
     pub fn skyline_alternatives(&self) -> impl Iterator<Item = &Alternative> {
         self.ranked.iter().map(move |&i| &self.alternatives[i])
     }
 
-    /// The skyline indices ranked best-score-sum-first (the order
+    /// The frontier design at `rank` (0 = best objective) — a direct O(1)
+    /// lookup into the cached ranking, replacing `.nth(rank)` walks.
+    pub fn skyline_alternative(&self, rank: usize) -> Option<&Alternative> {
+        self.ranked.get(rank).map(|&i| &self.alternatives[i])
+    }
+
+    /// The skyline indices ranked best-objective-first (the order
     /// [`skyline_alternatives`](Self::skyline_alternatives) walks).
     pub fn skyline_ranked(&self) -> &[usize] {
         &self.ranked
@@ -208,7 +200,28 @@ pub struct Planner {
 
 impl Planner {
     /// Creates a planner for an initial flow over a source catalog.
+    ///
+    /// This is the legacy entry point, kept working for existing callers;
+    /// it routes through the [`SessionBuilder`](crate::SessionBuilder)
+    /// internally (without the builder's up-front validation — errors
+    /// surface at [`plan`](Self::plan) time, as they always did). New code
+    /// should start from [`Poiesis::session`](crate::Poiesis::session).
     pub fn new(
+        flow: EtlFlow,
+        catalog: Catalog,
+        registry: PatternRegistry,
+        config: PlannerConfig,
+    ) -> Self {
+        crate::builder::SessionBuilder::from_config(config)
+            .flow(flow)
+            .catalog(catalog)
+            .registry(registry)
+            .assemble_planner()
+    }
+
+    /// The unchecked constructor both [`new`](Self::new) and the builder
+    /// bottom out in.
+    pub(crate) fn from_parts(
         flow: EtlFlow,
         catalog: Catalog,
         registry: PatternRegistry,
@@ -282,6 +295,7 @@ impl Planner {
             truncated: report.truncated,
         };
         Ok(PlannerOutcome::assemble(
+            &self.config.objective,
             baseline,
             candidates,
             harvest.alternatives,
@@ -340,6 +354,8 @@ impl Planner {
         );
         drop(flow_refs);
 
+        let objective = &self.config.objective;
+        let dimensions = objective.characteristics();
         let mut alternatives = Vec::with_capacity(flows.len());
         let mut rejected = 0usize;
         let mut failed_evaluations = 0usize;
@@ -351,11 +367,11 @@ impl Planner {
                     continue;
                 }
             };
-            if !self.config.policy.admits(&baseline, &m) {
+            if !self.config.policy.admits(&baseline, &m) || !objective.admits(&baseline, &m) {
                 rejected += 1;
                 continue;
             }
-            let scores = characteristic_scores(&m, &baseline, &self.config.dimensions);
+            let scores = characteristic_scores(&m, &baseline, &dimensions);
             alternatives.push(Alternative {
                 name,
                 flow,
@@ -366,10 +382,14 @@ impl Planner {
             });
         }
 
-        let points: Vec<Vec<f64>> = alternatives.iter().map(|a| a.scores.clone()).collect();
+        let points: Vec<Vec<f64>> = alternatives
+            .iter()
+            .map(|a| objective.oriented(&a.scores))
+            .collect();
         let skyline = pareto_skyline(&points);
 
         Ok(PlannerOutcome::assemble(
+            objective,
             baseline,
             candidates,
             alternatives,
@@ -432,6 +452,8 @@ struct StreamingEngine<'a> {
     planner: &'a Planner,
     baseline: &'a MeasureVector,
     candidates: &'a [Candidate],
+    /// Goal axes, resolved from the objective once per cycle.
+    dimensions: Vec<Characteristic>,
     retain_dominated: bool,
     state: Mutex<EngineState>,
     rejected: AtomicUsize,
@@ -453,6 +475,7 @@ impl<'a> StreamingEngine<'a> {
             planner,
             baseline,
             candidates,
+            dimensions: planner.config.objective.characteristics(),
             retain_dominated: planner.config.retain_dominated,
             state: Mutex::new(EngineState {
                 skyline: SkylineSet::new(),
@@ -489,13 +512,19 @@ impl<'a> StreamingEngine<'a> {
                 return None;
             }
         };
-        if !self.planner.config.policy.admits(self.baseline, &measures) {
+        let objective = &self.planner.config.objective;
+        if !self.planner.config.policy.admits(self.baseline, &measures)
+            || !objective.admits(self.baseline, &measures)
+        {
             self.rejected.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let scores =
-            characteristic_scores(&measures, self.baseline, &self.planner.config.dimensions);
-        let objective: f64 = scores.iter().sum();
+        let scores = characteristic_scores(&measures, self.baseline, &self.dimensions);
+        // the scalar fed back to steering strategies (beam, greedy) and the
+        // oriented point offered to the skyline both come from the user's
+        // objective, not an implicit score-sum
+        let steer = objective.scalarize(&scores);
+        let oriented = objective.oriented(&scores);
         let applied = applied
             .iter()
             .map(|a| format!("{} {}", a.pattern, a.point))
@@ -506,10 +535,10 @@ impl<'a> StreamingEngine<'a> {
             applied,
             combo: combo.to_vec(),
             measures,
-            scores: scores.clone(),
+            scores,
         };
         let mut state = self.state.lock().expect("engine state");
-        match state.skyline.insert(seq, scores) {
+        match state.skyline.insert(seq, oriented) {
             Insertion::Accepted { evicted } => {
                 if !self.retain_dominated {
                     for seq in evicted {
@@ -528,7 +557,7 @@ impl<'a> StreamingEngine<'a> {
                 // the engine's memory proportional to the frontier
             }
         }
-        Some(objective)
+        Some(steer)
     }
 
     /// Sorts the retained alternatives back into submission order (the
@@ -768,8 +797,10 @@ mod tests {
 
     #[test]
     fn constraints_reject_alternatives() {
-        let mut config = PlannerConfig::default();
-        config.policy = DeploymentPolicy::reliability_first();
+        let mut config = PlannerConfig {
+            policy: DeploymentPolicy::reliability_first(),
+            ..PlannerConfig::default()
+        };
         // absurd constraint: nothing may be slower than 1.0× baseline;
         // checkpoints always cost time, so everything is rejected
         config.policy.constraints = vec![fcp::MeasureConstraint {

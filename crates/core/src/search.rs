@@ -104,6 +104,32 @@ impl std::fmt::Display for SearchStrategyKind {
     }
 }
 
+impl std::str::FromStr for SearchStrategyKind {
+    type Err = String;
+
+    /// Parses the [`Display`](std::fmt::Display) syntax back: `exhaustive`,
+    /// `greedy`, `beam` (default width 16) or `beam:<width>`. One parser
+    /// shared by the CLI flags and the wire DTOs.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "exhaustive" => Ok(SearchStrategyKind::Exhaustive),
+            "greedy" => Ok(SearchStrategyKind::GreedyHillClimb),
+            "beam" => Ok(SearchStrategyKind::Beam { width: 16 }),
+            _ => {
+                if let Some(w) = s.strip_prefix("beam:") {
+                    let width: usize = w.parse().map_err(|_| format!("bad beam width in `{s}`"))?;
+                    if width == 0 {
+                        return Err(format!("beam width must be positive in `{s}`"));
+                    }
+                    Ok(SearchStrategyKind::Beam { width })
+                } else {
+                    Err(format!("unknown strategy `{s}`"))
+                }
+            }
+        }
+    }
+}
+
 // ------------------------------------------------------------- exhaustive
 
 /// Streams every valid combination (up to the budget) through the sink in
@@ -419,6 +445,24 @@ mod tests {
             assert_eq!(kind.instantiate().name(), name);
         }
         assert_eq!(SearchStrategyKind::Beam { width: 8 }.to_string(), "beam:8");
+    }
+
+    #[test]
+    fn kind_parses_its_own_display_syntax() {
+        for kind in [
+            SearchStrategyKind::Exhaustive,
+            SearchStrategyKind::Beam { width: 8 },
+            SearchStrategyKind::GreedyHillClimb,
+        ] {
+            assert_eq!(kind.to_string().parse::<SearchStrategyKind>(), Ok(kind));
+        }
+        assert_eq!(
+            "beam".parse::<SearchStrategyKind>(),
+            Ok(SearchStrategyKind::Beam { width: 16 })
+        );
+        assert!("beam:0".parse::<SearchStrategyKind>().is_err());
+        assert!("beam:x".parse::<SearchStrategyKind>().is_err());
+        assert!("dfs".parse::<SearchStrategyKind>().is_err());
     }
 
     #[test]

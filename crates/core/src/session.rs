@@ -11,6 +11,7 @@ use crate::planner::{Planner, PlannerError, PlannerOutcome};
 use etl_model::EtlFlow;
 
 /// Record of one completed iteration.
+#[derive(Debug, Clone, PartialEq)]
 pub struct IterationRecord {
     /// Iteration number (1-based).
     pub cycle: usize,
@@ -25,14 +26,32 @@ pub struct IterationRecord {
 /// An iterative redesign session wrapping a [`Planner`].
 pub struct Session {
     planner: Planner,
+    /// The user's original flow name, captured once at session start so
+    /// per-cycle fork names are always `<base>__cycle<N>` — no string
+    /// surgery on the evolving name (which broke for users whose flow name
+    /// itself contained `"__cycle"`).
+    base_name: String,
     history: Vec<IterationRecord>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // the planner's registry holds trait objects; summarise instead
+        f.debug_struct("Session")
+            .field("base_name", &self.base_name)
+            .field("current_flow", &self.planner.flow().name)
+            .field("cycles_completed", &self.history.len())
+            .finish()
+    }
 }
 
 impl Session {
     /// Starts a session on a planner.
     pub fn new(planner: Planner) -> Self {
+        let base_name = planner.flow().name.clone();
         Session {
             planner,
+            base_name,
             history: Vec::new(),
         }
     }
@@ -40,6 +59,17 @@ impl Session {
     /// The current flow (after all integrations so far).
     pub fn current_flow(&self) -> &EtlFlow {
         self.planner.flow()
+    }
+
+    /// The wrapped planner (read access for reports, A/B comparisons and
+    /// the legacy materialized pipeline).
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// The quality objective driving exploration and selection.
+    pub fn objective(&self) -> &crate::objective::Objective {
+        &self.planner.config().objective
     }
 
     /// Completed iterations.
@@ -63,7 +93,7 @@ impl Session {
         self.planner.plan_with(strategy)
     }
 
-    /// Integrates the alternative at `skyline_rank` (0 = best score-sum on
+    /// Integrates the alternative at `skyline_rank` (0 = best objective on
     /// the frontier) of `outcome` into the process, ending the cycle.
     /// Returns the record, or `None` when the rank is out of range.
     pub fn select(
@@ -71,24 +101,24 @@ impl Session {
         outcome: &PlannerOutcome,
         skyline_rank: usize,
     ) -> Option<&IterationRecord> {
-        let alt = outcome.skyline_alternatives().nth(skyline_rank)?;
+        let alt = outcome.skyline_alternative(skyline_rank)?;
         let record = IterationRecord {
             cycle: self.history.len() + 1,
             selected: alt.name.clone(),
             integrated: alt.applied.clone(),
             scores: alt.scores.clone(),
         };
-        self.planner.set_flow(alt.flow.fork(format!(
-            "{}__cycle{}",
-            self.planner.flow().name.split("__cycle").next().unwrap_or("flow"),
-            record.cycle
-        )));
+        self.planner.set_flow(
+            alt.flow
+                .fork(format!("{}__cycle{}", self.base_name, record.cycle)),
+        );
         self.history.push(record);
         self.history.last()
     }
 
     /// Convenience loop: run `cycles` iterations, always selecting the
-    /// frontier design with the best score sum. Returns the history length.
+    /// frontier design that best satisfies the objective. Returns the
+    /// history length.
     pub fn auto_run(&mut self, cycles: usize) -> Result<usize, PlannerError> {
         for _ in 0..cycles {
             let outcome = self.explore()?;
@@ -145,6 +175,44 @@ mod tests {
         let outcome = s.explore().unwrap();
         assert!(s.select(&outcome, 10_000).is_none());
         assert!(s.history().is_empty());
+    }
+
+    #[test]
+    fn fork_names_derive_from_the_original_base_name() {
+        // A user flow whose own name contains the fork marker must not be
+        // mangled by selection (the old `split("__cycle")` hack truncated
+        // it to "pipeline").
+        let (mut f, _) = purchases_flow();
+        f.name = "pipeline__cycle_test".to_string();
+        let cat = purchases_catalog(150, &DirtProfile::demo(), 5);
+        let reg = PatternRegistry::standard_for_catalog(&cat);
+        let mut s = Session::new(Planner::new(f, cat, reg, PlannerConfig::default()));
+        for expected in [
+            "pipeline__cycle_test__cycle1",
+            "pipeline__cycle_test__cycle2",
+        ] {
+            let outcome = s.explore().unwrap();
+            s.select(&outcome, 0).unwrap();
+            assert_eq!(s.current_flow().name, expected);
+        }
+    }
+
+    #[test]
+    fn select_by_rank_matches_the_ranked_iterator() {
+        let mut s = session();
+        let outcome = s.explore().unwrap();
+        let rank = outcome.skyline_ranked().len().min(2).saturating_sub(1);
+        let expect = outcome
+            .skyline_alternatives()
+            .nth(rank)
+            .map(|a| a.name.clone())
+            .unwrap();
+        assert_eq!(
+            outcome.skyline_alternative(rank).map(|a| a.name.clone()),
+            Some(expect.clone())
+        );
+        let rec = s.select(&outcome, rank).unwrap();
+        assert_eq!(rec.selected, expect);
     }
 
     #[test]

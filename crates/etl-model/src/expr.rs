@@ -60,6 +60,11 @@ pub enum Expr {
     Coalesce(Vec<Expr>),
 }
 
+// The builder methods mirror SQL operator names (`add`, `mul`, `not`, …)
+// on purpose: they construct AST nodes rather than compute values, and the
+// consuming-`self` chaining style would not survive a move to the std ops
+// traits (which the whole in-tree expression corpus is written against).
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Column reference.
     pub fn col(name: impl Into<String>) -> Expr {

@@ -96,7 +96,7 @@ impl Pattern for FilterNullValues {
         let ctx = PatternContext::new(flow)?;
         let columns = ctx
             .point_schema(point)
-            .map(|s| Self::target_columns(s))
+            .map(Self::target_columns)
             .unwrap_or_default();
         drop(ctx);
         let op = Operation::new("FILTER null values", OpKind::FilterNulls { columns })

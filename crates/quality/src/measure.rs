@@ -46,6 +46,24 @@ impl Characteristic {
             Characteristic::Security => "security",
         }
     }
+
+    /// Stable machine key (snake_case, no spaces) for wire formats and CLI
+    /// flags. Round-trips through [`from_key`](Self::from_key).
+    pub fn key(self) -> &'static str {
+        match self {
+            Characteristic::Performance => "performance",
+            Characteristic::DataQuality => "data_quality",
+            Characteristic::Reliability => "reliability",
+            Characteristic::Manageability => "manageability",
+            Characteristic::Cost => "cost",
+            Characteristic::Security => "security",
+        }
+    }
+
+    /// Looks a characteristic up by its [`key`](Self::key).
+    pub fn from_key(key: &str) -> Option<Characteristic> {
+        Characteristic::ALL.into_iter().find(|c| c.key() == key)
+    }
 }
 
 impl fmt::Display for Characteristic {
@@ -178,6 +196,36 @@ impl MeasureId {
         }
     }
 
+    /// Stable machine key (snake_case, no units) for wire formats and CLI
+    /// flags. Round-trips through [`from_key`](Self::from_key).
+    pub fn key(self) -> &'static str {
+        use MeasureId::*;
+        match self {
+            CycleTimeMs => "cycle_time_ms",
+            AvgLatencyMs => "avg_latency_ms",
+            Throughput => "throughput",
+            Completeness => "completeness",
+            Uniqueness => "uniqueness",
+            Accuracy => "accuracy",
+            FreshnessAgeS => "freshness_age_s",
+            FreshnessScore => "freshness_score",
+            Recoverability => "recoverability",
+            ExpectedRedoMs => "expected_redo_ms",
+            DeadlineSuccess => "deadline_success",
+            LongestPath => "longest_path",
+            Coupling => "coupling",
+            MergeCount => "merge_count",
+            OpCount => "op_count",
+            MonetaryCost => "monetary_cost",
+            SecurityScore => "security_score",
+        }
+    }
+
+    /// Looks a measure up by its [`key`](Self::key).
+    pub fn from_key(key: &str) -> Option<MeasureId> {
+        MeasureId::ALL.into_iter().find(|m| m.key() == key)
+    }
+
     fn idx(self) -> usize {
         Self::ALL
             .iter()
@@ -267,6 +315,26 @@ impl MeasureVector {
     }
 }
 
+impl fmt::Display for MeasureVector {
+    /// Compact `key=value` listing of the set measures, in vector order —
+    /// the one place score/measure rendering lives, so CLI and DTO output
+    /// never hand-format arrays.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (id, v) in self.iter() {
+            if !first {
+                f.write_str(" ")?;
+            }
+            first = false;
+            write!(f, "{}={v:.3}", id.key())?;
+        }
+        if first {
+            f.write_str("(no measures)")?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,6 +419,32 @@ mod tests {
             v.characteristic_score(&v.clone(), Characteristic::Cost),
             100.0
         );
+    }
+
+    #[test]
+    fn keys_round_trip_and_are_machine_safe() {
+        for m in MeasureId::ALL {
+            let key = m.key();
+            assert!(
+                key.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "{key}"
+            );
+            assert_eq!(MeasureId::from_key(key), Some(m));
+        }
+        for c in Characteristic::ALL {
+            assert_eq!(Characteristic::from_key(c.key()), Some(c));
+        }
+        assert_eq!(MeasureId::from_key("bogus"), None);
+        assert_eq!(Characteristic::from_key("data quality"), None);
+    }
+
+    #[test]
+    fn measure_vector_display_lists_set_measures() {
+        let mut v = MeasureVector::new();
+        assert_eq!(v.to_string(), "(no measures)");
+        v.set(MeasureId::CycleTimeMs, 12.5);
+        v.set(MeasureId::Completeness, 0.875);
+        assert_eq!(v.to_string(), "cycle_time_ms=12.500 completeness=0.875");
     }
 
     #[test]

@@ -446,14 +446,14 @@ impl Accum {
                 if self
                     .min
                     .as_ref()
-                    .map_or(true, |m| v.sql_cmp(m) == Some(std::cmp::Ordering::Less))
+                    .is_none_or(|m| v.sql_cmp(m) == Some(std::cmp::Ordering::Less))
                 {
                     self.min = Some(v.clone());
                 }
                 if self
                     .max
                     .as_ref()
-                    .map_or(true, |m| v.sql_cmp(m) == Some(std::cmp::Ordering::Greater))
+                    .is_none_or(|m| v.sql_cmp(m) == Some(std::cmp::Ordering::Greater))
                 {
                     self.max = Some(v.clone());
                 }

@@ -181,8 +181,8 @@ impl<'a> P<'a> {
     /// Case-sensitive keyword followed by a non-identifier char.
     fn keyword(&mut self, kw: &str) -> bool {
         let rest = &self.s[self.pos..];
-        if rest.starts_with(kw) {
-            let after = rest[kw.len()..].chars().next();
+        if let Some(tail) = rest.strip_prefix(kw) {
+            let after = tail.chars().next();
             if !matches!(after, Some(c) if c.is_alphanumeric() || c == '_') {
                 self.pos += kw.len();
                 return true;

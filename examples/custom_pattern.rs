@@ -10,8 +10,8 @@ use datagen::fig2::{purchases_catalog, purchases_flow};
 use datagen::DirtProfile;
 use etl_model::{OpKind, Operation};
 use fcp::custom::FitnessPreset;
-use fcp::{CustomPattern, DeploymentPolicy, MeasureConstraint, PatternRegistry, Prerequisite};
-use poiesis::{Planner, PlannerConfig};
+use fcp::{CustomPattern, DeploymentPolicy, PatternRegistry, Prerequisite};
+use poiesis::{Objective, Poiesis};
 use quality::{Characteristic, MeasureId};
 
 fn main() {
@@ -38,7 +38,7 @@ fn main() {
     }
 
     // P3 step 3: a custom deployment policy — data quality and security
-    // goals first, and never slow the process beyond 1.8x.
+    // patterns first, conservatively placed.
     let policy = DeploymentPolicy {
         name: "dq+security".into(),
         priorities: vec![Characteristic::DataQuality, Characteristic::Security],
@@ -46,27 +46,27 @@ fn main() {
         max_per_pattern: 1,
         min_fitness: 0.2,
         top_k_points_per_pattern: 5,
-        constraints: vec![MeasureConstraint {
-            measure: MeasureId::CycleTimeMs,
-            ratio_vs_baseline: 1.8,
-        }],
+        constraints: vec![],
     };
 
-    let planner = Planner::new(
-        flow,
-        catalog,
-        registry,
-        PlannerConfig {
-            policy,
-            dimensions: vec![
-                Characteristic::DataQuality,
-                Characteristic::Security,
-                Characteristic::Performance,
-            ],
-            ..PlannerConfig::default()
-        },
-    );
-    let outcome = planner.plan().expect("planning succeeds");
+    // P3 step 4: the quality objective — data quality weighs double,
+    // security and performance ride along, and a hard constraint caps the
+    // slowdown at 1.8× the baseline cycle time.
+    let objective = Objective::new()
+        .weighted(Characteristic::DataQuality, 2.0)
+        .maximize(Characteristic::Security)
+        .maximize(Characteristic::Performance)
+        .constrain(MeasureId::CycleTimeMs, 1.8);
+
+    let session = Poiesis::session()
+        .flow(flow)
+        .catalog(catalog)
+        .registry(registry)
+        .policy(policy)
+        .objective(objective)
+        .build()
+        .expect("valid session inputs");
+    let outcome = session.explore().expect("planning succeeds");
     println!(
         "\n{} admitted alternatives ({} rejected by the cycle-time constraint), {} on the frontier",
         outcome.alternatives.len(),

@@ -8,8 +8,7 @@
 use datagen::{Catalog, DirtProfile, TableSpec};
 use etl_model::expr::Expr;
 use etl_model::{Attribute, DataType, EtlFlow, Operation, Schema};
-use fcp::PatternRegistry;
-use poiesis::{Planner, PlannerConfig};
+use poiesis::Poiesis;
 
 fn main() {
     // 1. An initial ETL flow: extract → filter → derive → load.
@@ -51,10 +50,14 @@ fn main() {
         42,
     );
 
-    // 3. One planning cycle with the standard pattern palette.
-    let registry = PatternRegistry::standard_for_catalog(&catalog);
-    let planner = Planner::new(flow, catalog, registry, PlannerConfig::default());
-    let outcome = planner.plan().expect("planning succeeds");
+    // 3. One planning cycle through the goal-driven facade (standard
+    //    pattern palette, balanced objective).
+    let session = Poiesis::session()
+        .flow(flow)
+        .catalog(catalog)
+        .build()
+        .expect("valid session inputs");
+    let outcome = session.explore().expect("planning succeeds");
 
     println!(
         "evaluated {} alternative designs; {} on the Pareto frontier\n",

@@ -8,8 +8,8 @@
 
 use datagen::tpcds::{tpcds_catalog, tpcds_flow};
 use datagen::DirtProfile;
-use fcp::{DeploymentPolicy, PatternRegistry};
-use poiesis::{Planner, PlannerConfig, Session};
+use fcp::DeploymentPolicy;
+use poiesis::Poiesis;
 
 fn main() {
     let (mut flow, ids) = tpcds_flow();
@@ -18,17 +18,12 @@ fn main() {
     flow.op_mut(ids.derive_net).unwrap().cost.failure_rate = 0.08;
 
     let catalog = tpcds_catalog(800, &DirtProfile::demo(), 11);
-    let registry = PatternRegistry::standard_for_catalog(&catalog);
-    let planner = Planner::new(
-        flow,
-        catalog,
-        registry,
-        PlannerConfig {
-            policy: DeploymentPolicy::balanced(),
-            ..PlannerConfig::default()
-        },
-    );
-    let mut session = Session::new(planner);
+    let mut session = Poiesis::session()
+        .flow(flow)
+        .catalog(catalog)
+        .policy(DeploymentPolicy::balanced())
+        .build()
+        .expect("valid session inputs");
 
     for cycle in 1..=3 {
         let outcome = session.explore().expect("cycle plans");

@@ -1,0 +1,506 @@
+//! A minimal, real JSON data model: the serialization backend of the
+//! vendored serde stand-in.
+//!
+//! The original stand-in only provided marker traits; the facade API's
+//! wire DTOs (`poiesis::api`) need actual, lossless round-trips, so this
+//! module implements the self-describing [`Value`] tree with a strict
+//! parser and a canonical printer. Numbers are `f64` printed with Rust's
+//! shortest round-trippable formatting, so `parse(v.to_string()) == v`
+//! holds for every finite number — the property the DTO proptests pin
+//! down. Non-finite numbers are rejected at construction (JSON cannot
+//! represent them).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; keys are kept sorted so printing is canonical.
+    Object(BTreeMap<String, Value>),
+}
+
+/// Parse or conversion failure, with a human-readable reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, JsonError> {
+    Err(JsonError(msg.into()))
+}
+
+impl Value {
+    /// Wraps a number, rejecting NaN/infinity (unrepresentable in JSON).
+    pub fn number(n: f64) -> Result<Value, JsonError> {
+        if n.is_finite() {
+            Ok(Value::Number(n))
+        } else {
+            err(format!("non-finite number {n} cannot be serialized"))
+        }
+    }
+
+    /// Builds an object from key/value pairs.
+    pub fn object(pairs: impl IntoIterator<Item = (String, Value)>) -> Value {
+        Value::Object(pairs.into_iter().collect())
+    }
+
+    /// The value as a bool, or an error naming `what`.
+    pub fn as_bool(&self, what: &str) -> Result<bool, JsonError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => err(format!("{what}: expected bool, got {}", other.kind())),
+        }
+    }
+
+    /// The value as a finite number, or an error naming `what`.
+    pub fn as_number(&self, what: &str) -> Result<f64, JsonError> {
+        match self {
+            Value::Number(n) => Ok(*n),
+            other => err(format!("{what}: expected number, got {}", other.kind())),
+        }
+    }
+
+    /// The value as a non-negative integer, or an error naming `what`.
+    pub fn as_usize(&self, what: &str) -> Result<usize, JsonError> {
+        let n = self.as_number(what)?;
+        if n >= 0.0 && n.fract() == 0.0 && n <= (1u64 << 53) as f64 {
+            Ok(n as usize)
+        } else {
+            err(format!("{what}: expected non-negative integer, got {n}"))
+        }
+    }
+
+    /// The value as a string slice, or an error naming `what`.
+    pub fn as_str(&self, what: &str) -> Result<&str, JsonError> {
+        match self {
+            Value::String(s) => Ok(s),
+            other => err(format!("{what}: expected string, got {}", other.kind())),
+        }
+    }
+
+    /// The value as an array, or an error naming `what`.
+    pub fn as_array(&self, what: &str) -> Result<&[Value], JsonError> {
+        match self {
+            Value::Array(a) => Ok(a),
+            other => err(format!("{what}: expected array, got {}", other.kind())),
+        }
+    }
+
+    /// The value as an object, or an error naming `what`.
+    pub fn as_object(&self, what: &str) -> Result<&BTreeMap<String, Value>, JsonError> {
+        match self {
+            Value::Object(o) => Ok(o),
+            other => err(format!("{what}: expected object, got {}", other.kind())),
+        }
+    }
+
+    /// Required object member `key`.
+    pub fn get(&self, key: &str) -> Result<&Value, JsonError> {
+        self.as_object(key)?
+            .get(key)
+            .ok_or_else(|| JsonError(format!("missing field `{key}`")))
+    }
+
+    /// Optional object member `key` (`None` when absent or `null`).
+    pub fn get_opt(&self, key: &str) -> Result<Option<&Value>, JsonError> {
+        Ok(self.as_object(key)?.get(key).filter(|v| **v != Value::Null))
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Strict parse of one JSON document (trailing garbage is an error).
+    pub fn parse(text: &str) -> Result<Value, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return err(format!("trailing characters at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => {
+                // `{:?}` prints the shortest string that parses back to the
+                // same f64 — the lossless-round-trip guarantee.
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    write!(f, "{n:.0}")
+                } else {
+                    write!(f, "{n:?}")
+                }
+            }
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(map) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => err(format!("unexpected `{}` at byte {}", c as char, self.pos)),
+            None => err("unexpected end of input"),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            if map.insert(key.clone(), value).is_some() {
+                return err(format!("duplicate key `{key}`"));
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| JsonError("invalid utf-8".into()))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let code = self.hex_escape()?;
+                            let c = match code {
+                                // high surrogate: astral characters arrive
+                                // as a \uD800-\uDBFF + \uDC00-\uDFFF pair
+                                // (how stock encoders like Python's
+                                // json.dumps emit non-BMP text)
+                                0xD800..=0xDBFF => {
+                                    if self.bytes.get(self.pos + 1) != Some(&b'\\')
+                                        || self.bytes.get(self.pos + 2) != Some(&b'u')
+                                    {
+                                        return err("unpaired high surrogate");
+                                    }
+                                    self.pos += 2;
+                                    let low = self.hex_escape()?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return err(format!("invalid low surrogate {low:04x}"));
+                                    }
+                                    let c = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(c)
+                                        .ok_or_else(|| JsonError("invalid surrogate pair".into()))?
+                                }
+                                0xDC00..=0xDFFF => return err("unpaired low surrogate"),
+                                c => char::from_u32(c)
+                                    .ok_or_else(|| JsonError(format!("invalid codepoint {c}")))?,
+                            };
+                            out.push(c);
+                        }
+                        _ => return err(format!("invalid escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                _ => return err("unterminated string"),
+            }
+        }
+    }
+
+    /// Reads the 4 hex digits of a `\uXXXX` escape. On entry `pos` is at
+    /// the `u`; on exit it is at the last hex digit (the caller's shared
+    /// `pos += 1` then steps past the whole escape).
+    fn hex_escape(&mut self) -> Result<u32, JsonError> {
+        let hex = self
+            .bytes
+            .get(self.pos + 1..self.pos + 5)
+            .ok_or_else(|| JsonError("truncated \\u escape".into()))?;
+        let hex = std::str::from_utf8(hex).map_err(|_| JsonError("invalid \\u escape".into()))?;
+        let code = u32::from_str_radix(hex, 16)
+            .map_err(|_| JsonError(format!("invalid \\u escape `{hex}`")))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError("invalid utf-8".into()))?;
+        let n: f64 = text
+            .parse()
+            .map_err(|_| JsonError(format!("invalid number `{text}`")))?;
+        Value::number(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for text in ["null", "true", "false", "0", "-7", "1.5", "\"hi\""] {
+            let v = Value::parse(text).unwrap();
+            assert_eq!(v.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn shortest_float_formatting_round_trips() {
+        for n in [0.1, 1.0 / 3.0, 1e-300, 123456.789, -2.5e17] {
+            let v = Value::Number(n);
+            let back = Value::parse(&v.to_string()).unwrap();
+            assert_eq!(back.as_number("n").unwrap(), n);
+        }
+    }
+
+    #[test]
+    fn nested_structure_round_trips() {
+        let text = r#"{"a":[1,2,{"b":"x\ny"}],"c":null,"d":{"e":true}}"#;
+        let v = Value::parse(text).unwrap();
+        assert_eq!(v.to_string(), text);
+        assert_eq!(Value::parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "quote \" backslash \\ newline \n tab \t unicode \u{1}";
+        let v = Value::String(s.into());
+        let back = Value::parse(&v.to_string()).unwrap();
+        assert_eq!(back.as_str("s").unwrap(), s);
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_astral_characters() {
+        // how stock encoders (Python json.dumps, ensure_ascii=True) ship
+        // non-BMP text: an escaped surrogate pair
+        let v = Value::parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str("s").unwrap(), "\u{1F600}");
+        // we emit the raw character, and raw UTF-8 parses too, so the
+        // round trip survives either way
+        assert_eq!(v.to_string(), "\"\u{1F600}\"");
+        assert_eq!(Value::parse(&v.to_string()).unwrap(), v);
+        for bad in [
+            r#""\ud83d""#,
+            r#""\ud83dxy""#,
+            r#""\ude00""#,
+            r#""\ud83dA""#,
+        ] {
+            assert!(Value::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "nul",
+            "{\"a\":1,\"a\":2}",
+            "1 2",
+            "\"unterminated",
+            "{\"a\"}",
+            "[01x]",
+        ] {
+            assert!(Value::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_are_unrepresentable() {
+        assert!(Value::number(f64::NAN).is_err());
+        assert!(Value::number(f64::INFINITY).is_err());
+        assert!(Value::number(1.0).is_ok());
+    }
+
+    #[test]
+    fn accessors_name_the_offending_field() {
+        let v = Value::parse(r#"{"n":"not a number"}"#).unwrap();
+        let e = v.get("n").unwrap().as_number("n").unwrap_err();
+        assert!(e.to_string().contains("n"), "{e}");
+        assert!(v.get("missing").is_err());
+        assert!(v.get_opt("missing").unwrap().is_none());
+    }
+}

@@ -2,16 +2,45 @@
 //!
 //! The build environment has no access to crates.io, so this workspace
 //! vendors the minimal surface the POIESIS crates actually consume: the
-//! `Serialize` / `Deserialize` traits (as markers) and the derive macros
-//! (which expand to nothing). No crate in the workspace performs real
-//! serialization yet; the derives exist so model types advertise intent and
-//! can switch to the real `serde` without source changes.
+//! `Serialize` / `Deserialize` traits (as markers), the derive macros
+//! (which expand to nothing), and — since the facade API grew wire DTOs —
+//! the [`json`] module, a real JSON [`json::Value`] tree with a strict
+//! parser and canonical printer that types implement via [`ToJson`] /
+//! [`FromJson`]. The marker derives still exist so model types advertise
+//! intent and can switch to the real `serde` without source changes.
+
+pub mod json;
 
 /// Marker trait mirroring `serde::Serialize`.
 pub trait Serialize {}
 
 /// Marker trait mirroring `serde::Deserialize`.
 pub trait Deserialize<'de>: Sized {}
+
+/// Conversion into the JSON data model — the working half of
+/// [`Serialize`] until the real serde can be depended on.
+pub trait ToJson {
+    /// The JSON representation of `self`. Only finite numbers may appear;
+    /// construction through [`json::Value::number`] enforces this.
+    fn to_json(&self) -> json::Value;
+
+    /// `self` printed as a canonical JSON document.
+    fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+}
+
+/// Conversion out of the JSON data model — the working half of
+/// [`Deserialize`].
+pub trait FromJson: Sized {
+    /// Rebuilds `Self` from a JSON value, rejecting malformed shapes.
+    fn from_json(value: &json::Value) -> Result<Self, json::JsonError>;
+
+    /// Parses a JSON document and rebuilds `Self`.
+    fn from_json_str(text: &str) -> Result<Self, json::JsonError> {
+        Self::from_json(&json::Value::parse(text)?)
+    }
+}
 
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
