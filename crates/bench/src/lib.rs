@@ -18,6 +18,7 @@
 //! | `concurrency_sweep` | §3 concurrent background evaluation claim |
 //! | `baseline_manual` | §1 manual-redesign comparison |
 //! | `streaming_sweep` | streaming engine vs. materialize-all, search strategies |
+//! | `server_load` | HTTP service throughput + latency percentiles (`docs/API.md`) |
 
 use datagen::{Catalog, DirtProfile};
 use etl_model::EtlFlow;

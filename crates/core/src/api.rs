@@ -19,6 +19,7 @@ use crate::eval::EvalMode;
 use crate::objective::{Direction, Goal, Objective};
 use crate::planner::{PlannerConfig, PlannerOutcome};
 use crate::search::SearchStrategyKind;
+use crate::session::IterationRecord;
 use quality::{Characteristic, MeasureId, MeasureVector};
 use serde::json::{JsonError, Value};
 use serde::{FromJson, ToJson};
@@ -519,9 +520,61 @@ impl FromJson for PlanResponse {
     }
 }
 
+// --------------------------------------------------------------- history
+
+impl ToJson for IterationRecord {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("cycle".to_string(), int(self.cycle)),
+            ("selected".to_string(), string(&self.selected)),
+            (
+                "integrated".to_string(),
+                Value::Array(self.integrated.iter().map(|p| string(p)).collect()),
+            ),
+            (
+                "scores".to_string(),
+                Value::Array(self.scores.iter().map(|&s| num(s)).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for IterationRecord {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(IterationRecord {
+            cycle: v.get("cycle")?.as_usize("cycle")?,
+            selected: v.get("selected")?.as_str("selected")?.into(),
+            integrated: v
+                .get("integrated")?
+                .as_array("integrated")?
+                .iter()
+                .map(|p| Ok(p.as_str("integrated[]")?.to_string()))
+                .collect::<Result<_, JsonError>>()?,
+            scores: v
+                .get("scores")?
+                .as_array("scores")?
+                .iter()
+                .map(|s| s.as_number("scores[]"))
+                .collect::<Result<_, JsonError>>()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn iteration_record_round_trips_through_json_text() {
+        let record = IterationRecord {
+            cycle: 2,
+            selected: "purchases + AddCheckpoint@edge3".into(),
+            integrated: vec!["AddCheckpoint@edge3".into(), "FilterNullValues@e1".into()],
+            scores: vec![104.5, 99.25, 112.0],
+        };
+        let back = IterationRecord::from_json_str(&record.to_json_string()).unwrap();
+        assert_eq!(back, record);
+    }
 
     #[test]
     fn default_request_matches_the_default_config() {

@@ -7,6 +7,8 @@
 //! alias — code matching `PlannerError::InvalidFlow(..)` keeps compiling.
 
 use crate::manager::SessionId;
+use serde::json::Value;
+use serde::ToJson;
 use std::fmt;
 
 /// Everything that can go wrong behind the poiesis facade.
@@ -77,6 +79,51 @@ impl fmt::Display for PoiesisError {
     }
 }
 
+impl PoiesisError {
+    /// The stable snake_case code of the variant — what a wire client
+    /// should match on (HTTP bodies carry it in `error.code`). Codes are
+    /// part of the wire contract (`docs/API.md`) and never change, unlike
+    /// the human-readable [`Display`](fmt::Display) messages.
+    pub fn code(&self) -> &'static str {
+        match self {
+            PoiesisError::InvalidFlow(_) => "invalid_flow",
+            PoiesisError::Pattern(_) => "pattern",
+            PoiesisError::Eval(_) => "eval",
+            PoiesisError::MissingFlow => "missing_flow",
+            PoiesisError::MissingCatalog => "missing_catalog",
+            PoiesisError::EmptyCatalog => "empty_catalog",
+            PoiesisError::InvalidObjective(_) => "invalid_objective",
+            PoiesisError::UnknownSession(_) => "unknown_session",
+            PoiesisError::NothingExplored(_) => "nothing_explored",
+            PoiesisError::RankOutOfRange { .. } => "rank_out_of_range",
+            PoiesisError::Malformed(_) => "malformed",
+        }
+    }
+}
+
+impl ToJson for PoiesisError {
+    /// The wire form of the error: always `code` + `message`, plus the
+    /// variant's structured detail (`session` for handle errors, `rank` /
+    /// `frontier` for range errors) so clients never scrape messages.
+    fn to_json(&self) -> Value {
+        let mut fields = vec![
+            ("code".to_string(), Value::String(self.code().to_string())),
+            ("message".to_string(), Value::String(self.to_string())),
+        ];
+        match self {
+            PoiesisError::UnknownSession(id) | PoiesisError::NothingExplored(id) => {
+                fields.push(("session".to_string(), Value::Number(id.raw() as f64)));
+            }
+            PoiesisError::RankOutOfRange { rank, frontier } => {
+                fields.push(("rank".to_string(), Value::Number(*rank as f64)));
+                fields.push(("frontier".to_string(), Value::Number(*frontier as f64)));
+            }
+            _ => {}
+        }
+        Value::object(fields)
+    }
+}
+
 impl std::error::Error for PoiesisError {}
 
 impl From<serde::json::JsonError> for PoiesisError {
@@ -110,5 +157,54 @@ mod tests {
     fn json_errors_convert_to_malformed() {
         let e: PoiesisError = serde::json::JsonError("bad".into()).into();
         assert_eq!(e, PoiesisError::Malformed("bad".into()));
+    }
+
+    #[test]
+    fn every_variant_has_a_stable_code_and_json_form() {
+        let id = SessionId::from_raw(7);
+        let cases: Vec<(PoiesisError, &str)> = vec![
+            (PoiesisError::InvalidFlow("x".into()), "invalid_flow"),
+            (PoiesisError::Pattern("x".into()), "pattern"),
+            (PoiesisError::Eval("x".into()), "eval"),
+            (PoiesisError::MissingFlow, "missing_flow"),
+            (PoiesisError::MissingCatalog, "missing_catalog"),
+            (PoiesisError::EmptyCatalog, "empty_catalog"),
+            (
+                PoiesisError::InvalidObjective("x".into()),
+                "invalid_objective",
+            ),
+            (PoiesisError::UnknownSession(id), "unknown_session"),
+            (PoiesisError::NothingExplored(id), "nothing_explored"),
+            (
+                PoiesisError::RankOutOfRange {
+                    rank: 9,
+                    frontier: 3,
+                },
+                "rank_out_of_range",
+            ),
+            (PoiesisError::Malformed("x".into()), "malformed"),
+        ];
+        for (err, code) in cases {
+            assert_eq!(err.code(), code);
+            let v = err.to_json();
+            assert_eq!(v.get("code").unwrap().as_str("code").unwrap(), code);
+            assert_eq!(
+                v.get("message").unwrap().as_str("message").unwrap(),
+                err.to_string()
+            );
+        }
+    }
+
+    #[test]
+    fn structured_detail_rides_along_in_json() {
+        let v = PoiesisError::UnknownSession(SessionId::from_raw(3)).to_json();
+        assert_eq!(v.get("session").unwrap().as_usize("session").unwrap(), 3);
+        let v = PoiesisError::RankOutOfRange {
+            rank: 9,
+            frontier: 3,
+        }
+        .to_json();
+        assert_eq!(v.get("rank").unwrap().as_usize("rank").unwrap(), 9);
+        assert_eq!(v.get("frontier").unwrap().as_usize("frontier").unwrap(), 3);
     }
 }

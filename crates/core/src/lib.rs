@@ -60,10 +60,13 @@
 //! ```
 //!
 //! Many concurrent sessions live behind a thread-safe [`SessionManager`]
-//! (opaque [`SessionId`] handles, serializable [`api`] DTOs) — the unit a
-//! network service wraps. The legacy `Planner::new(flow, catalog,
-//! registry, config)` constructor keeps working and routes through the
-//! builder internally.
+//! (opaque [`SessionId`] handles, serializable [`api`] DTOs) — the unit
+//! the `poiesis-server` crate exposes over HTTP (see `docs/API.md` for
+//! the wire contract). The legacy `Planner::new(flow, catalog, registry,
+//! config)` constructor keeps working and routes through the builder
+//! internally.
+
+#![warn(missing_docs)]
 
 pub mod api;
 pub mod apply;

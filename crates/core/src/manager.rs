@@ -55,6 +55,26 @@ struct Slot {
 }
 
 /// Thread-safe owner of many concurrent redesign sessions.
+///
+/// ```
+/// use poiesis::{Poiesis, SessionManager};
+/// use datagen::fig2::{purchases_catalog, purchases_flow};
+/// use datagen::DirtProfile;
+///
+/// let manager = SessionManager::new();
+/// let (flow, _) = purchases_flow();
+/// let catalog = purchases_catalog(80, &DirtProfile::demo(), 5);
+/// let id = manager
+///     .create(Poiesis::session().flow(flow).catalog(catalog).budget(200))
+///     .unwrap();
+///
+/// let frontier = manager.explore(id).unwrap();   // one planning cycle
+/// assert!(!frontier.skyline.is_empty());
+/// let record = manager.select(id, 0).unwrap();   // integrate rank 0
+/// assert_eq!(record.cycle, 1);
+/// assert_eq!(manager.history(id).unwrap().len(), 1);
+/// manager.close(id).unwrap();
+/// ```
 #[derive(Default)]
 pub struct SessionManager {
     slots: RwLock<HashMap<u64, Arc<Mutex<Slot>>>>,

@@ -59,6 +59,20 @@ pub struct Goal {
 
 /// A user's quality objective: goals (the skyline axes, in order) and hard
 /// measure constraints every presented design must satisfy.
+///
+/// ```
+/// use poiesis::Objective;
+/// use quality::{Characteristic, MeasureId};
+///
+/// let objective = Objective::new()
+///     .weighted(Characteristic::Performance, 2.0) // perf counts double
+///     .maximize(Characteristic::DataQuality)
+///     .constrain(MeasureId::AvgLatencyMs, 1.2);   // ≤ 1.2× the baseline
+/// objective.validate().unwrap();
+///
+/// // the ranking scalar is the weighted sum over the goal axes
+/// assert_eq!(objective.scalarize(&[110.0, 95.0]), 2.0 * 110.0 + 95.0);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Objective {
     goals: Vec<Goal>,

@@ -8,8 +8,7 @@
 //! the engine never sees the walk order. Three scenario-diverse walkers are
 //! built in:
 //!
-//! * [`Exhaustive`] — the whole space, lazily, via
-//!   [`CombinationIter`](crate::explore::CombinationIter);
+//! * [`Exhaustive`] — the whole space, lazily, via [`CombinationIter`];
 //! * [`Beam`] — depth-by-depth, keeping only the `width` best-scoring
 //!   partial combinations per depth (large spaces, bounded work);
 //! * [`GreedyHillClimb`] — grows a single combination one pattern at a

@@ -70,7 +70,10 @@ pub fn pareto_skyline_sorted(points: &[Vec<f64>]) -> Vec<usize> {
 pub enum Insertion {
     /// The point joined the frontier; `evicted` lists the ids of members it
     /// newly dominates (removed from the set, ascending).
-    Accepted { evicted: Vec<usize> },
+    Accepted {
+        /// Ids of the members the new point evicted, ascending.
+        evicted: Vec<usize>,
+    },
     /// The point is dominated by an existing member and was rejected.
     Dominated,
 }

@@ -40,6 +40,8 @@
 //! flow.validate().unwrap();
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod expr;
 mod flow;
 mod op;

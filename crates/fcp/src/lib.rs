@@ -27,6 +27,23 @@
 //! * [`PatternRegistry`] — the palette, extendable at run time;
 //! * [`DeploymentPolicy`] — which patterns are enabled and how aggressively
 //!   they are deployed.
+//!
+//! # Example
+//!
+//! ```
+//! use datagen::fig2::{purchases_catalog, purchases_flow};
+//! use datagen::DirtProfile;
+//! use fcp::PatternRegistry;
+//!
+//! let catalog = purchases_catalog(60, &DirtProfile::demo(), 1);
+//! let registry = PatternRegistry::standard_for_catalog(&catalog);
+//! assert!(registry.len() >= 5); // the Fig. 6 palette and the graph patterns
+//! for pattern in registry.iter() {
+//!     println!("{} improves {:?}", pattern.name(), pattern.improves());
+//! }
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod builtin;
 pub mod custom;

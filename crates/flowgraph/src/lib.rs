@@ -35,6 +35,8 @@
 //! assert_eq!(g.successors(splice.node).collect::<Vec<_>>(), vec![b]);
 //! ```
 
+#![warn(missing_docs)]
+
 mod algo;
 mod dot;
 mod graph;

@@ -13,6 +13,32 @@
 //! reliability, manageability, cost). The drill-down the paper demonstrates
 //! (clicking a bar expands the composite into its detailed metrics, Fig. 5)
 //! maps to [`report::QualityReport`].
+//!
+//! # Example
+//!
+//! Simulate a flow, evaluate the full measure vector, and roll a measure
+//! up into its characteristic:
+//!
+//! ```
+//! use datagen::fig2::{purchases_catalog, purchases_flow};
+//! use datagen::DirtProfile;
+//! use quality::{Characteristic, MeasureId};
+//!
+//! let (flow, _) = purchases_flow();
+//! let catalog = purchases_catalog(60, &DirtProfile::demo(), 1);
+//! let trace = simulator::simulate(&flow, &catalog, &Default::default()).unwrap();
+//!
+//! let v = quality::evaluate(&flow, &trace);
+//! assert!(v.get(MeasureId::CycleTimeMs).unwrap() > 0.0);
+//! assert_eq!(
+//!     MeasureId::CycleTimeMs.characteristic(),
+//!     Characteristic::Performance,
+//! );
+//! // stable snake_case keys are the wire/CLI vocabulary
+//! assert_eq!(MeasureId::from_key("cycle_time_ms"), Some(MeasureId::CycleTimeMs));
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod estimator;
 mod measure;

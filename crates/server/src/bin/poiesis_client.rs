@@ -1,0 +1,156 @@
+//! `poiesis_client` — a command-line driver for a running `poiesis_server`.
+//!
+//! ```text
+//! poiesis_client <addr> health                   live-session count
+//! poiesis_client <addr> create [request.json]    new session (default request)
+//! poiesis_client <addr> explore <id>             run a cycle, print frontier
+//! poiesis_client <addr> select <id> <rank>       integrate a frontier design
+//! poiesis_client <addr> history <id>             completed iterations
+//! poiesis_client <addr> close <id>               drop the session
+//! poiesis_client <addr> script                   full create → explore →
+//!                                                select → history → close
+//!                                                round-trip (CI smoke test)
+//! poiesis_client <addr> shutdown                 stop the server
+//! ```
+//!
+//! Every command prints the server's JSON verbatim, so output composes
+//! with `jq`-style tooling; `script` exits non-zero if any step of the
+//! lifecycle misbehaves, which is what the CI smoke job asserts.
+
+use poiesis::{FromJson, PlanRequest};
+use poiesis_server::Client;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: poiesis_client <addr> \
+                 <health|create|explore|select|history|close|script|shutdown> [args]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let addr = args.first().ok_or("missing server address")?;
+    let command = args.get(1).ok_or("missing command")?;
+    let mut client = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+    let arg = |i: usize, what: &str| -> Result<&String, String> {
+        args.get(i).ok_or(format!("missing {what}"))
+    };
+    let id = |i: usize| -> Result<u64, String> {
+        arg(i, "session id")?
+            .parse()
+            .map_err(|_| "session id must be a number".to_string())
+    };
+
+    match command.as_str() {
+        "health" => {
+            let response = client
+                .request("GET", "/healthz", None)
+                .map_err(|e| e.to_string())?;
+            if response.status != 200 {
+                return Err(format!(
+                    "healthz returned {}: {}",
+                    response.status, response.body
+                ));
+            }
+            println!("{}", response.body);
+        }
+        "create" => {
+            let plan = match args.get(2) {
+                None => None,
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("reading {path}: {e}"))?;
+                    Some(PlanRequest::from_json_str(&text).map_err(|e| e.to_string())?)
+                }
+            };
+            let id = client.create(plan.as_ref()).map_err(|e| e.to_string())?;
+            println!("{{\"session\":{id}}}");
+        }
+        "explore" => {
+            let response = client.explore(id(2)?).map_err(|e| e.to_string())?;
+            println!("{}", poiesis::ToJson::to_json_string(&response));
+        }
+        "select" => {
+            let rank: usize = arg(3, "rank")?
+                .parse()
+                .map_err(|_| "rank must be a number".to_string())?;
+            let record = client.select(id(2)?, rank).map_err(|e| e.to_string())?;
+            println!("{}", poiesis::ToJson::to_json_string(&record));
+        }
+        "history" => {
+            let records = client.history(id(2)?).map_err(|e| e.to_string())?;
+            let items: Vec<String> = records
+                .iter()
+                .map(poiesis::ToJson::to_json_string)
+                .collect();
+            println!("[{}]", items.join(","));
+        }
+        "close" => {
+            let path = format!("/sessions/{}", id(2)?);
+            let response = client
+                .request("DELETE", &path, None)
+                .map_err(|e| e.to_string())?;
+            if response.status != 200 {
+                return Err(format!(
+                    "close returned {}: {}",
+                    response.status, response.body
+                ));
+            }
+            println!("{}", response.body);
+        }
+        "script" => script(&mut client)?,
+        "shutdown" => {
+            client.shutdown_server().map_err(|e| e.to_string())?;
+            println!("{{\"shutting_down\":true}}");
+        }
+        other => return Err(format!("unknown command `{other}`")),
+    }
+    Ok(())
+}
+
+/// One full lifecycle with sanity assertions at every step — the CI
+/// smoke script.
+fn script(client: &mut Client) -> Result<(), String> {
+    client.healthz().map_err(|e| format!("healthz: {e}"))?;
+    let id = client.create(None).map_err(|e| format!("create: {e}"))?;
+    eprintln!("created session {id}");
+    let frontier = client.explore(id).map_err(|e| format!("explore: {e}"))?;
+    if frontier.skyline.is_empty() {
+        return Err("explore produced an empty frontier".into());
+    }
+    eprintln!(
+        "explored: {} alternatives, {} on the frontier",
+        frontier.alternatives,
+        frontier.skyline.len()
+    );
+    let record = client.select(id, 0).map_err(|e| format!("select: {e}"))?;
+    if record.cycle != 1 || record.selected != frontier.skyline[0].name {
+        return Err(format!(
+            "selection mismatch: cycle {} selected `{}`",
+            record.cycle, record.selected
+        ));
+    }
+    eprintln!("selected `{}`", record.selected);
+    let history = client.history(id).map_err(|e| format!("history: {e}"))?;
+    if history.len() != 1 || history[0] != record {
+        return Err("history does not contain the selection".into());
+    }
+    client.close(id).map_err(|e| format!("close: {e}"))?;
+    match client.explore(id) {
+        Err(poiesis_server::ClientError::Api { status: 404, .. }) => {}
+        other => return Err(format!("closed session still explorable: {other:?}")),
+    }
+    println!(
+        "script: ok (session {id}, frontier {})",
+        frontier.skyline.len()
+    );
+    Ok(())
+}

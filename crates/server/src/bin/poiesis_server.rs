@@ -1,0 +1,86 @@
+//! `poiesis_server` — serve the planning API over HTTP.
+//!
+//! ```text
+//! poiesis_server [options]
+//!     --addr <host:port>     bind address        (default 127.0.0.1:7878)
+//!     --threads <N>          worker threads      (default: available cores)
+//!     --catalog <spec>       what sessions plan against (default demo:200):
+//!                            demo[:rows]              built-in Fig. 2 flow
+//!                            <model.(xlm|ktr)>[:rows] model file, sources
+//!                                                     synthesised per schema
+//!     --max-body <bytes>     request body cap    (default 1048576)
+//! ```
+//!
+//! The server runs until `POST /shutdown` (or the process is killed);
+//! shutdown is graceful — in-flight requests finish before exit. See
+//! `docs/API.md` for the wire contract and `poiesis_client` for a
+//! ready-made driver.
+
+use poiesis_server::{Limits, PlanningService, Server, ServerConfig, SessionTemplate};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: poiesis_server [--addr host:port] [--threads N] \
+                 [--catalog demo[:rows]|model[:rows]] [--max-body bytes]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn opt<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .map(|v| Some(v.as_str()))
+            .ok_or_else(|| format!("{name} expects a value")),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    // reject unknown flags early: a typo'd --catalgo silently serving the
+    // demo would be worse than an error
+    let known = ["--addr", "--threads", "--catalog", "--max-body"];
+    let mut i = 0;
+    while i < args.len() {
+        if !known.contains(&args[i].as_str()) {
+            return Err(format!("unknown flag `{}`", args[i]));
+        }
+        i += 2;
+    }
+
+    let addr = opt(args, "--addr")?.unwrap_or("127.0.0.1:7878");
+    let threads: usize = opt(args, "--threads")?
+        .map(|v| v.parse().map_err(|_| "--threads expects a number"))
+        .transpose()?
+        .unwrap_or(0);
+    let max_body: usize = opt(args, "--max-body")?
+        .map(|v| v.parse().map_err(|_| "--max-body expects a number"))
+        .transpose()?
+        .unwrap_or_else(|| Limits::default().max_body_bytes);
+    let template = SessionTemplate::from_spec(opt(args, "--catalog")?.unwrap_or("demo:200"))?;
+
+    let config = ServerConfig {
+        threads,
+        limits: Limits {
+            max_body_bytes: max_body,
+            ..Limits::default()
+        },
+        ..ServerConfig::default()
+    };
+    let label = template.label.clone();
+    let server = Server::bind(addr, PlanningService::new(template), config)
+        .map_err(|e| format!("binding {addr}: {e}"))?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("poiesis_server listening on {bound} (catalog {label}); POST /shutdown to stop");
+    let served = server.run().map_err(|e| e.to_string())?;
+    eprintln!("poiesis_server stopped after {served} connections");
+    Ok(())
+}

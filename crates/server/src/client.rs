@@ -1,0 +1,256 @@
+//! A std-only HTTP client for the planning API.
+//!
+//! [`Client`] holds one keep-alive connection and speaks the wire
+//! contract of `docs/API.md`: raw [`request`](Client::request) for tests
+//! that need to probe error paths, and typed helpers
+//! ([`create`](Client::create) → [`explore`](Client::explore) →
+//! [`select`](Client::select) → [`history`](Client::history) →
+//! [`close`](Client::close)) that decode straight into the `poiesis::api`
+//! DTOs. It exists so integration tests, the `poiesis_client` CLI and the
+//! `server_load` generator all exercise the same code path a real client
+//! would.
+
+use poiesis::{FromJson, IterationRecord, PlanRequest, PlanResponse, ToJson};
+use serde::json::Value;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A decoded HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Raw body text.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// Parses the body as JSON.
+    pub fn json(&self) -> Result<Value, ClientError> {
+        Value::parse(&self.body).map_err(|e| ClientError::Decode(e.to_string()))
+    }
+}
+
+/// Why a client call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(String),
+    /// The server answered with an error body; `code` is the stable
+    /// `error.code` of the wire contract.
+    Api {
+        /// HTTP status.
+        status: u16,
+        /// Stable error code (e.g. `unknown_session`).
+        code: String,
+        /// Human-readable message.
+        message: String,
+    },
+    /// The response body did not decode as the expected DTO.
+    Decode(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Api {
+                status,
+                code,
+                message,
+            } => write!(f, "api error {status} ({code}): {message}"),
+            ClientError::Decode(e) => write!(f, "decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e.to_string())
+    }
+}
+
+/// One keep-alive connection to a planning server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects, with a read timeout so a dead server fails loudly
+    /// instead of hanging the caller.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and reads the response. `body = None` sends no
+    /// `Content-Length`; JSON bodies are sent verbatim.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<HttpResponse, ClientError> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: poiesis\r\n");
+        if let Some(body) = body {
+            head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        }
+        head.push_str("\r\n");
+        self.writer.write_all(head.as_bytes())?;
+        if let Some(body) = body {
+            self.writer.write_all(body.as_bytes())?;
+        }
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_line(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Io("server closed the connection".into()));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    fn read_response(&mut self) -> Result<HttpResponse, ClientError> {
+        let status_line = self.read_line()?;
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ClientError::Decode(format!("bad status line `{status_line}`")))?;
+        let mut content_length = 0usize;
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| ClientError::Decode("bad Content-Length".into()))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body)
+            .map_err(|_| ClientError::Decode("response body is not UTF-8".into()))?;
+        Ok(HttpResponse { status, body })
+    }
+
+    /// Turns a non-2xx response into [`ClientError::Api`] by decoding the
+    /// documented error body.
+    fn expect_ok(response: HttpResponse) -> Result<HttpResponse, ClientError> {
+        if (200..300).contains(&response.status) {
+            return Ok(response);
+        }
+        let (code, message) = response
+            .json()
+            .ok()
+            .and_then(|v| {
+                let e = v.get("error").ok()?;
+                Some((
+                    e.get("code").ok()?.as_str("code").ok()?.to_string(),
+                    e.get("message").ok()?.as_str("message").ok()?.to_string(),
+                ))
+            })
+            .unwrap_or_else(|| ("unknown".to_string(), response.body.clone()));
+        Err(ClientError::Api {
+            status: response.status,
+            code,
+            message,
+        })
+    }
+
+    // ------------------------------------------------------ typed calls
+
+    /// `GET /healthz` → the number of live sessions.
+    pub fn healthz(&mut self) -> Result<usize, ClientError> {
+        let response = Self::expect_ok(self.request("GET", "/healthz", None)?)?;
+        response
+            .json()?
+            .get("sessions")
+            .and_then(|v| v.as_usize("sessions"))
+            .map_err(|e| ClientError::Decode(e.to_string()))
+    }
+
+    /// `POST /sessions` → the new session handle. `None` uses the
+    /// server-side defaults.
+    pub fn create(&mut self, plan: Option<&PlanRequest>) -> Result<u64, ClientError> {
+        let body = plan.map(|p| p.to_json_string());
+        let response = Self::expect_ok(self.request("POST", "/sessions", body.as_deref())?)?;
+        let id = response
+            .json()?
+            .get("session")
+            .and_then(|v| v.as_usize("session"))
+            .map_err(|e| ClientError::Decode(e.to_string()))?;
+        Ok(id as u64)
+    }
+
+    /// `POST /sessions/{id}/explore` → the frontier.
+    pub fn explore(&mut self, id: u64) -> Result<PlanResponse, ClientError> {
+        let response =
+            Self::expect_ok(self.request("POST", &format!("/sessions/{id}/explore"), None)?)?;
+        PlanResponse::from_json_str(&response.body).map_err(|e| ClientError::Decode(e.to_string()))
+    }
+
+    /// `POST /sessions/{id}/select` with `{"rank":rank}` → the iteration
+    /// record.
+    pub fn select(&mut self, id: u64, rank: usize) -> Result<IterationRecord, ClientError> {
+        let body = format!("{{\"rank\":{rank}}}");
+        let response = Self::expect_ok(self.request(
+            "POST",
+            &format!("/sessions/{id}/select"),
+            Some(&body),
+        )?)?;
+        let v = response.json()?;
+        IterationRecord::from_json(
+            v.get("record")
+                .map_err(|e| ClientError::Decode(e.to_string()))?,
+        )
+        .map_err(|e| ClientError::Decode(e.to_string()))
+    }
+
+    /// `GET /sessions/{id}/history` → all completed iterations.
+    pub fn history(&mut self, id: u64) -> Result<Vec<IterationRecord>, ClientError> {
+        let response =
+            Self::expect_ok(self.request("GET", &format!("/sessions/{id}/history"), None)?)?;
+        let v = response.json()?;
+        v.get("history")
+            .map_err(|e| ClientError::Decode(e.to_string()))?
+            .as_array("history")
+            .map_err(|e| ClientError::Decode(e.to_string()))?
+            .iter()
+            .map(|r| IterationRecord::from_json(r).map_err(|e| ClientError::Decode(e.to_string())))
+            .collect()
+    }
+
+    /// `DELETE /sessions/{id}`.
+    pub fn close(&mut self, id: u64) -> Result<(), ClientError> {
+        Self::expect_ok(self.request("DELETE", &format!("/sessions/{id}"), None)?)?;
+        Ok(())
+    }
+
+    /// `POST /shutdown` — stops the server.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        Self::expect_ok(self.request("POST", "/shutdown", None)?)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,430 @@
+//! A minimal, defensive HTTP/1.1 implementation on `std::net`.
+//!
+//! The server speaks exactly the subset of HTTP the wire contract
+//! (`docs/API.md`) needs: one request line, headers, an optional
+//! `Content-Length` body, and keep-alive connection reuse. Everything is
+//! bounded — request-line and header bytes by [`Limits::max_head_bytes`],
+//! bodies by [`Limits::max_body_bytes`] — and every way a peer can be
+//! slow, truncated or malicious maps to a *specific* failure
+//! ([`HttpError`]) that the service layer turns into a documented status
+//! code instead of a panic or a hung thread.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Hard bounds on what a single request may occupy.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Cap on the request line plus all header lines, in bytes.
+    pub max_head_bytes: usize,
+    /// Cap on the declared `Content-Length`, in bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// The path, without any `?query` suffix.
+    pub path: String,
+    /// `(lower-case name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The raw body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open (HTTP/1.1
+    /// default unless `Connection: close`).
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of header `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    pub fn body_str(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| HttpError::BadRequest("body is not valid UTF-8".into()))
+    }
+}
+
+/// Why a request could not be read. Each variant has one documented
+/// status code ([`HttpError::status`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The peer closed the connection before sending a request line —
+    /// the clean end of a keep-alive exchange, not an error to report.
+    Closed,
+    /// Malformed request line, header, or truncated body → `400`.
+    BadRequest(String),
+    /// The declared `Content-Length` exceeds [`Limits::max_body_bytes`]
+    /// → `413`.
+    PayloadTooLarge {
+        /// What the client declared.
+        declared: usize,
+        /// The configured cap it exceeded.
+        limit: usize,
+    },
+    /// Head grew past [`Limits::max_head_bytes`] → `431`.
+    HeadTooLarge,
+    /// The socket read timed out mid-request → `408`.
+    Timeout,
+}
+
+impl HttpError {
+    /// The status code the error is reported as.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Closed => 400, // never sent; the connection just ends
+            HttpError::BadRequest(_) => 400,
+            HttpError::PayloadTooLarge { .. } => 413,
+            HttpError::HeadTooLarge => 431,
+            HttpError::Timeout => 408,
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
+            HttpError::PayloadTooLarge { declared, limit } => {
+                write!(
+                    f,
+                    "payload of {declared} bytes exceeds the {limit}-byte limit"
+                )
+            }
+            HttpError::HeadTooLarge => write!(f, "request head too large"),
+            HttpError::Timeout => write!(f, "timed out reading the request"),
+        }
+    }
+}
+
+fn io_error(e: &io::Error, what: &str) -> HttpError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => HttpError::Timeout,
+        io::ErrorKind::UnexpectedEof => HttpError::BadRequest(format!("truncated {what}")),
+        _ => HttpError::BadRequest(format!("reading {what}: {e}")),
+    }
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, counting against the
+/// shared head budget. EOF before any byte yields `Ok(None)`.
+fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(c) => c,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(io_error(&e, "head")),
+        };
+        if chunk.is_empty() {
+            // EOF: clean close only when nothing of the line has arrived
+            return if line.is_empty() {
+                Ok(None)
+            } else {
+                Err(HttpError::BadRequest("truncated head".into()))
+            };
+        }
+        let take = chunk.iter().position(|&b| b == b'\n');
+        let upto = take.map_or(chunk.len(), |i| i + 1);
+        if upto > *budget {
+            return Err(HttpError::HeadTooLarge);
+        }
+        *budget -= upto;
+        line.extend_from_slice(&chunk[..upto]);
+        reader.consume(upto);
+        if take.is_some() {
+            while matches!(line.last(), Some(b'\n' | b'\r')) {
+                line.pop();
+            }
+            let text = String::from_utf8(line)
+                .map_err(|_| HttpError::BadRequest("head is not valid UTF-8".into()))?;
+            return Ok(Some(text));
+        }
+    }
+}
+
+/// Reads and validates one request. `Err(HttpError::Closed)` means the
+/// peer hung up cleanly between requests.
+pub fn read_request(reader: &mut impl BufRead, limits: &Limits) -> Result<Request, HttpError> {
+    let mut budget = limits.max_head_bytes;
+    let request_line = match read_line(reader, &mut budget)? {
+        None => return Err(HttpError::Closed),
+        // tolerate one stray blank line before the request line (RFC 9112 §2.2)
+        Some(line) if line.is_empty() => {
+            read_line(reader, &mut budget)?.ok_or(HttpError::Closed)?
+        }
+        Some(line) => line,
+    };
+
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed request line `{request_line}`"
+            )))
+        }
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequest(format!(
+            "malformed method `{method}`"
+        )));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol `{version}`"
+        )));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    if !path.starts_with('/') {
+        return Err(HttpError::BadRequest(format!(
+            "malformed target `{target}`"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(reader, &mut budget)? {
+            None => return Err(HttpError::BadRequest("truncated head".into())),
+            Some(line) => line,
+        };
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let keep_alive = match headers.iter().find(|(n, _)| n == "connection") {
+        Some((_, v)) => !v.eq_ignore_ascii_case("close"),
+        None => version == "HTTP/1.1",
+    };
+
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        None => 0,
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest(format!("malformed Content-Length `{v}`")))?,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::PayloadTooLarge {
+            declared: content_length,
+            limit: limits.max_body_bytes,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| io_error(&e, "body"))?;
+
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        headers,
+        body,
+        keep_alive,
+    })
+}
+
+/// A response about to be written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Body text (JSON everywhere in this server).
+    pub body: String,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            body: body.into(),
+            content_type: "application/json",
+        }
+    }
+}
+
+/// The reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes `response` onto the wire. `keep_alive` controls the
+/// `Connection` header the client sees.
+pub fn write_response(
+    writer: &mut impl Write,
+    response: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len(),
+        connection
+    )?;
+    writer.write_all(response.body.as_bytes())?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(text: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(text.as_bytes()), &Limits::default())
+    }
+
+    #[test]
+    fn well_formed_request_parses() {
+        let req = parse(
+            "POST /sessions/3/select HTTP/1.1\r\nHost: x\r\nContent-Length: 10\r\n\r\n{\"rank\":0}",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/sessions/3/select");
+        assert_eq!(req.body_str().unwrap(), "{\"rank\":0}");
+        assert!(req.keep_alive);
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+    }
+
+    #[test]
+    fn query_strings_are_stripped_from_the_path() {
+        let req = parse("GET /healthz?verbose=1 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/healthz");
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn malformed_request_lines_are_rejected() {
+        for bad in [
+            "GARBAGE\r\n\r\n",
+            "GET\r\n\r\n",
+            "GET / HTTP/1.1 extra\r\n\r\n",
+            "get / HTTP/1.1\r\n\r\n",
+            "GET nopath HTTP/1.1\r\n\r\n",
+            "GET / SPDY/9\r\n\r\n",
+            "GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            "GET / HTTP/1.1\r\nContent-Length: soon\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(bad), Err(HttpError::BadRequest(_))),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_requests_are_bad_requests_not_hangs() {
+        // head cut mid-line
+        assert!(matches!(
+            parse("POST /sessions HT"),
+            Err(HttpError::BadRequest(_))
+        ));
+        // headers never terminated
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nHost: x\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        // body shorter than its declared length
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn clean_eof_before_a_request_is_closed_not_an_error() {
+        assert_eq!(parse(""), Err(HttpError::Closed));
+    }
+
+    #[test]
+    fn oversized_declarations_are_rejected_before_reading() {
+        let limits = Limits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 64,
+        };
+        let text = "POST / HTTP/1.1\r\nContent-Length: 65\r\n\r\n";
+        let err = read_request(&mut BufReader::new(text.as_bytes()), &limits).unwrap_err();
+        assert_eq!(
+            err,
+            HttpError::PayloadTooLarge {
+                declared: 65,
+                limit: 64
+            }
+        );
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn oversized_heads_are_rejected() {
+        let limits = Limits {
+            max_head_bytes: 64,
+            max_body_bytes: 64,
+        };
+        let text = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(100));
+        let err = read_request(&mut BufReader::new(text.as_bytes()), &limits).unwrap_err();
+        assert_eq!(err, HttpError::HeadTooLarge);
+        assert_eq!(err.status(), 431);
+    }
+
+    #[test]
+    fn responses_serialize_with_length_and_connection() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{\"ok\":true}"), true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"), "{text}");
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"), "{text}");
+    }
+}

@@ -1,0 +1,252 @@
+//! The connection machinery: bind, accept, thread pool, shutdown.
+//!
+//! The accept loop hands each connection to a fixed pool of worker
+//! threads (sized to [`std::thread::available_parallelism`] by default)
+//! over an mpsc channel; each worker runs the keep-alive request loop
+//! against the shared [`PlanningService`]. Shutdown is graceful and
+//! race-free: a [`ShutdownHandle`] flips an atomic flag and wakes the
+//! (blocking) accept call with a loopback connection; the accept loop
+//! then drops the channel sender, the workers drain in-flight
+//! connections and exit, and [`Server::run`] joins them all before
+//! returning. `POST /shutdown` triggers the same path from the wire —
+//! which is how the CI smoke job stops the binary cleanly.
+
+use crate::http::{self, HttpError, Limits, Request, Response};
+use crate::service::{error_body, http_error_response, PlanningService};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Tunables of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads handling connections. `0` means
+    /// `available_parallelism`.
+    pub threads: usize,
+    /// Per-request size bounds.
+    pub limits: Limits,
+    /// Socket read timeout — the cap on how long a slow or stalled peer
+    /// can hold a worker mid-request.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 0,
+            limits: Limits::default(),
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+impl ServerConfig {
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        thread::available_parallelism().map_or(4, |n| n.get())
+    }
+}
+
+/// Stops a running [`Server`] from another thread (or from the wire, via
+/// `POST /shutdown`).
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Requests shutdown and wakes the accept loop. Idempotent.
+    pub fn shutdown(&self) {
+        if self.flag.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // the accept call is blocking; poke it awake so it observes the
+        // flag. A wildcard bind (0.0.0.0 / [::]) is not connectable on
+        // every platform — aim at the matching loopback instead.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(wake);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<PlanningService>,
+    config: ServerConfig,
+    flag: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an OS-assigned test port).
+    pub fn bind(addr: &str, service: PlanningService, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            service: Arc::new(service),
+            config,
+            flag: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actually-bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop [`run`](Self::run) from anywhere.
+    pub fn handle(&self) -> io::Result<ShutdownHandle> {
+        Ok(ShutdownHandle {
+            flag: Arc::clone(&self.flag),
+            addr: self.local_addr()?,
+        })
+    }
+
+    /// Serves until shutdown is requested, then drains workers and
+    /// returns the number of connections served.
+    pub fn run(self) -> io::Result<usize> {
+        let shutdown = self.handle()?;
+        let threads = self.config.effective_threads();
+        let (sender, receiver): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+        let receiver = Arc::new(Mutex::new(receiver));
+
+        let workers: Vec<thread::JoinHandle<()>> = (0..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                let service = Arc::clone(&self.service);
+                let config = self.config.clone();
+                let shutdown = shutdown.clone();
+                thread::Builder::new()
+                    .name(format!("poiesis-http-{i}"))
+                    .spawn(move || loop {
+                        let stream = match receiver.lock().expect("worker queue").recv() {
+                            Ok(s) => s,
+                            Err(_) => return, // sender dropped: shutdown
+                        };
+                        // a panicking handler must cost one connection, not
+                        // one worker
+                        let _ = catch_unwind(AssertUnwindSafe(|| {
+                            serve_connection(stream, &service, &config, &shutdown)
+                        }));
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let mut served = 0usize;
+        for stream in self.listener.incoming() {
+            if shutdown.is_shutting_down() {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    served += 1;
+                    if sender.send(stream).is_err() {
+                        break;
+                    }
+                }
+                // accept failures (EMFILE, ECONNABORTED) should not kill
+                // the server; the brief pause keeps a *persistent* error
+                // (fd exhaustion under flood) from busy-spinning this
+                // thread while workers drain the backlog
+                Err(_) => {
+                    thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            }
+        }
+        drop(sender);
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(served)
+    }
+
+    /// Convenience for tests and the load generator: consumes the server,
+    /// runs it on a background thread, and returns `(addr, handle, join)`.
+    pub fn spawn(
+        self,
+    ) -> io::Result<(
+        SocketAddr,
+        ShutdownHandle,
+        thread::JoinHandle<io::Result<usize>>,
+    )> {
+        let addr = self.local_addr()?;
+        let handle = self.handle()?;
+        let join = thread::Builder::new()
+            .name("poiesis-accept".to_string())
+            .spawn(move || self.run())?;
+        Ok((addr, handle, join))
+    }
+}
+
+/// The keep-alive request loop for one connection.
+fn serve_connection(
+    stream: TcpStream,
+    service: &PlanningService,
+    config: &ServerConfig,
+    shutdown: &ShutdownHandle,
+) {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match http::read_request(&mut reader, &config.limits) {
+            Ok(request) => request,
+            Err(HttpError::Closed) => return,
+            Err(e) => {
+                // report the failure if the socket still listens, then
+                // hang up — a half-parsed stream cannot be resynchronized
+                let _ = http::write_response(&mut writer, &http_error_response(&e), false);
+                return;
+            }
+        };
+        let keep_alive = request.keep_alive;
+        let response = dispatch(&request, service, shutdown);
+        if http::write_response(&mut writer, &response, keep_alive).is_err() {
+            return;
+        }
+        if !keep_alive || shutdown.is_shutting_down() {
+            return;
+        }
+    }
+}
+
+/// Routes the one server-level endpoint (`POST /shutdown`), everything
+/// else goes to the service.
+fn dispatch(request: &Request, service: &PlanningService, shutdown: &ShutdownHandle) -> Response {
+    if request.path == "/shutdown" {
+        return if request.method == "POST" {
+            shutdown.shutdown();
+            Response::json(200, "{\"shutting_down\":true}")
+        } else {
+            Response::json(
+                405,
+                error_body("method_not_allowed", "shutdown requires POST"),
+            )
+        };
+    }
+    service.handle(request)
+}

@@ -1,0 +1,454 @@
+//! The routing layer: HTTP requests in, `SessionManager` calls out.
+//!
+//! [`PlanningService::handle`] is a pure function from a parsed
+//! [`Request`] to a [`Response`] — no I/O, no threads — which is what the
+//! unit tests and the connection loop both drive. Every failure path
+//! produces the documented JSON error body
+//! `{"error":{"code":…,"message":…}}` with the status-code mapping of
+//! `docs/API.md`; planner errors reuse the stable
+//! [`PoiesisError::code`] values verbatim.
+
+use crate::http::{HttpError, Request, Response};
+use poiesis::{
+    FromJson, IterationRecord, PlanRequest, PoiesisError, SessionId, SessionManager, ToJson,
+};
+use serde::json::Value;
+
+use crate::template::SessionTemplate;
+
+/// The HTTP status a [`PoiesisError`] is reported as.
+///
+/// * client-side payload problems → `400`
+/// * unknown handles → `404`
+/// * valid requests in the wrong session state → `409`
+/// * planner-internal failures → `500`
+pub fn status_for(error: &PoiesisError) -> u16 {
+    match error {
+        PoiesisError::Malformed(_)
+        | PoiesisError::InvalidObjective(_)
+        | PoiesisError::MissingFlow
+        | PoiesisError::MissingCatalog
+        | PoiesisError::EmptyCatalog => 400,
+        PoiesisError::UnknownSession(_) => 404,
+        PoiesisError::NothingExplored(_) | PoiesisError::RankOutOfRange { .. } => 409,
+        PoiesisError::InvalidFlow(_) | PoiesisError::Pattern(_) | PoiesisError::Eval(_) => 500,
+    }
+}
+
+/// `{"error":{"code":…,"message":…}}` from any code/message pair.
+pub fn error_body(code: &str, message: &str) -> String {
+    Value::object([(
+        "error".to_string(),
+        Value::object([
+            ("code".to_string(), Value::String(code.to_string())),
+            ("message".to_string(), Value::String(message.to_string())),
+        ]),
+    )])
+    .to_string()
+}
+
+fn plan_error(error: &PoiesisError) -> Response {
+    let body = Value::object([("error".to_string(), error.to_json())]);
+    Response::json(status_for(error), body.to_string())
+}
+
+/// The wire-visible form of an [`HttpError`] (except `Closed`, which the
+/// connection loop handles by hanging up).
+pub fn http_error_response(error: &HttpError) -> Response {
+    let code = match error {
+        HttpError::Closed | HttpError::BadRequest(_) => "bad_request",
+        HttpError::PayloadTooLarge { .. } => "payload_too_large",
+        HttpError::HeadTooLarge => "head_too_large",
+        HttpError::Timeout => "timeout",
+    };
+    Response::json(error.status(), error_body(code, &error.to_string()))
+}
+
+/// Stateless-per-request facade over one [`SessionManager`] and one
+/// [`SessionTemplate`].
+pub struct PlanningService {
+    manager: SessionManager,
+    template: SessionTemplate,
+}
+
+impl PlanningService {
+    /// A service over a fresh manager.
+    pub fn new(template: SessionTemplate) -> Self {
+        PlanningService {
+            manager: SessionManager::new(),
+            template,
+        }
+    }
+
+    /// The underlying manager (used by tests to compare against the
+    /// in-process facade).
+    pub fn manager(&self) -> &SessionManager {
+        &self.manager
+    }
+
+    /// Routes one request. Never panics on hostile input; unroutable
+    /// paths and methods produce `404` / `405` JSON errors.
+    pub fn handle(&self, request: &Request) -> Response {
+        let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+        let method = request.method.as_str();
+        match (method, segments.as_slice()) {
+            ("GET", ["healthz"]) => self.healthz(),
+            ("GET", ["sessions"]) => self.list(),
+            ("POST", ["sessions"]) => self.create(request),
+            ("POST", ["sessions", id, "explore"]) => self.with_id(id, |id| self.explore(id)),
+            ("POST", ["sessions", id, "select"]) => self.with_id(id, |id| self.select(id, request)),
+            ("GET", ["sessions", id, "history"]) => self.with_id(id, |id| self.history(id)),
+            ("DELETE", ["sessions", id]) => self.with_id(id, |id| self.close(id)),
+            // known paths with the wrong verb are 405, unknown paths 404
+            (
+                _,
+                ["healthz"]
+                | ["sessions"]
+                | ["sessions", _]
+                | ["sessions", _, "explore" | "select" | "history"],
+            ) => Response::json(
+                405,
+                error_body(
+                    "method_not_allowed",
+                    &format!("{} is not supported on {}", method, request.path),
+                ),
+            ),
+            _ => Response::json(
+                404,
+                error_body("not_found", &format!("no route for {}", request.path)),
+            ),
+        }
+    }
+
+    /// Parses the `{id}` path segment and hands it to `f`; non-numeric
+    /// handles are a 400, handles the manager does not know map to 404
+    /// inside `f`.
+    fn with_id(&self, raw: &str, f: impl FnOnce(SessionId) -> Response) -> Response {
+        match raw.parse::<u64>() {
+            Ok(id) => f(SessionId::from_raw(id)),
+            Err(_) => Response::json(
+                400,
+                error_body("bad_request", &format!("malformed session id `{raw}`")),
+            ),
+        }
+    }
+
+    fn healthz(&self) -> Response {
+        let body = Value::object([
+            ("status".to_string(), Value::String("ok".to_string())),
+            (
+                "sessions".to_string(),
+                Value::Number(self.manager.len() as f64),
+            ),
+            (
+                "catalog".to_string(),
+                Value::String(self.template.label.clone()),
+            ),
+        ]);
+        Response::json(200, body.to_string())
+    }
+
+    fn list(&self) -> Response {
+        let ids: Vec<Value> = self
+            .manager
+            .ids()
+            .into_iter()
+            .map(|id| Value::Number(id.raw() as f64))
+            .collect();
+        Response::json(
+            200,
+            Value::object([("sessions".to_string(), Value::Array(ids))]).to_string(),
+        )
+    }
+
+    fn create(&self, request: &Request) -> Response {
+        let plan_request = if request.body.is_empty() {
+            PlanRequest::default()
+        } else {
+            let text = match request.body_str() {
+                Ok(t) => t,
+                Err(e) => return http_error_response(&e),
+            };
+            match PlanRequest::from_json_str(text) {
+                Ok(r) => r,
+                Err(e) => return plan_error(&PoiesisError::from(e)),
+            }
+        };
+        match self
+            .manager
+            .create_from_request(self.template.builder(), &plan_request)
+        {
+            Ok(id) => Response::json(
+                201,
+                Value::object([("session".to_string(), Value::Number(id.raw() as f64))])
+                    .to_string(),
+            ),
+            Err(e) => plan_error(&e),
+        }
+    }
+
+    fn explore(&self, id: SessionId) -> Response {
+        match self.manager.explore(id) {
+            Ok(response) => Response::json(200, response.to_json_string()),
+            Err(e) => plan_error(&e),
+        }
+    }
+
+    fn select(&self, id: SessionId, request: &Request) -> Response {
+        let rank = match select_rank(request) {
+            Ok(rank) => rank,
+            Err(response) => return response,
+        };
+        match self.manager.select(id, rank) {
+            Ok(record) => Response::json(200, selection_body(id, &record)),
+            Err(e) => plan_error(&e),
+        }
+    }
+
+    fn history(&self, id: SessionId) -> Response {
+        match self.manager.history(id) {
+            Ok(records) => {
+                let body = Value::object([
+                    ("session".to_string(), Value::Number(id.raw() as f64)),
+                    (
+                        "history".to_string(),
+                        Value::Array(records.iter().map(|r| r.to_json()).collect()),
+                    ),
+                ]);
+                Response::json(200, body.to_string())
+            }
+            Err(e) => plan_error(&e),
+        }
+    }
+
+    fn close(&self, id: SessionId) -> Response {
+        match self.manager.close(id) {
+            Ok(()) => Response::json(
+                200,
+                Value::object([("closed".to_string(), Value::Number(id.raw() as f64))]).to_string(),
+            ),
+            Err(e) => plan_error(&e),
+        }
+    }
+}
+
+/// Decodes the `{"rank":N}` selection body.
+fn select_rank(request: &Request) -> Result<usize, Response> {
+    let text = request.body_str().map_err(|e| http_error_response(&e))?;
+    if text.trim().is_empty() {
+        return Err(Response::json(
+            400,
+            error_body("malformed", "select expects a body like {\"rank\":0}"),
+        ));
+    }
+    let parsed = Value::parse(text)
+        .and_then(|v| v.get("rank")?.as_usize("rank"))
+        .map_err(|e| Response::json(400, error_body("malformed", &e.to_string())))?;
+    Ok(parsed)
+}
+
+/// The `select` success body: the session plus the new iteration record.
+fn selection_body(id: SessionId, record: &IterationRecord) -> String {
+    Value::object([
+        ("session".to_string(), Value::Number(id.raw() as f64)),
+        ("record".to_string(), record.to_json()),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poiesis::PlanResponse;
+
+    fn service() -> PlanningService {
+        PlanningService::new(SessionTemplate::demo(80))
+    }
+
+    fn request(method: &str, path: &str, body: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+            keep_alive: true,
+        }
+    }
+
+    fn json(response: &Response) -> Value {
+        Value::parse(&response.body).expect("body parses")
+    }
+
+    fn error_code(response: &Response) -> String {
+        json(response)
+            .get("error")
+            .unwrap()
+            .get("code")
+            .unwrap()
+            .as_str("code")
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn lifecycle_routes_end_to_end() {
+        let svc = service();
+        let created = svc.handle(&request("POST", "/sessions", ""));
+        assert_eq!(created.status, 201);
+        let id = json(&created)
+            .get("session")
+            .unwrap()
+            .as_usize("session")
+            .unwrap();
+
+        let explored = svc.handle(&request("POST", &format!("/sessions/{id}/explore"), ""));
+        assert_eq!(explored.status, 200);
+        let plan = PlanResponse::from_json_str(&explored.body).unwrap();
+        assert!(!plan.skyline.is_empty());
+        assert_eq!(plan.session, Some(id as u64));
+
+        let selected = svc.handle(&request(
+            "POST",
+            &format!("/sessions/{id}/select"),
+            "{\"rank\":0}",
+        ));
+        assert_eq!(selected.status, 200, "{}", selected.body);
+        let record = IterationRecord::from_json(json(&selected).get("record").unwrap()).unwrap();
+        assert_eq!(record.cycle, 1);
+        assert_eq!(record.selected, plan.skyline[0].name);
+
+        let history = svc.handle(&request("GET", &format!("/sessions/{id}/history"), ""));
+        assert_eq!(history.status, 200);
+        assert_eq!(
+            json(&history)
+                .get("history")
+                .unwrap()
+                .as_array("history")
+                .unwrap()
+                .len(),
+            1
+        );
+
+        let closed = svc.handle(&request("DELETE", &format!("/sessions/{id}"), ""));
+        assert_eq!(closed.status, 200);
+        let gone = svc.handle(&request("POST", &format!("/sessions/{id}/explore"), ""));
+        assert_eq!(gone.status, 404);
+        assert_eq!(error_code(&gone), "unknown_session");
+    }
+
+    #[test]
+    fn healthz_reports_live_sessions_and_catalog() {
+        let svc = service();
+        svc.handle(&request("POST", "/sessions", ""));
+        let health = svc.handle(&request("GET", "/healthz", ""));
+        assert_eq!(health.status, 200);
+        let v = json(&health);
+        assert_eq!(v.get("status").unwrap().as_str("status").unwrap(), "ok");
+        assert_eq!(v.get("sessions").unwrap().as_usize("sessions").unwrap(), 1);
+        assert_eq!(
+            v.get("catalog").unwrap().as_str("catalog").unwrap(),
+            "demo:80"
+        );
+    }
+
+    #[test]
+    fn custom_plan_requests_are_honoured() {
+        let svc = service();
+        let plan = PlanRequest {
+            strategy: "beam:4".to_string(),
+            budget: 64,
+            ..PlanRequest::default()
+        };
+        let created = svc.handle(&request("POST", "/sessions", &plan.to_json_string()));
+        assert_eq!(created.status, 201, "{}", created.body);
+        let id = json(&created)
+            .get("session")
+            .unwrap()
+            .as_usize("session")
+            .unwrap();
+        let explored = svc.handle(&request("POST", &format!("/sessions/{id}/explore"), ""));
+        let response = PlanResponse::from_json_str(&explored.body).unwrap();
+        assert!(response.enumerated <= 64);
+    }
+
+    #[test]
+    fn malformed_payloads_map_to_the_documented_codes() {
+        let svc = service();
+        // body that is not JSON at all
+        let r = svc.handle(&request("POST", "/sessions", "not json"));
+        assert_eq!((r.status, error_code(&r)), (400, "malformed".into()));
+        // JSON with a wrong field type
+        let r = svc.handle(&request("POST", "/sessions", "{\"strategy\":1}"));
+        assert_eq!((r.status, error_code(&r)), (400, "malformed".into()));
+        // unknown strategy string
+        let plan = PlanRequest {
+            strategy: "dfs".to_string(),
+            ..PlanRequest::default()
+        };
+        let r = svc.handle(&request("POST", "/sessions", &plan.to_json_string()));
+        assert_eq!((r.status, error_code(&r)), (400, "malformed".into()));
+        // unknown characteristic key in the objective
+        let mut plan = PlanRequest::default();
+        plan.objective.goals[0].characteristic = "speed".to_string();
+        let r = svc.handle(&request("POST", "/sessions", &plan.to_json_string()));
+        assert_eq!((r.status, error_code(&r)), (400, "malformed".into()));
+    }
+
+    #[test]
+    fn wrong_session_states_are_conflicts() {
+        let svc = service();
+        let created = svc.handle(&request("POST", "/sessions", ""));
+        let id = json(&created)
+            .get("session")
+            .unwrap()
+            .as_usize("session")
+            .unwrap();
+        // select before any explore
+        let r = svc.handle(&request(
+            "POST",
+            &format!("/sessions/{id}/select"),
+            "{\"rank\":0}",
+        ));
+        assert_eq!((r.status, error_code(&r)), (409, "nothing_explored".into()));
+        // select a rank past the frontier
+        svc.handle(&request("POST", &format!("/sessions/{id}/explore"), ""));
+        let r = svc.handle(&request(
+            "POST",
+            &format!("/sessions/{id}/select"),
+            "{\"rank\":100000}",
+        ));
+        assert_eq!(
+            (r.status, error_code(&r)),
+            (409, "rank_out_of_range".into())
+        );
+        // a bad select body never consumes the outcome
+        let r = svc.handle(&request(
+            "POST",
+            &format!("/sessions/{id}/select"),
+            "{\"rank\":\"zero\"}",
+        ));
+        assert_eq!((r.status, error_code(&r)), (400, "malformed".into()));
+        let r = svc.handle(&request(
+            "POST",
+            &format!("/sessions/{id}/select"),
+            "{\"rank\":0}",
+        ));
+        assert_eq!(r.status, 200, "{}", r.body);
+    }
+
+    #[test]
+    fn unroutable_requests_are_404_and_405() {
+        let svc = service();
+        let r = svc.handle(&request("GET", "/nope", ""));
+        assert_eq!((r.status, error_code(&r)), (404, "not_found".into()));
+        let r = svc.handle(&request("PATCH", "/sessions", ""));
+        assert_eq!(
+            (r.status, error_code(&r)),
+            (405, "method_not_allowed".into())
+        );
+        let r = svc.handle(&request("GET", "/sessions/abc/history", ""));
+        assert_eq!((r.status, error_code(&r)), (400, "bad_request".into()));
+        let r = svc.handle(&request("GET", "/sessions/99/history", ""));
+        assert_eq!((r.status, error_code(&r)), (404, "unknown_session".into()));
+    }
+}

@@ -1,0 +1,145 @@
+//! What `POST /sessions` plans against: the server-side flow + catalog.
+//!
+//! A planning session needs an initial [`EtlFlow`] and a source
+//! [`Catalog`]; neither travels over the wire (catalogs hold generated
+//! tuples, flows hold an operator graph). Instead the server is launched
+//! *on* a [`SessionTemplate`] — the built-in Fig. 2 purchases demo or any
+//! xLM/PDI model file with sources synthesised from its extract schemata —
+//! and every created session starts from a clone of it. Clients configure
+//! everything else (objective, strategy, budget, …) per session through
+//! the `PlanRequest` DTO.
+
+use datagen::fig2::{purchases_catalog, purchases_flow};
+use datagen::{Catalog, DirtProfile, TableSpec};
+use etl_model::{EtlFlow, OpKind};
+use poiesis::{Poiesis, SessionBuilder};
+
+/// A reusable (flow, catalog) pair every new session is cloned from.
+#[derive(Debug, Clone)]
+pub struct SessionTemplate {
+    flow: EtlFlow,
+    catalog: Catalog,
+    /// Where the template came from, for logs and `/healthz`.
+    pub label: String,
+}
+
+impl SessionTemplate {
+    /// The built-in demo: the paper's Fig. 2 purchases flow over a
+    /// synthesised catalog of `rows` rows per source.
+    pub fn demo(rows: usize) -> Self {
+        let (flow, _) = purchases_flow();
+        let catalog = purchases_catalog(rows, &DirtProfile::demo(), 5);
+        SessionTemplate {
+            flow,
+            catalog,
+            label: format!("demo:{rows}"),
+        }
+    }
+
+    /// Loads an xLM (`.xlm`/`.xml`) or PDI (`.ktr`) model file and
+    /// synthesises `rows` rows for every extract from its schema — the
+    /// same headless substitute for a test database the CLI uses.
+    pub fn from_model_file(path: &str, rows: usize) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let flow = if path.ends_with(".ktr") {
+            xlm::pdi::import_ktr(&text).map_err(|e| e.to_string())?
+        } else {
+            xlm::read_flow(&text).map_err(|e| e.to_string())?
+        };
+        flow.validate().map_err(|e| format!("invalid model: {e}"))?;
+        let catalog = synthesize_catalog(&flow, rows)?;
+        Ok(SessionTemplate {
+            flow,
+            catalog,
+            label: format!("{path}:{rows}"),
+        })
+    }
+
+    /// Parses the `--catalog` flag syntax: `demo[:rows]` or
+    /// `<model-path>[:rows]` (default 200 rows).
+    pub fn from_spec(spec: &str) -> Result<Self, String> {
+        let (name, rows) = match spec.rsplit_once(':') {
+            Some((name, rows)) if rows.bytes().all(|b| b.is_ascii_digit()) && !rows.is_empty() => {
+                let rows: usize = rows
+                    .parse()
+                    .map_err(|_| format!("bad row count in `{spec}`"))?;
+                (name, rows)
+            }
+            _ => (spec, 200),
+        };
+        if rows == 0 {
+            return Err(format!("`{spec}`: row count must be positive"));
+        }
+        if name == "demo" {
+            Ok(SessionTemplate::demo(rows))
+        } else {
+            SessionTemplate::from_model_file(name, rows)
+        }
+    }
+
+    /// A fresh builder seeded with clones of the template's flow and
+    /// catalog — the base a `PlanRequest` is applied on top of.
+    pub fn builder(&self) -> SessionBuilder {
+        Poiesis::session()
+            .flow(self.flow.clone())
+            .catalog(self.catalog.clone())
+    }
+}
+
+/// Synthesises a catalog for every extract in the flow from its schema
+/// (demo dirt profile, deterministic seeds).
+fn synthesize_catalog(flow: &EtlFlow, rows: usize) -> Result<Catalog, String> {
+    let mut catalog = Catalog::new();
+    let mut seed = 0xC11u64;
+    for n in flow.ops_of_kind("extract") {
+        let OpKind::Extract { source, schema } = &flow.op(n).expect("live").kind else {
+            unreachable!("ops_of_kind returned a non-extract");
+        };
+        if catalog.table(source).is_some() {
+            continue;
+        }
+        let key = schema
+            .attrs()
+            .iter()
+            .find(|a| !a.nullable)
+            .or_else(|| schema.attrs().first())
+            .map(|a| a.name.clone())
+            .ok_or_else(|| format!("extract `{source}` has an empty schema"))?;
+        catalog.add_generated(
+            &TableSpec::new(source.clone(), schema.clone(), rows, key),
+            &DirtProfile::demo(),
+            seed,
+        );
+        seed = seed.wrapping_add(1);
+    }
+    Ok(catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_template_builds_working_sessions() {
+        let template = SessionTemplate::demo(80);
+        assert_eq!(template.label, "demo:80");
+        // two sessions from one template are independent
+        let a = template.builder().budget(50).build().unwrap();
+        let b = template.builder().budget(50).build().unwrap();
+        assert_eq!(a.current_flow().name, b.current_flow().name);
+    }
+
+    #[test]
+    fn spec_syntax_parses_names_and_row_counts() {
+        assert_eq!(
+            SessionTemplate::from_spec("demo").unwrap().label,
+            "demo:200"
+        );
+        assert_eq!(
+            SessionTemplate::from_spec("demo:64").unwrap().label,
+            "demo:64"
+        );
+        assert!(SessionTemplate::from_spec("demo:0").is_err());
+        assert!(SessionTemplate::from_spec("/no/such/model.xlm").is_err());
+    }
+}

@@ -24,6 +24,22 @@
 //! The output is a [`Trace`]: per-operator timing/row records plus the rows
 //! that reached every load target, which the `quality` crate turns into the
 //! paper's measures.
+//!
+//! # Example
+//!
+//! ```
+//! use datagen::fig2::{purchases_catalog, purchases_flow};
+//! use datagen::DirtProfile;
+//! use simulator::{simulate, SimConfig};
+//!
+//! let (flow, _) = purchases_flow();
+//! let catalog = purchases_catalog(60, &DirtProfile::demo(), 1);
+//! let trace = simulate(&flow, &catalog, &SimConfig::default()).unwrap();
+//! assert!(trace.rows_loaded() > 0);      // tuples really flowed
+//! assert!(trace.cycle_time_ms > 0.0);    // and the virtual clock advanced
+//! ```
+
+#![warn(missing_docs)]
 
 mod engine;
 mod exec;

@@ -9,6 +9,7 @@ pub use etl_model;
 pub use fcp;
 pub use flowgraph;
 pub use poiesis;
+pub use poiesis_server;
 pub use quality;
 pub use simulator;
 pub use viz;

@@ -220,7 +220,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice between boxed alternatives — backs [`prop_oneof!`].
+    /// Uniform choice between boxed alternatives — backs `prop_oneof!`.
     pub struct Union<V> {
         arms: Vec<BoxedStrategy<V>>,
     }
