@@ -4,11 +4,15 @@
 //! ```text
 //! server_load [--addr host:port] [--clients 8] [--requests 200]
 //!             [--mode health|cycle] [--rows 80] [--budget 200]
+//!             [--queue N] [--state-dir dir]
 //! ```
 //!
 //! With no `--addr` the generator self-hosts a server in-process (demo
-//! catalog, `--rows` rows) so a single command produces numbers. Two
-//! workloads:
+//! catalog, `--rows` rows) so a single command produces numbers;
+//! `--queue` bounds its accept queue (default 256) and `--state-dir`
+//! turns on snapshot persistence — point both at the same workload to
+//! measure what durability costs (see the capacity-planning section of
+//! `docs/OPERATIONS.md`). Two workloads:
 //!
 //! * `health` — `GET /healthz` per request: measures the raw HTTP layer
 //!   (parse, route, respond) without planning work;
@@ -17,10 +21,11 @@
 //!
 //! Each client thread runs `--requests` requests on one keep-alive
 //! connection; per-request wall times are merged and reported as
-//! req/s plus p50/p90/p99/max latency.
+//! req/s plus p50/p90/p99/max latency, followed by a `/metrics` scrape
+//! summary (requests served, connections shed, snapshot writes).
 
 use poiesis::PlanRequest;
-use poiesis_server::{Client, PlanningService, Server, ServerConfig, SessionTemplate};
+use poiesis_server::{Client, PlanningService, Server, ServerConfig, SessionTemplate, StateStore};
 use std::time::{Duration, Instant};
 
 /// Strict flag lookup: a present-but-unparseable value is an error, not
@@ -56,6 +61,8 @@ fn main() {
         "--mode",
         "--rows",
         "--budget",
+        "--queue",
+        "--state-dir",
     ];
     let mut i = 0;
     while i < args.len() {
@@ -63,7 +70,7 @@ fn main() {
             eprintln!("error: unknown flag `{}`", args[i]);
             eprintln!(
                 "usage: server_load [--addr host:port] [--clients N] [--requests N] \
-                 [--mode health|cycle] [--rows N] [--budget N]"
+                 [--mode health|cycle] [--rows N] [--budget N] [--queue N] [--state-dir dir]"
             );
             std::process::exit(1);
         }
@@ -80,6 +87,12 @@ fn main() {
     }
 
     // self-host unless pointed at a running server
+    let queue: usize = opt(&args, "--queue", ServerConfig::default().queue);
+    let state_dir = args
+        .iter()
+        .position(|a| a == "--state-dir")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let (addr, local) = match args
         .iter()
         .position(|a| a == "--addr")
@@ -87,9 +100,16 @@ fn main() {
     {
         Some(addr) => (addr.clone(), None),
         None => {
-            let service = PlanningService::new(SessionTemplate::demo(rows));
-            let server =
-                Server::bind("127.0.0.1:0", service, ServerConfig::default()).expect("bind");
+            let mut service = PlanningService::new(SessionTemplate::demo(rows));
+            if let Some(dir) = &state_dir {
+                let store = StateStore::open(dir).expect("open state dir");
+                service = service.with_store(store).expect("load state");
+            }
+            let config = ServerConfig {
+                queue,
+                ..ServerConfig::default()
+            };
+            let server = Server::bind("127.0.0.1:0", service, config).expect("bind");
             let (addr, handle, join) = server.spawn().expect("spawn");
             (addr.to_string(), Some((handle, join)))
         }
@@ -159,6 +179,19 @@ fn main() {
         "  max  {:>9.3} ms",
         latencies.last().copied().unwrap_or_default().as_secs_f64() * 1e3
     );
+
+    // scrape the server's own accounting: served vs shed is the load
+    // number that matters once backpressure kicks in
+    if let Ok(mut client) = Client::connect(addr.as_str()) {
+        let scrape = |c: &mut Client, name: &str| c.metric_value(name).unwrap_or(-1.0);
+        println!(
+            "  /metrics: connections {:.0}, shed {:.0}, snapshot writes {:.0} ({} errors)",
+            scrape(&mut client, "poiesis_http_connections_total"),
+            scrape(&mut client, "poiesis_http_shed_total"),
+            scrape(&mut client, "poiesis_snapshot_writes_total"),
+            scrape(&mut client, "poiesis_snapshot_errors_total"),
+        );
+    }
 
     if let Some((handle, join)) = local {
         handle.shutdown();

@@ -239,6 +239,23 @@ impl Default for PlanRequest {
 }
 
 impl PlanRequest {
+    /// Captures a live [`PlannerConfig`] as the wire request that would
+    /// reproduce it — the configuration half of a [`SessionSnapshot`].
+    /// (The deployment policy is not wire-configurable and therefore not
+    /// captured; sessions created through the service always run the
+    /// default policy.)
+    pub fn from_config(config: &PlannerConfig) -> Self {
+        PlanRequest {
+            strategy: config.strategy.to_string(),
+            budget: config.max_alternatives,
+            simulate: config.eval_mode == EvalMode::Simulate,
+            workers: config.workers,
+            retain_dominated: config.retain_dominated,
+            seed: config.seed,
+            objective: ObjectiveSpec::from_objective(&config.objective),
+        }
+    }
+
     /// Applies the request to a [`SessionBuilder`], resolving strategy and
     /// objective; malformed fields surface as
     /// [`PoiesisError::Malformed`] / [`PoiesisError::InvalidObjective`].
@@ -560,6 +577,104 @@ impl FromJson for IterationRecord {
     }
 }
 
+// ------------------------------------------------------------- snapshots
+
+/// The durable form of one managed session: everything needed to rebuild
+/// it against the same template after a process restart.
+///
+/// The flow travels as an xLM document (`flow_xlm`) because the operator
+/// graph — including pattern-inserted operations and graph-level
+/// configuration changes from earlier selections — is exactly what xLM
+/// round-trips; the planner configuration travels as the [`PlanRequest`]
+/// that reproduces it. What is *not* captured is the in-flight
+/// exploration outcome (`last_outcome`): a restored session must run a
+/// fresh `explore` before its next `select`, which the exploration's
+/// determinism makes lossless (same flow + catalog + config ⇒ same
+/// frontier).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    /// The handle the session was registered under.
+    pub id: u64,
+    /// The original flow name captured at session start (fork names are
+    /// `<base_name>__cycle<N>`).
+    pub base_name: String,
+    /// The session's current flow as an xLM document.
+    pub flow_xlm: String,
+    /// The wire request reproducing the session's planner configuration.
+    pub request: PlanRequest,
+    /// Completed iterations.
+    pub history: Vec<IterationRecord>,
+}
+
+impl ToJson for SessionSnapshot {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("id".to_string(), int(self.id as usize)),
+            ("base_name".to_string(), string(&self.base_name)),
+            ("flow_xlm".to_string(), string(&self.flow_xlm)),
+            ("request".to_string(), self.request.to_json()),
+            (
+                "history".to_string(),
+                Value::Array(self.history.iter().map(|r| r.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for SessionSnapshot {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(SessionSnapshot {
+            id: v.get("id")?.as_usize("id")? as u64,
+            base_name: v.get("base_name")?.as_str("base_name")?.into(),
+            flow_xlm: v.get("flow_xlm")?.as_str("flow_xlm")?.into(),
+            request: PlanRequest::from_json(v.get("request")?)?,
+            history: v
+                .get("history")?
+                .as_array("history")?
+                .iter()
+                .map(IterationRecord::from_json)
+                .collect::<Result<_, JsonError>>()?,
+        })
+    }
+}
+
+/// The durable form of a whole
+/// [`SessionManager`](crate::SessionManager): every live session plus the
+/// handle counter (so handles are never reused across restarts).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ManagerSnapshot {
+    /// The next handle the manager would issue.
+    pub next_id: u64,
+    /// All live sessions, ascending by handle.
+    pub sessions: Vec<SessionSnapshot>,
+}
+
+impl ToJson for ManagerSnapshot {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("next_id".to_string(), int(self.next_id as usize)),
+            (
+                "sessions".to_string(),
+                Value::Array(self.sessions.iter().map(|s| s.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for ManagerSnapshot {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(ManagerSnapshot {
+            next_id: v.get("next_id")?.as_usize("next_id")? as u64,
+            sessions: v
+                .get("sessions")?
+                .as_array("sessions")?
+                .iter()
+                .map(SessionSnapshot::from_json)
+                .collect::<Result<_, JsonError>>()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -609,6 +724,49 @@ mod tests {
             .constrain(MeasureId::AvgLatencyMs, 1.0);
         let spec = ObjectiveSpec::from_objective(&objective);
         assert_eq!(spec.to_objective().unwrap(), objective);
+    }
+
+    #[test]
+    fn session_snapshot_round_trips_through_json_text() {
+        let snapshot = SessionSnapshot {
+            id: 7,
+            base_name: "s_purchases".into(),
+            flow_xlm: "<xlm version=\"1.0\"><design name=\"x\"/></xlm>".into(),
+            request: PlanRequest {
+                strategy: "beam:4".into(),
+                budget: 128,
+                ..PlanRequest::default()
+            },
+            history: vec![IterationRecord {
+                cycle: 1,
+                selected: "s_purchases+AddCheckpoint@e1".into(),
+                integrated: vec!["AddCheckpoint @e1".into()],
+                scores: vec![120.0, 100.0],
+            }],
+        };
+        let manager = ManagerSnapshot {
+            next_id: 8,
+            sessions: vec![snapshot],
+        };
+        let back = ManagerSnapshot::from_json_str(&manager.to_json_string()).unwrap();
+        assert_eq!(back, manager);
+    }
+
+    #[test]
+    fn from_config_inverts_apply() {
+        // a request captured from a config built by that same request must
+        // be identical — the property snapshot/restore depends on
+        let request = PlanRequest {
+            strategy: "beam:6".into(),
+            budget: 321,
+            simulate: true,
+            workers: 3,
+            retain_dominated: false,
+            seed: 99,
+            ..PlanRequest::default()
+        };
+        let builder = request.apply(SessionBuilder::new()).unwrap();
+        assert_eq!(PlanRequest::from_config(builder.config()), request);
     }
 
     #[test]

@@ -164,6 +164,12 @@ impl SessionBuilder {
         self
     }
 
+    /// The configuration accumulated so far (what
+    /// [`build_planner`](Self::build_planner) will hand the planner).
+    pub fn config(&self) -> &PlannerConfig {
+        &self.config
+    }
+
     /// Validates the inputs and builds the planner behind the session.
     pub fn build_planner(self) -> Result<Planner, PoiesisError> {
         let flow = self.flow.ok_or(PoiesisError::MissingFlow)?;

@@ -52,6 +52,11 @@ pub enum PoiesisError {
     // --- DTO failures
     /// A wire payload failed to decode.
     Malformed(String),
+
+    // --- persistence failures
+    /// A session snapshot could not be captured or restored (unparsable
+    /// flow document, duplicate handle, corrupt snapshot file).
+    Snapshot(String),
 }
 
 impl fmt::Display for PoiesisError {
@@ -75,6 +80,7 @@ impl fmt::Display for PoiesisError {
                 "skyline rank {rank} out of range (frontier holds {frontier} designs)"
             ),
             PoiesisError::Malformed(e) => write!(f, "malformed payload: {e}"),
+            PoiesisError::Snapshot(e) => write!(f, "session snapshot failed: {e}"),
         }
     }
 }
@@ -97,6 +103,7 @@ impl PoiesisError {
             PoiesisError::NothingExplored(_) => "nothing_explored",
             PoiesisError::RankOutOfRange { .. } => "rank_out_of_range",
             PoiesisError::Malformed(_) => "malformed",
+            PoiesisError::Snapshot(_) => "snapshot",
         }
     }
 }
@@ -183,6 +190,7 @@ mod tests {
                 "rank_out_of_range",
             ),
             (PoiesisError::Malformed("x".into()), "malformed"),
+            (PoiesisError::Snapshot("x".into()), "snapshot"),
         ];
         for (err, code) in cases {
             assert_eq!(err.code(), code);

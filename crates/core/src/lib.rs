@@ -84,7 +84,8 @@ pub mod session;
 pub mod skyline;
 
 pub use api::{
-    AlternativeSummary, ConstraintSpec, GoalSpec, ObjectiveSpec, PlanRequest, PlanResponse,
+    AlternativeSummary, ConstraintSpec, GoalSpec, ManagerSnapshot, ObjectiveSpec, PlanRequest,
+    PlanResponse, SessionSnapshot,
 };
 pub use builder::{Poiesis, SessionBuilder};
 pub use error::PoiesisError;

@@ -12,7 +12,7 @@
 //! lock is only held for the microseconds of handle lookup, never across a
 //! planning cycle.
 
-use crate::api::{PlanRequest, PlanResponse};
+use crate::api::{ManagerSnapshot, PlanRequest, PlanResponse, SessionSnapshot};
 use crate::builder::SessionBuilder;
 use crate::error::PoiesisError;
 use crate::planner::PlannerOutcome;
@@ -52,6 +52,17 @@ impl fmt::Display for SessionId {
 struct Slot {
     session: Session,
     last_outcome: Option<PlannerOutcome>,
+}
+
+/// The durable form of one locked slot.
+fn snapshot_slot(id: u64, slot: &Slot) -> SessionSnapshot {
+    SessionSnapshot {
+        id,
+        base_name: slot.session.base_name().to_string(),
+        flow_xlm: xlm::write_flow(slot.session.current_flow()),
+        request: PlanRequest::from_config(slot.session.planner().config()),
+        history: slot.session.history().to_vec(),
+    }
 }
 
 /// Thread-safe owner of many concurrent redesign sessions.
@@ -190,6 +201,126 @@ impl SessionManager {
             .ok_or(PoiesisError::UnknownSession(id))
     }
 
+    // ------------------------------------------------------- persistence
+
+    /// Captures every live session as a serializable [`ManagerSnapshot`]:
+    /// the current flow as an xLM document, the planner configuration as
+    /// the [`PlanRequest`] that reproduces it, the iteration history, and
+    /// the handle counter (so restored managers never reuse handles).
+    ///
+    /// The in-flight exploration outcome is deliberately *not* captured —
+    /// a restored session must run a fresh `explore` before its next
+    /// `select`, and exploration's determinism makes that lossless.
+    ///
+    /// ```
+    /// use poiesis::{Poiesis, SessionManager, ToJson, FromJson, ManagerSnapshot};
+    /// use datagen::fig2::{purchases_catalog, purchases_flow};
+    /// use datagen::DirtProfile;
+    ///
+    /// let (flow, _) = purchases_flow();
+    /// let catalog = purchases_catalog(80, &DirtProfile::demo(), 5);
+    /// let base = || Poiesis::session().flow(flow.clone()).catalog(catalog.clone());
+    ///
+    /// let manager = SessionManager::new();
+    /// let id = manager.create(base().budget(200)).unwrap();
+    ///
+    /// // snapshot → JSON text → restore: the session survives, handle intact
+    /// let text = manager.snapshot().to_json_string();
+    /// let snapshot = ManagerSnapshot::from_json_str(&text).unwrap();
+    /// let restored = SessionManager::from_snapshot(&snapshot, base).unwrap();
+    /// assert_eq!(restored.ids(), vec![id]);
+    /// assert!(restored.explore(id).is_ok());
+    /// ```
+    pub fn snapshot(&self) -> ManagerSnapshot {
+        let slots: Vec<(u64, Arc<Mutex<Slot>>)> = {
+            let map = self.slots.read().expect("session registry");
+            let mut v: Vec<_> = map.iter().map(|(&k, s)| (k, Arc::clone(s))).collect();
+            v.sort_unstable_by_key(|(k, _)| *k);
+            v
+        };
+        let sessions = slots
+            .into_iter()
+            .map(|(id, slot)| snapshot_slot(id, &slot.lock().expect("session slot")))
+            .collect();
+        ManagerSnapshot {
+            next_id: self.next_handle(),
+            sessions,
+        }
+    }
+
+    /// Captures one session, locking only its slot — what an incremental
+    /// persister calls after mutating that session, so a long planning
+    /// cycle on an *unrelated* session never delays the capture (unlike
+    /// [`snapshot`](Self::snapshot), which must wait on every slot).
+    pub fn snapshot_session(&self, id: SessionId) -> Result<SessionSnapshot, PoiesisError> {
+        let slot = self.slot(id)?;
+        let slot = slot.lock().expect("session slot");
+        Ok(snapshot_slot(id.raw(), &slot))
+    }
+
+    /// The next handle this manager would issue (what
+    /// [`ManagerSnapshot::next_id`] records).
+    pub fn next_handle(&self) -> u64 {
+        self.next_id.load(Ordering::SeqCst)
+    }
+
+    /// Rebuilds one session from its snapshot and registers it under its
+    /// original handle. `base` supplies what the snapshot does not carry —
+    /// the catalog (and a flow, which the snapshot's evolved flow
+    /// replaces) — exactly as a server-side session template does.
+    ///
+    /// Fails with [`PoiesisError::Snapshot`] on an unparsable flow
+    /// document or an already-occupied handle, and with the usual builder
+    /// errors when the snapshot's request no longer validates.
+    pub fn restore(
+        &self,
+        snapshot: &SessionSnapshot,
+        base: SessionBuilder,
+    ) -> Result<SessionId, PoiesisError> {
+        let flow = xlm::read_flow(&snapshot.flow_xlm).map_err(|e| {
+            PoiesisError::Snapshot(format!("session {}: bad flow document: {e}", snapshot.id))
+        })?;
+        let planner = snapshot.request.apply(base)?.flow(flow).build_planner()?;
+        let session = Session::restore(
+            planner,
+            snapshot.base_name.clone(),
+            snapshot.history.clone(),
+        );
+        let slot = Arc::new(Mutex::new(Slot {
+            session,
+            last_outcome: None,
+        }));
+        {
+            let mut slots = self.slots.write().expect("session registry");
+            if slots.contains_key(&snapshot.id) {
+                return Err(PoiesisError::Snapshot(format!(
+                    "session {} is already registered",
+                    snapshot.id
+                )));
+            }
+            slots.insert(snapshot.id, slot);
+        }
+        self.next_id.fetch_max(snapshot.id + 1, Ordering::SeqCst);
+        Ok(SessionId(snapshot.id))
+    }
+
+    /// Rebuilds a whole manager from a [`ManagerSnapshot`], calling `base`
+    /// once per session for a fresh template builder. All-or-nothing: the
+    /// first session that fails to restore aborts the rebuild.
+    pub fn from_snapshot(
+        snapshot: &ManagerSnapshot,
+        base: impl Fn() -> SessionBuilder,
+    ) -> Result<SessionManager, PoiesisError> {
+        let manager = SessionManager::new();
+        for session in &snapshot.sessions {
+            manager.restore(session, base())?;
+        }
+        manager
+            .next_id
+            .fetch_max(snapshot.next_id, Ordering::SeqCst);
+        Ok(manager)
+    }
+
     /// Clones the slot handle out of the registry so the registry lock is
     /// released before any long-running work.
     fn slot(&self, id: SessionId) -> Result<Arc<Mutex<Slot>>, PoiesisError> {
@@ -262,5 +393,94 @@ mod tests {
         mgr.close(a).unwrap();
         let b = mgr.create(builder()).unwrap();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_the_skyline() {
+        use crate::{FromJson, ToJson};
+        let mgr = SessionManager::new();
+        let id = mgr.create(builder()).unwrap();
+        // advance the session one full cycle so the snapshot carries an
+        // evolved flow (pattern-inserted ops and/or config changes)
+        mgr.explore(id).unwrap();
+        mgr.select(id, 0).unwrap();
+        let before = mgr.explore(id).unwrap();
+
+        // snapshot → JSON text → restore (through the real wire form)
+        let text = mgr.snapshot().to_json_string();
+        let snapshot = crate::ManagerSnapshot::from_json_str(&text).unwrap();
+        let restored = SessionManager::from_snapshot(&snapshot, builder).unwrap();
+
+        assert_eq!(restored.ids(), vec![id]);
+        assert_eq!(restored.history(id).unwrap(), mgr.history(id).unwrap());
+        // the restored session re-explores to an identical frontier
+        let after = restored.explore(id).unwrap();
+        assert_eq!(after.skyline, before.skyline);
+        assert_eq!(after.baseline, before.baseline);
+        // …and can select from it, continuing the iteration mid-stream
+        let record = restored.select(id, 0).unwrap();
+        assert_eq!(record.cycle, 2);
+    }
+
+    #[test]
+    fn snapshot_session_matches_the_full_snapshot_entry() {
+        let mgr = SessionManager::new();
+        let a = mgr.create(builder()).unwrap();
+        let b = mgr.create(builder()).unwrap();
+        mgr.explore(b).unwrap();
+        mgr.select(b, 0).unwrap();
+        let full = mgr.snapshot();
+        for id in [a, b] {
+            let single = mgr.snapshot_session(id).unwrap();
+            let entry = full.sessions.iter().find(|s| s.id == id.raw()).unwrap();
+            assert_eq!(&single, entry);
+        }
+        mgr.close(a).unwrap();
+        assert_eq!(
+            mgr.snapshot_session(a),
+            Err(PoiesisError::UnknownSession(a))
+        );
+    }
+
+    #[test]
+    fn snapshot_excludes_the_inflight_outcome() {
+        let mgr = SessionManager::new();
+        let id = mgr.create(builder()).unwrap();
+        mgr.explore(id).unwrap();
+        let restored = SessionManager::from_snapshot(&mgr.snapshot(), builder).unwrap();
+        // select before a fresh explore is the documented 409, not a replay
+        assert_eq!(
+            restored.select(id, 0),
+            Err(PoiesisError::NothingExplored(id))
+        );
+    }
+
+    #[test]
+    fn restored_managers_never_reissue_snapshot_handles() {
+        let mgr = SessionManager::new();
+        let a = mgr.create(builder()).unwrap();
+        let b = mgr.create(builder()).unwrap();
+        mgr.close(a).unwrap();
+        let restored = SessionManager::from_snapshot(&mgr.snapshot(), builder).unwrap();
+        let c = restored.create(builder()).unwrap();
+        assert!(c > b, "fresh handle {c} must exceed restored {b}");
+    }
+
+    #[test]
+    fn corrupt_snapshots_fail_loudly() {
+        let mgr = SessionManager::new();
+        let id = mgr.create(builder()).unwrap();
+        let mut snapshot = mgr.snapshot();
+        snapshot.sessions[0].flow_xlm = "<not-xlm/>".to_string();
+        assert!(matches!(
+            SessionManager::from_snapshot(&snapshot, builder),
+            Err(PoiesisError::Snapshot(_))
+        ));
+        // restoring onto an occupied handle is rejected, not overwritten
+        let good = mgr.snapshot();
+        assert!(matches!(
+            mgr.restore(&good.sessions[0], builder()),
+            Err(PoiesisError::Snapshot(ref m)) if m.contains(&id.raw().to_string())
+        ));
     }
 }

@@ -56,6 +56,27 @@ impl Session {
         }
     }
 
+    /// Rebuilds a session from persisted state: a planner whose flow is
+    /// the (possibly already-evolved) flow of a snapshot, the original
+    /// `base_name` captured at session start, and the completed iteration
+    /// history. The inverse of reading [`base_name`](Self::base_name),
+    /// [`current_flow`](Self::current_flow) and [`history`](Self::history)
+    /// out of a live session — which is exactly what
+    /// [`SessionManager::snapshot`](crate::SessionManager::snapshot) does.
+    pub fn restore(planner: Planner, base_name: String, history: Vec<IterationRecord>) -> Self {
+        Session {
+            planner,
+            base_name,
+            history,
+        }
+    }
+
+    /// The user's original flow name, captured once at session start
+    /// (fork names are always `<base_name>__cycle<N>`).
+    pub fn base_name(&self) -> &str {
+        &self.base_name
+    }
+
     /// The current flow (after all integrations so far).
     pub fn current_flow(&self) -> &EtlFlow {
         self.planner.flow()

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! poiesis_client <addr> health                   live-session count
+//! poiesis_client <addr> metrics                  raw Prometheus scrape
 //! poiesis_client <addr> create [request.json]    new session (default request)
 //! poiesis_client <addr> explore <id>             run a cycle, print frontier
 //! poiesis_client <addr> select <id> <rank>       integrate a frontier design
@@ -29,7 +30,7 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: poiesis_client <addr> \
-                 <health|create|explore|select|history|close|script|shutdown> [args]"
+                 <health|metrics|create|explore|select|history|close|script|shutdown> [args]"
             );
             ExitCode::FAILURE
         }
@@ -61,6 +62,10 @@ fn run(args: &[String]) -> Result<(), String> {
                 ));
             }
             println!("{}", response.body);
+        }
+        "metrics" => {
+            let text = client.metrics().map_err(|e| e.to_string())?;
+            print!("{text}");
         }
         "create" => {
             let plan = match args.get(2) {

@@ -9,14 +9,21 @@
 //!                            <model.(xlm|ktr)>[:rows] model file, sources
 //!                                                     synthesised per schema
 //!     --max-body <bytes>     request body cap    (default 1048576)
+//!     --queue <N>            accepted connections that may wait for a
+//!                            worker before 503 shedding (default 256)
+//!     --retry-after <secs>   Retry-After on shed responses (default 1)
+//!     --state-dir <dir>      durable session state: snapshot on every
+//!                            mutation, reload on startup (default: none,
+//!                            sessions die with the process)
 //! ```
 //!
-//! The server runs until `POST /shutdown` (or the process is killed);
-//! shutdown is graceful — in-flight requests finish before exit. See
-//! `docs/API.md` for the wire contract and `poiesis_client` for a
-//! ready-made driver.
+//! The server runs until `POST /shutdown` (or the process is killed; with
+//! `--state-dir` a kill loses no completed iteration); shutdown is
+//! graceful — in-flight requests finish before exit. See `docs/API.md`
+//! for the wire contract, `docs/OPERATIONS.md` for metrics/shedding/
+//! persistence semantics, and `poiesis_client` for a ready-made driver.
 
-use poiesis_server::{Limits, PlanningService, Server, ServerConfig, SessionTemplate};
+use poiesis_server::{Limits, PlanningService, Server, ServerConfig, SessionTemplate, StateStore};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -27,7 +34,8 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: poiesis_server [--addr host:port] [--threads N] \
-                 [--catalog demo[:rows]|model[:rows]] [--max-body bytes]"
+                 [--catalog demo[:rows]|model[:rows]] [--max-body bytes] \
+                 [--queue N] [--retry-after secs] [--state-dir dir]"
             );
             ExitCode::FAILURE
         }
@@ -47,7 +55,15 @@ fn opt<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
 fn run(args: &[String]) -> Result<(), String> {
     // reject unknown flags early: a typo'd --catalgo silently serving the
     // demo would be worse than an error
-    let known = ["--addr", "--threads", "--catalog", "--max-body"];
+    let known = [
+        "--addr",
+        "--threads",
+        "--catalog",
+        "--max-body",
+        "--queue",
+        "--retry-after",
+        "--state-dir",
+    ];
     let mut i = 0;
     while i < args.len() {
         if !known.contains(&args[i].as_str()) {
@@ -65,19 +81,38 @@ fn run(args: &[String]) -> Result<(), String> {
         .map(|v| v.parse().map_err(|_| "--max-body expects a number"))
         .transpose()?
         .unwrap_or_else(|| Limits::default().max_body_bytes);
+    let defaults = ServerConfig::default();
+    let queue: usize = opt(args, "--queue")?
+        .map(|v| v.parse().map_err(|_| "--queue expects a number"))
+        .transpose()?
+        .unwrap_or(defaults.queue);
+    let retry_after: u64 = opt(args, "--retry-after")?
+        .map(|v| v.parse().map_err(|_| "--retry-after expects seconds"))
+        .transpose()?
+        .unwrap_or(defaults.retry_after.as_secs());
     let template = SessionTemplate::from_spec(opt(args, "--catalog")?.unwrap_or("demo:200"))?;
 
     let config = ServerConfig {
         threads,
+        queue,
+        retry_after: std::time::Duration::from_secs(retry_after),
         limits: Limits {
             max_body_bytes: max_body,
             ..Limits::default()
         },
-        ..ServerConfig::default()
+        ..defaults
     };
     let label = template.label.clone();
-    let server = Server::bind(addr, PlanningService::new(template), config)
-        .map_err(|e| format!("binding {addr}: {e}"))?;
+    let mut service = PlanningService::new(template);
+    if let Some(dir) = opt(args, "--state-dir")? {
+        let store = StateStore::open(dir).map_err(|e| format!("opening state dir {dir}: {e}"))?;
+        service = service.with_store(store)?;
+        let restored = service.live_sessions();
+        if restored > 0 {
+            eprintln!("poiesis_server restored {restored} session(s) from {dir}");
+        }
+    }
+    let server = Server::bind(addr, service, config).map_err(|e| format!("binding {addr}: {e}"))?;
     let bound = server.local_addr().map_err(|e| e.to_string())?;
     eprintln!("poiesis_server listening on {bound} (catalog {label}); POST /shutdown to stop");
     let served = server.run().map_err(|e| e.to_string())?;

@@ -191,6 +191,32 @@ impl Client {
             .map_err(|e| ClientError::Decode(e.to_string()))
     }
 
+    /// `GET /metrics` → the raw Prometheus text exposition.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let response = Self::expect_ok(self.request("GET", "/metrics", None)?)?;
+        Ok(response.body)
+    }
+
+    /// Scrapes `/metrics` and returns the value of `name` — the first
+    /// sample line whose metric name (including any `{labels}`) starts
+    /// with `name`. Counters and gauges only; errors when the metric is
+    /// absent, which for the families documented in `docs/OPERATIONS.md`
+    /// means the server predates them.
+    pub fn metric_value(&mut self, name: &str) -> Result<f64, ClientError> {
+        let text = self.metrics()?;
+        for line in text.lines() {
+            if line.starts_with('#') || !line.starts_with(name) {
+                continue;
+            }
+            if let Some(value) = line.rsplit(' ').next() {
+                if let Ok(value) = value.parse() {
+                    return Ok(value);
+                }
+            }
+        }
+        Err(ClientError::Decode(format!("no metric `{name}` in scrape")))
+    }
+
     /// `POST /sessions` → the new session handle. `None` uses the
     /// server-side defaults.
     pub fn create(&mut self, plan: Option<&PlanRequest>) -> Result<u64, ClientError> {

@@ -2,12 +2,36 @@
 //!
 //! The server speaks exactly the subset of HTTP the wire contract
 //! (`docs/API.md`) needs: one request line, headers, an optional
-//! `Content-Length` body, and keep-alive connection reuse. Everything is
-//! bounded — request-line and header bytes by [`Limits::max_head_bytes`],
-//! bodies by [`Limits::max_body_bytes`] — and every way a peer can be
-//! slow, truncated or malicious maps to a *specific* failure
-//! ([`HttpError`]) that the service layer turns into a documented status
-//! code instead of a panic or a hung thread.
+//! `Content-Length` body, and keep-alive connection reuse.
+//!
+//! # The head/body limit model
+//!
+//! Every byte a peer can make the server read is bounded *before* it is
+//! read, by two independent caps in [`Limits`]:
+//!
+//! * **Head budget** ([`Limits::max_head_bytes`], default 16 KiB) — one
+//!   shared byte budget covering the request line *plus all header
+//!   lines*. Each line read subtracts from it, so a peer cannot dodge the
+//!   cap by splitting one huge header into many small ones, nor by
+//!   sending an endless header stream: the moment the cumulative head
+//!   exceeds the budget the request fails with [`HttpError::HeadTooLarge`]
+//!   (`431`) without buffering the rest.
+//! * **Body cap** ([`Limits::max_body_bytes`], default 1 MiB,
+//!   `--max-body` on the binary) — checked against the *declared*
+//!   `Content-Length` before a single body byte is read, so an oversized
+//!   upload is rejected with [`HttpError::PayloadTooLarge`] (`413`) at
+//!   the cost of parsing its head only. Bodies are never chunked and
+//!   never streamed: a request either fits the cap or is refused.
+//!
+//! Time is bounded separately by the socket read timeout
+//! (`ServerConfig::read_timeout`): a peer that stalls mid-head or
+//! mid-body trips [`HttpError::Timeout`] (`408`) instead of pinning a
+//! worker. Together the three bounds mean a connection can cost at most
+//! `max_head_bytes + max_body_bytes` memory and one read-timeout of
+//! worker time per request, no matter how hostile the peer — and every
+//! way a peer can be slow, truncated or malicious maps to a *specific*
+//! failure ([`HttpError`]) that the service layer turns into a documented
+//! status code instead of a panic or a hung thread.
 
 use std::fmt;
 use std::io::{self, BufRead, Write};
@@ -251,10 +275,13 @@ pub fn read_request(reader: &mut impl BufRead, limits: &Limits) -> Result<Reques
 pub struct Response {
     /// Status code.
     pub status: u16,
-    /// Body text (JSON everywhere in this server).
+    /// Body text (JSON everywhere in this server, except `/metrics`).
     pub body: String,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra headers beyond the always-present `Content-Type`,
+    /// `Content-Length` and `Connection` (e.g. `Retry-After` on `503`).
+    pub headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
@@ -264,7 +291,25 @@ impl Response {
             status,
             body: body.into(),
             content_type: "application/json",
+            headers: Vec::new(),
         }
+    }
+
+    /// A plain-text response (the Prometheus exposition format of
+    /// `GET /metrics`).
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            body: body.into(),
+            content_type: "text/plain; version=0.0.4",
+            headers: Vec::new(),
+        }
+    }
+
+    /// Adds one extra response header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
     }
 }
 
@@ -296,13 +341,17 @@ pub fn write_response(
     let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         writer,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
         reason(response.status),
         response.content_type,
         response.body.len(),
         connection
     )?;
+    for (name, value) in &response.headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    writer.write_all(b"\r\n")?;
     writer.write_all(response.body.as_bytes())?;
     writer.flush()
 }
@@ -415,6 +464,20 @@ mod tests {
         let err = read_request(&mut BufReader::new(text.as_bytes()), &limits).unwrap_err();
         assert_eq!(err, HttpError::HeadTooLarge);
         assert_eq!(err.status(), 431);
+    }
+
+    #[test]
+    fn extra_headers_are_emitted_before_the_body() {
+        let mut out = Vec::new();
+        let response = Response::json(503, "{}").with_header("Retry-After", "2");
+        write_response(&mut out, &response, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Retry-After: 2\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
     }
 
     #[test]

@@ -10,9 +10,14 @@
 //! HTTP implementation ([`http`]), a pure routing layer ([`service`])
 //! mapping REST-ish endpoints onto
 //! `create`/`explore`/`select`/`history`/`close`, a thread-pool accept
-//! loop with graceful shutdown ([`server`]), and a std-only client
-//! ([`client`]) that tests and tools drive real sockets with. No external
-//! dependencies, consistent with the workspace's vendored-deps policy.
+//! loop with a bounded queue, `503` load shedding and graceful shutdown
+//! ([`server`]), an atomic-counter metrics registry behind `GET /metrics`
+//! ([`metrics`]), durable session snapshots behind `--state-dir`
+//! ([`persist`]), and a std-only client ([`client`]) that tests and tools
+//! drive real sockets with. No external dependencies, consistent with the
+//! workspace's vendored-deps policy. Operational behaviour — the metric
+//! catalogue, shedding semantics, recovery guarantees, capacity planning —
+//! is documented in `docs/OPERATIONS.md`.
 //!
 //! The wire contract — endpoints, JSON schemas, error codes and status
 //! mapping — is documented in `docs/API.md` and pinned by the integration
@@ -23,6 +28,7 @@
 //! | Method & path | Maps to |
 //! |---|---|
 //! | `GET /healthz` | liveness + live-session count |
+//! | `GET /metrics` | Prometheus-text [`Metrics`] scrape |
 //! | `GET /sessions` | `SessionManager::ids` |
 //! | `POST /sessions` | `SessionManager::create_from_request` |
 //! | `POST /sessions/{id}/explore` | `SessionManager::explore` |
@@ -55,12 +61,16 @@
 
 pub mod client;
 pub mod http;
+pub mod metrics;
+pub mod persist;
 pub mod server;
 pub mod service;
 pub mod template;
 
 pub use client::{Client, ClientError, HttpResponse};
 pub use http::{HttpError, Limits, Request, Response};
+pub use metrics::Metrics;
+pub use persist::StateStore;
 pub use server::{Server, ServerConfig, ShutdownHandle};
 pub use service::{status_for, PlanningService};
 pub use template::SessionTemplate;

@@ -1,0 +1,384 @@
+//! Lock-free service metrics, exposed as `GET /metrics` in Prometheus
+//! text format.
+//!
+//! Every counter is a plain `AtomicU64` bumped on the request path — no
+//! locks, no allocation — so observability costs nanoseconds per request.
+//! Requests are counted per *route* (the endpoint shape, e.g. `explore`)
+//! and *status* (the exact code served); planning-cycle wall times feed a
+//! fixed-bucket histogram; the accept loop reports connections and load
+//! shedding; the persistence layer reports snapshot writes. Gauges that
+//! mirror live state (session count, uptime) are sampled at scrape time
+//! rather than maintained incrementally.
+//!
+//! The full metric catalogue, with example scrape output, lives in
+//! `docs/OPERATIONS.md`; the names and label sets there are a contract,
+//! pinned by the integration tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// The endpoint shapes requests are counted under. `Other` covers
+/// unroutable paths and requests that failed HTTP parsing.
+const ROUTES: [&str; 10] = [
+    "healthz",
+    "metrics",
+    "sessions_list",
+    "session_create",
+    "explore",
+    "select",
+    "history",
+    "close",
+    "shutdown",
+    "other",
+];
+
+/// Every status code this server emits; the final slot collects anything
+/// unexpected so a count is never silently dropped.
+const STATUSES: [u16; 12] = [200, 201, 400, 404, 405, 408, 409, 413, 431, 500, 503, 0];
+
+/// Upper bounds (seconds) of the planning-cycle latency histogram; an
+/// implicit `+Inf` bucket follows. Spans sub-5 ms demo cycles up to
+/// multi-second simulation-mode cycles.
+const CYCLE_BUCKETS: [f64; 11] = [
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+];
+
+/// Maps a request to its route slot (index into [`ROUTES`]).
+/// Allocation-free: this runs once per request, including the /healthz
+/// fast path.
+fn route_index(method: &str, path: &str) -> usize {
+    let mut parts = path.split('/').filter(|s| !s.is_empty());
+    let segments = (parts.next(), parts.next(), parts.next(), parts.next());
+    match (method, segments) {
+        ("GET", (Some("healthz"), None, _, _)) => 0,
+        ("GET", (Some("metrics"), None, _, _)) => 1,
+        ("GET", (Some("sessions"), None, _, _)) => 2,
+        ("POST", (Some("sessions"), None, _, _)) => 3,
+        ("POST", (Some("sessions"), Some(_), Some("explore"), None)) => 4,
+        ("POST", (Some("sessions"), Some(_), Some("select"), None)) => 5,
+        ("GET", (Some("sessions"), Some(_), Some("history"), None)) => 6,
+        ("DELETE", (Some("sessions"), Some(_), None, _)) => 7,
+        ("POST", (Some("shutdown"), None, _, _)) => 8,
+        _ => ROUTES.len() - 1,
+    }
+}
+
+/// Maps a status code to its slot (index into [`STATUSES`]).
+fn status_index(status: u16) -> usize {
+    STATUSES
+        .iter()
+        .position(|&s| s == status)
+        .unwrap_or(STATUSES.len() - 1)
+}
+
+/// A fixed-bucket latency histogram (Prometheus `histogram` semantics:
+/// cumulative buckets plus `_sum` and `_count`).
+#[derive(Default)]
+struct Histogram {
+    /// Per-bucket observation counts, *non*-cumulative in storage (made
+    /// cumulative at render time); the last slot is `+Inf`.
+    buckets: [AtomicU64; CYCLE_BUCKETS.len() + 1],
+    sum_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn observe(&self, duration: Duration) {
+        let secs = duration.as_secs_f64();
+        let slot = CYCLE_BUCKETS
+            .iter()
+            .position(|&le| secs <= le)
+            .unwrap_or(CYCLE_BUCKETS.len());
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros
+            .fetch_add(duration.as_micros() as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn render(&self, out: &mut String, name: &str) {
+        let mut cumulative = 0u64;
+        for (i, le) in CYCLE_BUCKETS.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+        cumulative += self.buckets[CYCLE_BUCKETS.len()].load(Ordering::Relaxed);
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        let sum = self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6;
+        out.push_str(&format!("{name}_sum {sum}\n"));
+        out.push_str(&format!(
+            "{name}_count {}\n",
+            self.count.load(Ordering::Relaxed)
+        ));
+    }
+}
+
+/// The atomic-counter metrics registry one server (and its
+/// [`PlanningService`](crate::PlanningService)) shares.
+///
+/// ```
+/// use poiesis_server::Metrics;
+/// use std::time::Duration;
+///
+/// let metrics = Metrics::new();
+/// metrics.record_request("GET", "/healthz", 200);
+/// metrics.record_request("POST", "/sessions/3/explore", 200);
+/// metrics.observe_cycle(Duration::from_millis(12));
+///
+/// let text = metrics.render(1);
+/// assert!(text.contains("poiesis_http_requests_total{route=\"healthz\",status=\"200\"} 1"));
+/// assert!(text.contains("poiesis_http_requests_total{route=\"explore\",status=\"200\"} 1"));
+/// assert!(text.contains("poiesis_cycle_duration_seconds_count 1"));
+/// assert!(text.contains("poiesis_sessions_live 1"));
+/// ```
+pub struct Metrics {
+    started: Instant,
+    requests: [[AtomicU64; STATUSES.len()]; ROUTES.len()],
+    in_flight: AtomicU64,
+    connections: AtomicU64,
+    shed: AtomicU64,
+    cycle: Histogram,
+    snapshot_writes: AtomicU64,
+    snapshot_errors: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            started: Instant::now(),
+            requests: Default::default(),
+            in_flight: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            cycle: Histogram::default(),
+            snapshot_writes: AtomicU64::new(0),
+            snapshot_errors: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Metrics {
+    /// A zeroed registry whose uptime clock starts now.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Counts one served request under its route and status.
+    pub fn record_request(&self, method: &str, path: &str, status: u16) {
+        self.requests[route_index(method, path)][status_index(status)]
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one accepted connection.
+    pub fn record_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one connection shed with `503` because workers and the
+    /// accept queue were both full.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections shed so far.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Requests served so far, all routes and statuses.
+    pub fn requests_total(&self) -> u64 {
+        self.requests
+            .iter()
+            .flatten()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Feeds one planning-cycle wall time into the latency histogram.
+    pub fn observe_cycle(&self, duration: Duration) {
+        self.cycle.observe(duration);
+    }
+
+    /// Counts one session-state snapshot write; `ok = false` counts an
+    /// error instead (the write failed and durable state is stale).
+    pub fn record_snapshot_write(&self, ok: bool) {
+        if ok {
+            self.snapshot_writes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.snapshot_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Marks a request in flight until the guard drops.
+    pub fn in_flight_guard(&self) -> InFlightGuard<'_> {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        InFlightGuard { metrics: self }
+    }
+
+    /// Renders the whole registry in Prometheus text exposition format.
+    /// `live_sessions` is sampled by the caller at scrape time (the
+    /// registry does not own the session manager).
+    pub fn render(&self, live_sessions: usize) -> String {
+        let mut out = String::with_capacity(2048);
+
+        out.push_str("# HELP poiesis_http_requests_total Requests served, by route and status.\n");
+        out.push_str("# TYPE poiesis_http_requests_total counter\n");
+        for (r, route) in ROUTES.iter().enumerate() {
+            for (s, status) in STATUSES.iter().enumerate() {
+                let n = self.requests[r][s].load(Ordering::Relaxed);
+                if n == 0 {
+                    continue;
+                }
+                let status = if *status == 0 {
+                    "other".to_string()
+                } else {
+                    status.to_string()
+                };
+                out.push_str(&format!(
+                    "poiesis_http_requests_total{{route=\"{route}\",status=\"{status}\"}} {n}\n"
+                ));
+            }
+        }
+
+        out.push_str("# HELP poiesis_http_requests_in_flight Requests currently being handled.\n");
+        out.push_str("# TYPE poiesis_http_requests_in_flight gauge\n");
+        out.push_str(&format!(
+            "poiesis_http_requests_in_flight {}\n",
+            self.in_flight.load(Ordering::Relaxed)
+        ));
+
+        out.push_str("# HELP poiesis_http_connections_total Connections accepted.\n");
+        out.push_str("# TYPE poiesis_http_connections_total counter\n");
+        out.push_str(&format!(
+            "poiesis_http_connections_total {}\n",
+            self.connections.load(Ordering::Relaxed)
+        ));
+
+        out.push_str(
+            "# HELP poiesis_http_shed_total Connections refused with 503 under saturation.\n",
+        );
+        out.push_str("# TYPE poiesis_http_shed_total counter\n");
+        out.push_str(&format!("poiesis_http_shed_total {}\n", self.shed_total()));
+
+        out.push_str("# HELP poiesis_cycle_duration_seconds Planning-cycle (explore) wall time.\n");
+        out.push_str("# TYPE poiesis_cycle_duration_seconds histogram\n");
+        self.cycle
+            .render(&mut out, "poiesis_cycle_duration_seconds");
+
+        out.push_str("# HELP poiesis_sessions_live Sessions currently registered.\n");
+        out.push_str("# TYPE poiesis_sessions_live gauge\n");
+        out.push_str(&format!("poiesis_sessions_live {live_sessions}\n"));
+
+        out.push_str(
+            "# HELP poiesis_snapshot_writes_total Session-state snapshot files written.\n",
+        );
+        out.push_str("# TYPE poiesis_snapshot_writes_total counter\n");
+        out.push_str(&format!(
+            "poiesis_snapshot_writes_total {}\n",
+            self.snapshot_writes.load(Ordering::Relaxed)
+        ));
+
+        out.push_str("# HELP poiesis_snapshot_errors_total Snapshot writes that failed.\n");
+        out.push_str("# TYPE poiesis_snapshot_errors_total counter\n");
+        out.push_str(&format!(
+            "poiesis_snapshot_errors_total {}\n",
+            self.snapshot_errors.load(Ordering::Relaxed)
+        ));
+
+        out.push_str("# HELP poiesis_uptime_seconds Seconds since the server started.\n");
+        out.push_str("# TYPE poiesis_uptime_seconds gauge\n");
+        out.push_str(&format!(
+            "poiesis_uptime_seconds {}\n",
+            self.started.elapsed().as_secs()
+        ));
+
+        out
+    }
+}
+
+/// Decrements the in-flight gauge when dropped — panic-safe bracketing of
+/// one request.
+pub struct InFlightGuard<'a> {
+    metrics: &'a Metrics,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_classify_every_documented_endpoint() {
+        for (method, path, want) in [
+            ("GET", "/healthz", "healthz"),
+            ("GET", "/metrics", "metrics"),
+            ("GET", "/sessions", "sessions_list"),
+            ("POST", "/sessions", "session_create"),
+            ("POST", "/sessions/12/explore", "explore"),
+            ("POST", "/sessions/12/select", "select"),
+            ("GET", "/sessions/12/history", "history"),
+            ("DELETE", "/sessions/12", "close"),
+            ("POST", "/shutdown", "shutdown"),
+            ("GET", "/nope", "other"),
+            ("PATCH", "/sessions", "other"),
+        ] {
+            assert_eq!(ROUTES[route_index(method, path)], want, "{method} {path}");
+        }
+    }
+
+    #[test]
+    fn unexpected_statuses_collect_under_other() {
+        let m = Metrics::new();
+        m.record_request("GET", "/healthz", 418);
+        assert!(m
+            .render(0)
+            .contains("poiesis_http_requests_total{route=\"healthz\",status=\"other\"} 1"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_count_everything() {
+        let m = Metrics::new();
+        m.observe_cycle(Duration::from_millis(3)); // ≤ 0.005
+        m.observe_cycle(Duration::from_millis(30)); // ≤ 0.05
+        m.observe_cycle(Duration::from_secs(60)); // +Inf only
+        let text = m.render(0);
+        assert!(text.contains("poiesis_cycle_duration_seconds_bucket{le=\"0.005\"} 1"));
+        assert!(text.contains("poiesis_cycle_duration_seconds_bucket{le=\"0.05\"} 2"));
+        assert!(text.contains("poiesis_cycle_duration_seconds_bucket{le=\"10\"} 2"));
+        assert!(text.contains("poiesis_cycle_duration_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("poiesis_cycle_duration_seconds_count 3"));
+    }
+
+    #[test]
+    fn in_flight_guard_is_balanced_even_across_drops() {
+        let m = Metrics::new();
+        {
+            let _a = m.in_flight_guard();
+            let _b = m.in_flight_guard();
+            assert!(m.render(0).contains("poiesis_http_requests_in_flight 2"));
+        }
+        assert!(m.render(0).contains("poiesis_http_requests_in_flight 0"));
+    }
+
+    #[test]
+    fn every_metric_family_renders_from_a_fresh_registry() {
+        // the OPERATIONS.md catalogue promises these families always exist
+        let text = Metrics::new().render(0);
+        for family in [
+            "poiesis_http_requests_in_flight",
+            "poiesis_http_connections_total",
+            "poiesis_http_shed_total",
+            "poiesis_cycle_duration_seconds_count",
+            "poiesis_sessions_live",
+            "poiesis_snapshot_writes_total",
+            "poiesis_snapshot_errors_total",
+            "poiesis_uptime_seconds",
+        ] {
+            assert!(text.contains(family), "missing {family}");
+        }
+    }
+}

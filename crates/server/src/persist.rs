@@ -1,0 +1,130 @@
+//! Durable session state: the `--state-dir` snapshot file.
+//!
+//! The persistence model is deliberately the simplest thing that
+//! survives `kill -9`: after every state-changing request (create,
+//! select, close) the service serializes the whole
+//! [`poiesis::SessionManager`] — flows as xLM documents, configurations
+//! as `PlanRequest`s, histories as records — and **rewrites** one
+//! `sessions.json` atomically (write to a temp file in the same
+//! directory, then rename over the old snapshot). A reader therefore
+//! always sees either the previous complete snapshot or the new complete
+//! snapshot, never a torn write; on startup the server loads whatever is
+//! there and resumes every session mid-iteration. Exploration outcomes
+//! are *not* persisted — they are reproducible (deterministic planning),
+//! so a restarted client simply explores again before its next select —
+//! which keeps the write amplification at "mutations", not "requests".
+
+use poiesis::{FromJson, ManagerSnapshot, ToJson};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The snapshot file inside a state directory.
+///
+/// ```
+/// use poiesis_server::StateStore;
+/// use poiesis::ManagerSnapshot;
+///
+/// let dir = std::env::temp_dir().join(format!("poiesis-doc-{}", std::process::id()));
+/// let store = StateStore::open(&dir).unwrap();
+/// assert!(store.load().unwrap().is_none()); // nothing persisted yet
+///
+/// store.save(&ManagerSnapshot::default()).unwrap();
+/// let restored = store.load().unwrap().expect("snapshot exists");
+/// assert_eq!(restored.sessions.len(), 0);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// ```
+#[derive(Debug)]
+pub struct StateStore {
+    path: PathBuf,
+    tmp: PathBuf,
+}
+
+impl StateStore {
+    /// Opens (creating if needed) the state directory and addresses
+    /// `sessions.json` inside it.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<StateStore> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        Ok(StateStore {
+            path: dir.join("sessions.json"),
+            tmp: dir.join("sessions.json.tmp"),
+        })
+    }
+
+    /// Where the snapshot lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Reads the snapshot. `Ok(None)` when no snapshot has ever been
+    /// written; a present-but-corrupt file is a loud error (serving with
+    /// silently dropped sessions would be worse than refusing to start).
+    pub fn load(&self) -> Result<Option<ManagerSnapshot>, String> {
+        let text = match fs::read_to_string(&self.path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("reading {}: {e}", self.path.display())),
+            Ok(text) => text,
+        };
+        ManagerSnapshot::from_json_str(&text)
+            .map(Some)
+            .map_err(|e| format!("corrupt snapshot {}: {e}", self.path.display()))
+    }
+
+    /// Atomically replaces the snapshot: write the temp file, `fsync` it,
+    /// rename over the old snapshot (same directory, so the rename cannot
+    /// cross filesystems), then `fsync` the directory. The file sync
+    /// before the rename is what makes the guarantee hold across power
+    /// loss, not just process death — without it the rename can commit
+    /// before the data blocks and a crash leaves a truncated "complete"
+    /// snapshot. The directory sync persists the rename itself and is
+    /// best-effort (not every platform lets a directory be opened).
+    pub fn save(&self, snapshot: &ManagerSnapshot) -> io::Result<()> {
+        {
+            let mut file = fs::File::create(&self.tmp)?;
+            io::Write::write_all(&mut file, snapshot.to_json_string().as_bytes())?;
+            file.sync_all()?;
+        }
+        fs::rename(&self.tmp, &self.path)?;
+        if let Some(dir) = self.path.parent() {
+            if let Ok(dir) = fs::File::open(dir) {
+                let _ = dir.sync_all();
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("poiesis-store-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn load_of_a_fresh_store_is_none_and_save_round_trips() {
+        let dir = scratch("fresh");
+        let store = StateStore::open(&dir).unwrap();
+        assert_eq!(store.load().unwrap(), None);
+        let snapshot = ManagerSnapshot {
+            next_id: 3,
+            sessions: Vec::new(),
+        };
+        store.save(&snapshot).unwrap();
+        assert_eq!(store.load().unwrap(), Some(snapshot));
+        // saves are rewrites: the temp file never lingers
+        assert!(!store.tmp.exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshots_error_instead_of_serving_empty() {
+        let dir = scratch("corrupt");
+        let store = StateStore::open(&dir).unwrap();
+        fs::write(store.path(), "{definitely not a snapshot").unwrap();
+        assert!(store.load().unwrap_err().contains("corrupt"));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

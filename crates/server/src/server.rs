@@ -1,23 +1,31 @@
-//! The connection machinery: bind, accept, thread pool, shutdown.
+//! The connection machinery: bind, accept, bounded queue, thread pool,
+//! load shedding, shutdown.
 //!
 //! The accept loop hands each connection to a fixed pool of worker
 //! threads (sized to [`std::thread::available_parallelism`] by default)
-//! over an mpsc channel; each worker runs the keep-alive request loop
-//! against the shared [`PlanningService`]. Shutdown is graceful and
-//! race-free: a [`ShutdownHandle`] flips an atomic flag and wakes the
-//! (blocking) accept call with a loopback connection; the accept loop
-//! then drops the channel sender, the workers drain in-flight
-//! connections and exit, and [`Server::run`] joins them all before
-//! returning. `POST /shutdown` triggers the same path from the wire —
-//! which is how the CI smoke job stops the binary cleanly.
+//! over a **bounded** channel of [`ServerConfig::queue`] slots. When
+//! every worker is busy and the queue is full, the server *sheds*: the
+//! connection is answered immediately with `503` + `Retry-After`
+//! ([`ServerConfig::retry_after`]) and closed, and
+//! `poiesis_http_shed_total` is incremented — bounded latency for the
+//! clients already in, an honest machine-readable "come back later" for
+//! the ones that are not, instead of an unbounded backlog that slowly
+//! times everyone out. Shutdown is graceful and race-free: a
+//! [`ShutdownHandle`] flips an atomic flag and wakes the (blocking)
+//! accept call with a loopback connection; the accept loop then drops
+//! the channel sender, the workers drain in-flight connections and exit,
+//! and [`Server::run`] joins them all before returning. `POST /shutdown`
+//! triggers the same path from the wire — which is how the CI smoke job
+//! stops the binary cleanly.
 
 use crate::http::{self, HttpError, Limits, Request, Response};
+use crate::metrics::Metrics;
 use crate::service::{error_body, http_error_response, PlanningService};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
@@ -28,6 +36,13 @@ pub struct ServerConfig {
     /// Worker threads handling connections. `0` means
     /// `available_parallelism`.
     pub threads: usize,
+    /// Accepted connections that may wait for a free worker before the
+    /// server starts shedding with `503`. `0` is a valid rendezvous
+    /// queue: a connection is either handed to an idle worker on the
+    /// spot or shed.
+    pub queue: usize,
+    /// The `Retry-After` a shed client is told to wait.
+    pub retry_after: Duration,
     /// Per-request size bounds.
     pub limits: Limits,
     /// Socket read timeout — the cap on how long a slow or stalled peer
@@ -39,6 +54,8 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             threads: 0,
+            queue: 256,
+            retry_after: Duration::from_secs(1),
             limits: Limits::default(),
             read_timeout: Duration::from_secs(10),
         }
@@ -121,11 +138,14 @@ impl Server {
     }
 
     /// Serves until shutdown is requested, then drains workers and
-    /// returns the number of connections served.
+    /// returns the number of connections served (shed connections are
+    /// counted in `poiesis_http_shed_total`, not here).
     pub fn run(self) -> io::Result<usize> {
         let shutdown = self.handle()?;
         let threads = self.config.effective_threads();
-        let (sender, receiver): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+        let metrics = Arc::clone(self.service.metrics());
+        let (sender, receiver): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+            sync_channel(self.config.queue);
         let receiver = Arc::new(Mutex::new(receiver));
 
         let workers: Vec<thread::JoinHandle<()>> = (0..threads)
@@ -134,6 +154,7 @@ impl Server {
                 let service = Arc::clone(&self.service);
                 let config = self.config.clone();
                 let shutdown = shutdown.clone();
+                let metrics = Arc::clone(&metrics);
                 thread::Builder::new()
                     .name(format!("poiesis-http-{i}"))
                     .spawn(move || loop {
@@ -144,12 +165,31 @@ impl Server {
                         // a panicking handler must cost one connection, not
                         // one worker
                         let _ = catch_unwind(AssertUnwindSafe(|| {
-                            serve_connection(stream, &service, &config, &shutdown)
+                            serve_connection(stream, &service, &config, &shutdown, &metrics)
                         }));
                     })
                     .expect("spawn worker")
             })
             .collect();
+
+        // shed responses are written off the accept thread: a hostile
+        // peer can stall a shed write/drain for seconds, and the accept
+        // loop must keep shedding at full speed exactly then. The shed
+        // queue is bounded too — when even it is full the connection is
+        // dropped silently (still counted), which only happens under a
+        // flood that outruns one thread writing ~200-byte responses
+        let (shed_sender, shed_receiver) = sync_channel::<TcpStream>(64);
+        let shedder = {
+            let config = self.config.clone();
+            thread::Builder::new()
+                .name("poiesis-shed".to_string())
+                .spawn(move || {
+                    while let Ok(stream) = shed_receiver.recv() {
+                        shed(stream, &config);
+                    }
+                })
+                .expect("spawn shedder")
+        };
 
         let mut served = 0usize;
         for stream in self.listener.incoming() {
@@ -157,12 +197,16 @@ impl Server {
                 break;
             }
             match stream {
-                Ok(stream) => {
-                    served += 1;
-                    if sender.send(stream).is_err() {
-                        break;
+                Ok(stream) => match sender.try_send(stream) {
+                    Ok(()) => served += 1,
+                    // workers busy and queue full: shed instead of
+                    // building an unbounded backlog
+                    Err(TrySendError::Full(stream)) => {
+                        metrics.record_shed();
+                        let _ = shed_sender.try_send(stream);
                     }
-                }
+                    Err(TrySendError::Disconnected(_)) => break,
+                },
                 // accept failures (EMFILE, ECONNABORTED) should not kill
                 // the server; the brief pause keeps a *persistent* error
                 // (fd exhaustion under flood) from busy-spinning this
@@ -174,9 +218,11 @@ impl Server {
             }
         }
         drop(sender);
+        drop(shed_sender);
         for worker in workers {
             let _ = worker.join();
         }
+        let _ = shedder.join();
         Ok(served)
     }
 
@@ -198,13 +244,48 @@ impl Server {
     }
 }
 
+/// Refuses one connection with `503` + `Retry-After`. Runs on the
+/// dedicated shedder thread, never the accept thread, because a hostile
+/// peer can hold this for up to ~2 s (write timeout plus drain reads) —
+/// tolerable for one background thread, fatal for the accept loop.
+fn shed(stream: TcpStream, config: &ServerConfig) {
+    use std::io::Read;
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_nodelay(true);
+    let retry_after = config.retry_after.as_secs().max(1);
+    let response = Response::json(
+        503,
+        error_body(
+            "overloaded",
+            "all workers are busy and the accept queue is full; retry shortly",
+        ),
+    )
+    .with_header("Retry-After", retry_after.to_string());
+    let mut stream = stream;
+    let _ = http::write_response(&mut stream, &response, false);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    // drain (bounded) the request bytes the peer sent: closing with
+    // unread data makes the kernel RST the connection, which can discard
+    // the 503 before the peer reads it
+    let mut sink = [0u8; 2048];
+    for _ in 0..8 {
+        match stream.read(&mut sink) {
+            Ok(n) if n > 0 => continue,
+            _ => break,
+        }
+    }
+}
+
 /// The keep-alive request loop for one connection.
 fn serve_connection(
     stream: TcpStream,
     service: &PlanningService,
     config: &ServerConfig,
     shutdown: &ShutdownHandle,
+    metrics: &Metrics,
 ) {
+    metrics.record_connection();
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
@@ -219,12 +300,18 @@ fn serve_connection(
             Err(e) => {
                 // report the failure if the socket still listens, then
                 // hang up — a half-parsed stream cannot be resynchronized
-                let _ = http::write_response(&mut writer, &http_error_response(&e), false);
+                let response = http_error_response(&e);
+                metrics.record_request("", "", response.status);
+                let _ = http::write_response(&mut writer, &response, false);
                 return;
             }
         };
         let keep_alive = request.keep_alive;
-        let response = dispatch(&request, service, shutdown);
+        let response = {
+            let _in_flight = metrics.in_flight_guard();
+            dispatch(&request, service, shutdown)
+        };
+        metrics.record_request(&request.method, &request.path, response.status);
         if http::write_response(&mut writer, &response, keep_alive).is_err() {
             return;
         }

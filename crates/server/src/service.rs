@@ -9,10 +9,16 @@
 //! [`PoiesisError::code`] values verbatim.
 
 use crate::http::{HttpError, Request, Response};
+use crate::metrics::Metrics;
+use crate::persist::StateStore;
 use poiesis::{
-    FromJson, IterationRecord, PlanRequest, PoiesisError, SessionId, SessionManager, ToJson,
+    FromJson, IterationRecord, ManagerSnapshot, PlanRequest, PoiesisError, SessionId,
+    SessionManager, SessionSnapshot, ToJson,
 };
 use serde::json::Value;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use crate::template::SessionTemplate;
 
@@ -21,7 +27,7 @@ use crate::template::SessionTemplate;
 /// * client-side payload problems → `400`
 /// * unknown handles → `404`
 /// * valid requests in the wrong session state → `409`
-/// * planner-internal failures → `500`
+/// * planner-internal and persistence failures → `500`
 pub fn status_for(error: &PoiesisError) -> u16 {
     match error {
         PoiesisError::Malformed(_)
@@ -31,7 +37,10 @@ pub fn status_for(error: &PoiesisError) -> u16 {
         | PoiesisError::EmptyCatalog => 400,
         PoiesisError::UnknownSession(_) => 404,
         PoiesisError::NothingExplored(_) | PoiesisError::RankOutOfRange { .. } => 409,
-        PoiesisError::InvalidFlow(_) | PoiesisError::Pattern(_) | PoiesisError::Eval(_) => 500,
+        PoiesisError::InvalidFlow(_)
+        | PoiesisError::Pattern(_)
+        | PoiesisError::Eval(_)
+        | PoiesisError::Snapshot(_) => 500,
     }
 }
 
@@ -64,26 +73,118 @@ pub fn http_error_response(error: &HttpError) -> Response {
     Response::json(error.status(), error_body(code, &error.to_string()))
 }
 
+/// The durable half of a persistent service: the store plus a cache of
+/// every live session's latest snapshot, keyed by handle.
+///
+/// The cache is what makes persistence O(mutated session): after a
+/// mutation only that session is re-captured (locking only its slot —
+/// [`SessionManager::snapshot_session`]), then the whole file is
+/// rewritten from the cache. Without it, every mutation would have to
+/// lock *all* slots and would stall behind any in-flight planning cycle.
+/// The surrounding mutex serializes capture-then-save, so a slower
+/// writer can never clobber a newer snapshot on disk.
+struct Persistence {
+    store: StateStore,
+    sessions: BTreeMap<u64, SessionSnapshot>,
+}
+
 /// Stateless-per-request facade over one [`SessionManager`] and one
-/// [`SessionTemplate`].
+/// [`SessionTemplate`], with shared [`Metrics`] and optional durable
+/// state (a [`StateStore`] rewritten after every mutation).
 pub struct PlanningService {
     manager: SessionManager,
     template: SessionTemplate,
+    metrics: Arc<Metrics>,
+    /// `Some` when `--state-dir` is set.
+    store: Option<Mutex<Persistence>>,
 }
 
 impl PlanningService {
-    /// A service over a fresh manager.
+    /// A service over a fresh manager, in-memory only.
     pub fn new(template: SessionTemplate) -> Self {
         PlanningService {
             manager: SessionManager::new(),
             template,
+            metrics: Arc::new(Metrics::new()),
+            store: None,
         }
+    }
+
+    /// Makes the service durable: reloads any snapshot in `store`
+    /// (resuming every persisted session mid-iteration) and rewrites the
+    /// snapshot after each state-changing request from now on. Fails
+    /// loudly on a corrupt or unrestorable snapshot — serving with
+    /// silently dropped sessions would be worse than refusing to start.
+    pub fn with_store(mut self, store: StateStore) -> Result<Self, String> {
+        let mut sessions = BTreeMap::new();
+        if let Some(snapshot) = store.load()? {
+            let template = &self.template;
+            self.manager = SessionManager::from_snapshot(&snapshot, || template.builder())
+                .map_err(|e| format!("restoring {}: {e}", store.path().display()))?;
+            sessions = snapshot.sessions.into_iter().map(|s| (s.id, s)).collect();
+        }
+        self.store = Some(Mutex::new(Persistence { store, sessions }));
+        Ok(self)
     }
 
     /// The underlying manager (used by tests to compare against the
     /// in-process facade).
     pub fn manager(&self) -> &SessionManager {
         &self.manager
+    }
+
+    /// The metrics registry (shared with the connection loop, which
+    /// counts requests and connections into it).
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Number of sessions currently registered (what
+    /// `poiesis_sessions_live` reports).
+    pub fn live_sessions(&self) -> usize {
+        self.manager.len()
+    }
+
+    /// Re-captures the just-mutated session (locking only its slot) into
+    /// the snapshot cache and rewrites the durable file, if persistence
+    /// is on. A session that vanished concurrently (racing close) is
+    /// skipped — the close's own persist covers it.
+    fn persist_session(&self, id: SessionId) {
+        let Some(store) = &self.store else { return };
+        let Ok(snapshot) = self.manager.snapshot_session(id) else {
+            return;
+        };
+        let mut persistence = store.lock().expect("state store");
+        persistence.sessions.insert(id.raw(), snapshot);
+        self.save(&mut persistence);
+    }
+
+    /// Drops the closed session from the snapshot cache and rewrites the
+    /// durable file, if persistence is on.
+    fn persist_close(&self, id: SessionId) {
+        let Some(store) = &self.store else { return };
+        let mut persistence = store.lock().expect("state store");
+        persistence.sessions.remove(&id.raw());
+        self.save(&mut persistence);
+    }
+
+    /// Rewrites the snapshot file from the cache. Failures are counted
+    /// (`poiesis_snapshot_errors_total`) and logged, not propagated: the
+    /// in-memory session already advanced and the client's response must
+    /// reflect that.
+    fn save(&self, persistence: &mut Persistence) {
+        let snapshot = ManagerSnapshot {
+            next_id: self.manager.next_handle(),
+            sessions: persistence.sessions.values().cloned().collect(),
+        };
+        let result = persistence.store.save(&snapshot);
+        if let Err(e) = &result {
+            eprintln!(
+                "poiesis_server: snapshot write to {} failed: {e}",
+                persistence.store.path().display()
+            );
+        }
+        self.metrics.record_snapshot_write(result.is_ok());
     }
 
     /// Routes one request. Never panics on hostile input; unroutable
@@ -93,6 +194,7 @@ impl PlanningService {
         let method = request.method.as_str();
         match (method, segments.as_slice()) {
             ("GET", ["healthz"]) => self.healthz(),
+            ("GET", ["metrics"]) => self.scrape(),
             ("GET", ["sessions"]) => self.list(),
             ("POST", ["sessions"]) => self.create(request),
             ("POST", ["sessions", id, "explore"]) => self.with_id(id, |id| self.explore(id)),
@@ -103,6 +205,7 @@ impl PlanningService {
             (
                 _,
                 ["healthz"]
+                | ["metrics"]
                 | ["sessions"]
                 | ["sessions", _]
                 | ["sessions", _, "explore" | "select" | "history"],
@@ -148,6 +251,10 @@ impl PlanningService {
         Response::json(200, body.to_string())
     }
 
+    fn scrape(&self) -> Response {
+        Response::text(200, self.metrics.render(self.manager.len()))
+    }
+
     fn list(&self) -> Response {
         let ids: Vec<Value> = self
             .manager
@@ -178,18 +285,25 @@ impl PlanningService {
             .manager
             .create_from_request(self.template.builder(), &plan_request)
         {
-            Ok(id) => Response::json(
-                201,
-                Value::object([("session".to_string(), Value::Number(id.raw() as f64))])
-                    .to_string(),
-            ),
+            Ok(id) => {
+                self.persist_session(id);
+                Response::json(
+                    201,
+                    Value::object([("session".to_string(), Value::Number(id.raw() as f64))])
+                        .to_string(),
+                )
+            }
             Err(e) => plan_error(&e),
         }
     }
 
     fn explore(&self, id: SessionId) -> Response {
+        let start = Instant::now();
         match self.manager.explore(id) {
-            Ok(response) => Response::json(200, response.to_json_string()),
+            Ok(response) => {
+                self.metrics.observe_cycle(start.elapsed());
+                Response::json(200, response.to_json_string())
+            }
             Err(e) => plan_error(&e),
         }
     }
@@ -200,7 +314,10 @@ impl PlanningService {
             Err(response) => return response,
         };
         match self.manager.select(id, rank) {
-            Ok(record) => Response::json(200, selection_body(id, &record)),
+            Ok(record) => {
+                self.persist_session(id);
+                Response::json(200, selection_body(id, &record))
+            }
             Err(e) => plan_error(&e),
         }
     }
@@ -223,10 +340,14 @@ impl PlanningService {
 
     fn close(&self, id: SessionId) -> Response {
         match self.manager.close(id) {
-            Ok(()) => Response::json(
-                200,
-                Value::object([("closed".to_string(), Value::Number(id.raw() as f64))]).to_string(),
-            ),
+            Ok(()) => {
+                self.persist_close(id);
+                Response::json(
+                    200,
+                    Value::object([("closed".to_string(), Value::Number(id.raw() as f64))])
+                        .to_string(),
+                )
+            }
             Err(e) => plan_error(&e),
         }
     }
@@ -434,6 +555,80 @@ mod tests {
             "{\"rank\":0}",
         ));
         assert_eq!(r.status, 200, "{}", r.body);
+    }
+
+    #[test]
+    fn metrics_route_serves_prometheus_text() {
+        let svc = service();
+        let created = svc.handle(&request("POST", "/sessions", ""));
+        let id = json(&created)
+            .get("session")
+            .unwrap()
+            .as_usize("session")
+            .unwrap();
+        svc.handle(&request("POST", &format!("/sessions/{id}/explore"), ""));
+
+        let scrape = svc.handle(&request("GET", "/metrics", ""));
+        assert_eq!(scrape.status, 200);
+        assert_eq!(scrape.content_type, "text/plain; version=0.0.4");
+        assert!(
+            scrape.body.contains("poiesis_sessions_live 1"),
+            "{}",
+            scrape.body
+        );
+        assert!(
+            scrape
+                .body
+                .contains("poiesis_cycle_duration_seconds_count 1"),
+            "{}",
+            scrape.body
+        );
+        // wrong verb on a known path stays a 405, like every other route
+        let r = svc.handle(&request("POST", "/metrics", ""));
+        assert_eq!(
+            (r.status, error_code(&r)),
+            (405, "method_not_allowed".into())
+        );
+    }
+
+    #[test]
+    fn mutations_rewrite_the_durable_snapshot() {
+        use crate::persist::StateStore;
+        let dir = std::env::temp_dir().join(format!("poiesis-svc-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let svc = PlanningService::new(SessionTemplate::demo(80))
+            .with_store(StateStore::open(&dir).unwrap())
+            .unwrap();
+        let created = svc.handle(&request("POST", "/sessions", ""));
+        assert_eq!(created.status, 201);
+        let on_disk = StateStore::open(&dir).unwrap().load().unwrap().unwrap();
+        assert_eq!(on_disk.sessions.len(), 1);
+
+        // a second service over the same store resumes the session, and a
+        // mutation on it must not drop the restored session from the file
+        // (the snapshot cache is seeded from the loaded snapshot)
+        let resumed = PlanningService::new(SessionTemplate::demo(80))
+            .with_store(StateStore::open(&dir).unwrap())
+            .unwrap();
+        assert_eq!(resumed.live_sessions(), 1);
+        let second = resumed.handle(&request("POST", "/sessions", ""));
+        assert_eq!(second.status, 201);
+        let on_disk = StateStore::open(&dir).unwrap().load().unwrap().unwrap();
+        assert_eq!(on_disk.sessions.len(), 2);
+
+        // closing rewrites the snapshot down to zero sessions
+        let id = json(&created)
+            .get("session")
+            .unwrap()
+            .as_usize("session")
+            .unwrap();
+        svc.handle(&request("DELETE", &format!("/sessions/{id}"), ""));
+        let on_disk = StateStore::open(&dir).unwrap().load().unwrap().unwrap();
+        assert!(on_disk.sessions.is_empty());
+        // …but the handle counter survives, so handles are never reused
+        assert!(on_disk.next_id > id as u64);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

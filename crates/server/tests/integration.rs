@@ -3,16 +3,19 @@
 //! These are the acceptance tests of the wire contract: a full
 //! create → explore → select → history → close round-trip, ≥ 8 concurrent
 //! client threads, equality of the HTTP-obtained skyline with the
-//! in-process facade skyline, graceful shutdown, and the documented
+//! in-process facade skyline, graceful shutdown, the documented
 //! behaviour for malformed wire input (truncated requests, bad JSON,
-//! unknown handles, oversized payloads).
+//! unknown handles, oversized payloads), `503` load shedding under
+//! saturated workers, `/metrics` content, and kill-and-restart session
+//! recovery through `--state-dir` persistence.
 
 use poiesis::{FromJson, PlanRequest, PlanResponse, SessionManager, ToJson};
 use poiesis_server::{
-    Client, ClientError, Limits, PlanningService, Server, ServerConfig, SessionTemplate,
+    Client, ClientError, Limits, PlanningService, Server, ServerConfig, SessionTemplate, StateStore,
 };
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::path::PathBuf;
 use std::thread;
 use std::time::Duration;
 
@@ -356,6 +359,153 @@ fn sessions_list_tracks_creation_and_closure() {
     assert!(listed.body.contains(&format!("{b}")), "{}", listed.body);
     client.close(a).unwrap();
     client.close(b).unwrap();
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+// ------------------------------------------------------------ hardening
+
+#[test]
+fn metrics_scrape_reflects_a_scripted_session() {
+    let (addr, handle, join) = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    let id = client.create(Some(&small_request())).unwrap();
+    client.explore(id).unwrap();
+    client.select(id, 0).unwrap();
+
+    let text = client.metrics().unwrap();
+    // route/status counters for exactly what this test did
+    for needle in [
+        "poiesis_http_requests_total{route=\"session_create\",status=\"201\"} 1",
+        "poiesis_http_requests_total{route=\"explore\",status=\"200\"} 1",
+        "poiesis_http_requests_total{route=\"select\",status=\"200\"} 1",
+        "poiesis_cycle_duration_seconds_count 1",
+        "poiesis_sessions_live 1",
+        "poiesis_http_connections_total 1",
+        "poiesis_http_shed_total 0",
+    ] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+    // the gauge tracks closure, and the typed scraper agrees with the text
+    client.close(id).unwrap();
+    assert_eq!(client.metric_value("poiesis_sessions_live").unwrap(), 0.0);
+    assert!(
+        client
+            .metric_value("poiesis_http_requests_total{route=\"close\",status=\"200\"}")
+            .unwrap()
+            >= 1.0
+    );
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn saturated_workers_shed_with_503_and_retry_after() {
+    // one worker, rendezvous queue: a connection is either handed to the
+    // idle worker on the spot or shed
+    let (addr, handle, join) = spawn_server(ServerConfig {
+        threads: 1,
+        queue: 0,
+        retry_after: Duration::from_secs(2),
+        read_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    });
+
+    // the stalled-handler fixture: a peer that connects and sends nothing
+    // pins the only worker until the read timeout
+    let stall = TcpStream::connect(addr).expect("stall connect");
+    thread::sleep(Duration::from_millis(300));
+
+    // the next connection finds no idle worker and no queue slot
+    let response = raw(addr, b"GET /healthz HTTP/1.1\r\n\r\n", true);
+    assert_eq!(status_of(&response), 503, "{response}");
+    assert!(response.contains("Retry-After: 2\r\n"), "{response}");
+    assert!(response.contains("\"overloaded\""), "{response}");
+
+    // once the stalled peer is timed out the worker frees up again and
+    // the shed is visible on /metrics
+    drop(stall);
+    thread::sleep(Duration::from_millis(2200));
+    let mut client = Client::connect(addr).expect("connect after drain");
+    assert!(client.metric_value("poiesis_http_shed_total").unwrap() >= 1.0);
+    assert_eq!(client.healthz().unwrap(), 0);
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// A scratch `--state-dir` that cleans up after itself.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("poiesis-it-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// Spins up a server whose service persists to `dir`.
+fn spawn_persistent_server(
+    dir: &PathBuf,
+) -> (
+    SocketAddr,
+    poiesis_server::ShutdownHandle,
+    thread::JoinHandle<std::io::Result<usize>>,
+) {
+    let service = PlanningService::new(SessionTemplate::demo(ROWS))
+        .with_store(StateStore::open(dir).expect("open state dir"))
+        .expect("load state");
+    let server = Server::bind("127.0.0.1:0", service, ServerConfig::default()).expect("bind");
+    server.spawn().expect("spawn")
+}
+
+#[test]
+fn a_killed_server_resumes_sessions_from_its_state_dir() {
+    let scratch = Scratch::new("restart");
+
+    // ----- incarnation 1: advance a session one full cycle, then explore
+    let (id, history_before, frontier_before) = {
+        let (addr, handle, join) = spawn_persistent_server(&scratch.0);
+        let mut client = Client::connect(addr).expect("connect");
+        let id = client.create(Some(&small_request())).unwrap();
+        client.explore(id).unwrap();
+        client.select(id, 0).unwrap();
+        let history = client.history(id).unwrap();
+        let frontier = client.explore(id).unwrap();
+        // stop without closing the session — the moral equivalent of a
+        // kill: the snapshot only ever reflects completed mutations
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+        (id, history, frontier)
+    };
+    assert!(scratch.0.join("sessions.json").exists());
+
+    // ----- incarnation 2: same state dir, fresh process state
+    let (addr, handle, join) = spawn_persistent_server(&scratch.0);
+    let mut client = Client::connect(addr).expect("reconnect");
+    assert_eq!(client.healthz().unwrap(), 1, "session must survive restart");
+
+    // history is intact and the recovered skyline equals the pre-kill one
+    assert_eq!(client.history(id).unwrap(), history_before);
+    let frontier_after = client.explore(id).unwrap();
+    assert_eq!(frontier_after.skyline, frontier_before.skyline);
+    assert_eq!(frontier_after.baseline, frontier_before.baseline);
+
+    // the session keeps iterating: select works and lands in cycle 2
+    let record = client.select(id, 0).unwrap();
+    assert_eq!(record.cycle, 2);
+
+    // restored managers never reissue handles
+    let fresh = client.create(Some(&small_request())).unwrap();
+    assert!(fresh > id, "fresh handle {fresh} must exceed restored {id}");
+
     handle.shutdown();
     join.join().unwrap().unwrap();
 }
