@@ -22,7 +22,8 @@
 //! Each client thread runs `--requests` requests on one keep-alive
 //! connection; per-request wall times are merged and reported as
 //! req/s plus p50/p90/p99/max latency, followed by a `/metrics` scrape
-//! summary (requests served, connections shed, snapshot writes).
+//! summary (requests served, connections shed, snapshot writes, and
+//! combinations pruned by the static pre-screen).
 
 use poiesis::PlanRequest;
 use poiesis_server::{Client, PlanningService, Server, ServerConfig, SessionTemplate, StateStore};
@@ -190,6 +191,10 @@ fn main() {
             scrape(&mut client, "poiesis_http_shed_total"),
             scrape(&mut client, "poiesis_snapshot_writes_total"),
             scrape(&mut client, "poiesis_snapshot_errors_total"),
+        );
+        println!(
+            "  /metrics: combinations statically rejected {:.0}",
+            scrape(&mut client, "poiesis_static_rejections_total"),
         );
     }
 

@@ -20,6 +20,8 @@
 //! | `streaming_sweep` | streaming engine vs. materialize-all, search strategies |
 //! | `server_load` | HTTP service throughput + latency percentiles (`docs/API.md`) |
 
+#![forbid(unsafe_code)]
+
 use datagen::{Catalog, DirtProfile};
 use etl_model::EtlFlow;
 use fcp::PatternRegistry;

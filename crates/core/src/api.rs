@@ -394,6 +394,8 @@ pub struct PlanResponse {
     pub failed_applications: usize,
     /// Alternatives whose evaluation errored.
     pub failed_evaluations: usize,
+    /// Combinations pruned by the static pre-screen before evaluation.
+    pub statically_rejected: usize,
     /// The Pareto frontier, best objective first.
     pub skyline: Vec<AlternativeSummary>,
 }
@@ -419,6 +421,7 @@ impl PlanResponse {
             rejected_by_constraints: outcome.rejected_by_constraints,
             failed_applications: outcome.failed_applications,
             failed_evaluations: outcome.failed_evaluations,
+            statically_rejected: outcome.statically_rejected,
             skyline: outcome
                 .skyline_alternatives()
                 .enumerate()
@@ -478,6 +481,10 @@ impl ToJson for PlanResponse {
                 int(self.failed_evaluations),
             ),
             (
+                "statically_rejected".to_string(),
+                int(self.statically_rejected),
+            ),
+            (
                 "skyline".to_string(),
                 Value::Array(self.skyline.iter().map(|s| s.to_json()).collect()),
             ),
@@ -527,11 +534,189 @@ impl FromJson for PlanResponse {
             failed_evaluations: v
                 .get("failed_evaluations")?
                 .as_usize("failed_evaluations")?,
+            statically_rejected: v
+                .get("statically_rejected")?
+                .as_usize("statically_rejected")?,
             skyline: v
                 .get("skyline")?
                 .as_array("skyline")?
                 .iter()
                 .map(AlternativeSummary::from_json)
+                .collect::<Result<_, JsonError>>()?,
+        })
+    }
+}
+
+// ------------------------------------------------------------------ lint
+
+/// The wire form of one static-analysis [`Diagnostic`](analysis::Diagnostic):
+/// the stable `PA0xx` code, severity, location (kind plus optional node or
+/// edge index), message and optional suggestion. Identical in shape to the
+/// `diagnostics` entries of an `analysis` error body, so clients need one
+/// decoder for both.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagnosticSpec {
+    /// Stable diagnostic code (`"PA001"`…).
+    pub code: String,
+    /// `"error"`, `"warn"` or `"info"`.
+    pub severity: String,
+    /// Location kind: `"graph"`, `"node"` or `"edge"`.
+    pub location: String,
+    /// Node index when `location == "node"`.
+    pub node: Option<usize>,
+    /// Edge index when `location == "edge"`.
+    pub edge: Option<usize>,
+    /// Human-readable finding.
+    pub message: String,
+    /// Suggested fix, when the analyzer has one.
+    pub suggestion: Option<String>,
+}
+
+impl DiagnosticSpec {
+    /// Captures an in-memory diagnostic.
+    pub fn from_diagnostic(d: &analysis::Diagnostic) -> Self {
+        let (location, node, edge) = match d.location {
+            analysis::Location::Graph => ("graph", None, None),
+            analysis::Location::Node(n) => ("node", Some(n.index()), None),
+            analysis::Location::Edge(e) => ("edge", None, Some(e.index())),
+        };
+        DiagnosticSpec {
+            code: d.code.to_string(),
+            severity: d.severity.name().to_string(),
+            location: location.to_string(),
+            node,
+            edge,
+            message: d.message.clone(),
+            suggestion: d.suggestion.clone(),
+        }
+    }
+}
+
+impl ToJson for DiagnosticSpec {
+    fn to_json(&self) -> Value {
+        let mut fields = vec![
+            ("code".to_string(), string(&self.code)),
+            ("severity".to_string(), string(&self.severity)),
+            ("message".to_string(), string(&self.message)),
+            ("location".to_string(), string(&self.location)),
+        ];
+        if let Some(n) = self.node {
+            fields.push(("node".to_string(), int(n)));
+        }
+        if let Some(e) = self.edge {
+            fields.push(("edge".to_string(), int(e)));
+        }
+        if let Some(s) = &self.suggestion {
+            fields.push(("suggestion".to_string(), string(s)));
+        }
+        Value::object(fields)
+    }
+}
+
+impl FromJson for DiagnosticSpec {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(DiagnosticSpec {
+            code: v.get("code")?.as_str("code")?.into(),
+            severity: v.get("severity")?.as_str("severity")?.into(),
+            location: v.get("location")?.as_str("location")?.into(),
+            node: match v.get_opt("node")? {
+                Some(n) => Some(n.as_usize("node")?),
+                None => None,
+            },
+            edge: match v.get_opt("edge")? {
+                Some(e) => Some(e.as_usize("edge")?),
+                None => None,
+            },
+            message: v.get("message")?.as_str("message")?.into(),
+            suggestion: match v.get_opt("suggestion")? {
+                Some(s) => Some(s.as_str("suggestion")?.to_string()),
+                None => None,
+            },
+        })
+    }
+}
+
+/// The response of `POST /sessions/{id}/lint`: the full static-analysis
+/// report over a session's current flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintReport {
+    /// The owning session handle, when linted through a manager.
+    pub session: Option<u64>,
+    /// The name of the flow that was analyzed.
+    pub flow: String,
+    /// Error-severity findings (these gate planning).
+    pub errors: usize,
+    /// Warn-severity findings (advisory).
+    pub warnings: usize,
+    /// Every finding, errors first.
+    pub diagnostics: Vec<DiagnosticSpec>,
+}
+
+impl LintReport {
+    /// Summarises an analyzer run over `flow`.
+    pub fn from_diagnostics(
+        session: Option<u64>,
+        flow: &str,
+        diags: &[analysis::Diagnostic],
+    ) -> Self {
+        LintReport {
+            session,
+            flow: flow.to_string(),
+            errors: diags
+                .iter()
+                .filter(|d| d.severity == analysis::Severity::Error)
+                .count(),
+            warnings: diags
+                .iter()
+                .filter(|d| d.severity == analysis::Severity::Warn)
+                .count(),
+            diagnostics: diags.iter().map(DiagnosticSpec::from_diagnostic).collect(),
+        }
+    }
+
+    /// Whether the flow is free of blocking findings.
+    pub fn ok(&self) -> bool {
+        self.errors == 0
+    }
+}
+
+impl ToJson for LintReport {
+    fn to_json(&self) -> Value {
+        Value::object([
+            (
+                "session".to_string(),
+                match self.session {
+                    Some(id) => int(id as usize),
+                    None => Value::Null,
+                },
+            ),
+            ("flow".to_string(), string(&self.flow)),
+            ("ok".to_string(), Value::Bool(self.ok())),
+            ("errors".to_string(), int(self.errors)),
+            ("warnings".to_string(), int(self.warnings)),
+            (
+                "diagnostics".to_string(),
+                Value::Array(self.diagnostics.iter().map(|d| d.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for LintReport {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(LintReport {
+            session: match v.get_opt("session")? {
+                Some(s) => Some(s.as_usize("session")? as u64),
+                None => None,
+            },
+            flow: v.get("flow")?.as_str("flow")?.into(),
+            errors: v.get("errors")?.as_usize("errors")?,
+            warnings: v.get("warnings")?.as_usize("warnings")?,
+            diagnostics: v
+                .get("diagnostics")?
+                .as_array("diagnostics")?
+                .iter()
+                .map(DiagnosticSpec::from_json)
                 .collect::<Result<_, JsonError>>()?,
         })
     }
@@ -767,6 +952,50 @@ mod tests {
         };
         let builder = request.apply(SessionBuilder::new()).unwrap();
         assert_eq!(PlanRequest::from_config(builder.config()), request);
+    }
+
+    #[test]
+    fn lint_report_round_trips_through_json_text() {
+        let diags = vec![
+            analysis::Diagnostic::error(
+                analysis::codes::UNRESOLVED_COLUMN,
+                analysis::Location::Node(etl_model::NodeId::from_raw(3)),
+                "`F` references column `ghost` absent from its input schema",
+            )
+            .with_suggestion("produce `ghost` upstream or correct the reference"),
+            analysis::Diagnostic::warn(
+                analysis::codes::DEAD_FIELD,
+                analysis::Location::Edge(etl_model::EdgeId::from_raw(1)),
+                "field `x` is never consumed",
+            ),
+        ];
+        let report = LintReport::from_diagnostics(Some(4), "s_purchases", &diags);
+        assert_eq!(report.errors, 1);
+        assert_eq!(report.warnings, 1);
+        assert!(!report.ok());
+        let back = LintReport::from_json_str(&report.to_json_string()).unwrap();
+        assert_eq!(back, report);
+        // a clean report is ok and round-trips too
+        let clean = LintReport::from_diagnostics(None, "f", &[]);
+        assert!(clean.ok());
+        let back = LintReport::from_json_str(&clean.to_json_string()).unwrap();
+        assert_eq!(back, clean);
+    }
+
+    #[test]
+    fn diagnostic_spec_matches_the_error_body_wire_shape() {
+        // `analysis` error bodies and lint responses must stay decodable
+        // by the same client code
+        let diag = analysis::Diagnostic::error(
+            analysis::codes::UNRESOLVED_COLUMN,
+            analysis::Location::Node(etl_model::NodeId::from_raw(3)),
+            "boom",
+        )
+        .with_suggestion("fix it");
+        assert_eq!(
+            DiagnosticSpec::from_diagnostic(&diag).to_json().to_string(),
+            crate::error::diagnostic_json(&diag).to_string()
+        );
     }
 
     #[test]

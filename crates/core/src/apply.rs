@@ -28,7 +28,9 @@ pub fn apply_combination(
     for c in structural.into_iter().chain(graph_level) {
         applied.push(c.pattern.apply(&mut flow, c.point)?);
     }
-    debug_assert!(flow.validate().is_ok(), "patterns must preserve validity");
+    // Validity of the result is checked by the planner's static pre-screen
+    // (`PlannerConfig::prescreen`), not asserted here: a pattern that breaks
+    // the flow must surface as a counted rejection, never a panic.
     Ok((flow, applied))
 }
 

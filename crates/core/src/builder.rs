@@ -171,10 +171,18 @@ impl SessionBuilder {
     }
 
     /// Validates the inputs and builds the planner behind the session.
+    ///
+    /// The base flow is gated by the full static analyzer: any
+    /// error-severity diagnostic rejects the build with
+    /// [`PoiesisError::Analysis`] carrying *every* finding (including
+    /// warnings), so a client sees the whole lint report at once instead
+    /// of fixing one problem per round trip.
     pub fn build_planner(self) -> Result<Planner, PoiesisError> {
         let flow = self.flow.ok_or(PoiesisError::MissingFlow)?;
-        flow.validate()
-            .map_err(|e| PoiesisError::InvalidFlow(e.to_string()))?;
+        let diags = analysis::analyze(&flow);
+        if analysis::has_errors(&diags) {
+            return Err(PoiesisError::Analysis(diags));
+        }
         let catalog = self.catalog.ok_or(PoiesisError::MissingCatalog)?;
         if catalog.is_empty() {
             return Err(PoiesisError::EmptyCatalog);
@@ -286,13 +294,19 @@ mod tests {
     #[test]
     fn invalid_flows_fail_at_build_time() {
         let (_, cat) = flow_and_catalog();
-        // a flow with no operations fails EtlFlow::validate
+        // a flow with no operations is rejected by the static analyzer
         let err = Poiesis::session()
             .flow(EtlFlow::new("empty"))
             .catalog(cat)
             .build()
             .unwrap_err();
-        assert!(matches!(err, PoiesisError::InvalidFlow(_)), "{err}");
+        match &err {
+            PoiesisError::Analysis(diags) => {
+                assert!(diags.iter().any(|d| d.code == analysis::codes::EMPTY_FLOW));
+            }
+            other => panic!("expected Analysis, got {other:?}"),
+        }
+        assert_eq!(err.code(), "analysis");
     }
 
     #[test]

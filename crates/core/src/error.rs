@@ -7,6 +7,8 @@
 //! alias — code matching `PlannerError::InvalidFlow(..)` keeps compiling.
 
 use crate::manager::SessionId;
+use analysis::Diagnostic;
+use etl_model::{FlowError, SchemaError};
 use serde::json::Value;
 use serde::ToJson;
 use std::fmt;
@@ -17,6 +19,9 @@ pub enum PoiesisError {
     // --- planning-cycle failures (the historical `PlannerError` variants)
     /// The initial flow failed validation.
     InvalidFlow(String),
+    /// Static analysis found blocking problems; carries every diagnostic
+    /// (errors *and* warnings) so callers can render or serialize them.
+    Analysis(Vec<Diagnostic>),
     /// Candidate generation failed.
     Pattern(String),
     /// Baseline evaluation failed.
@@ -63,6 +68,17 @@ impl fmt::Display for PoiesisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PoiesisError::InvalidFlow(e) => write!(f, "invalid initial flow: {e}"),
+            PoiesisError::Analysis(diags) => {
+                let errors = diags
+                    .iter()
+                    .filter(|d| d.severity == analysis::Severity::Error)
+                    .count();
+                write!(f, "static analysis found {errors} error(s)")?;
+                if let Some(first) = diags.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
             PoiesisError::Pattern(e) => write!(f, "pattern generation failed: {e}"),
             PoiesisError::Eval(e) => write!(f, "evaluation failed: {e}"),
             PoiesisError::MissingFlow => write!(f, "session builder: no flow was provided"),
@@ -93,6 +109,7 @@ impl PoiesisError {
     pub fn code(&self) -> &'static str {
         match self {
             PoiesisError::InvalidFlow(_) => "invalid_flow",
+            PoiesisError::Analysis(_) => "analysis",
             PoiesisError::Pattern(_) => "pattern",
             PoiesisError::Eval(_) => "eval",
             PoiesisError::MissingFlow => "missing_flow",
@@ -125,9 +142,62 @@ impl ToJson for PoiesisError {
                 fields.push(("rank".to_string(), Value::Number(*rank as f64)));
                 fields.push(("frontier".to_string(), Value::Number(*frontier as f64)));
             }
+            PoiesisError::Analysis(diags) => {
+                fields.push((
+                    "diagnostics".to_string(),
+                    Value::Array(diags.iter().map(diagnostic_json).collect()),
+                ));
+            }
             _ => {}
         }
         Value::object(fields)
+    }
+}
+
+/// The wire form of one diagnostic: `code`, `severity`, `message`, the
+/// location split into `location` kind + optional `node`/`edge` index, and
+/// `suggestion` when present.
+pub(crate) fn diagnostic_json(d: &Diagnostic) -> Value {
+    let mut fields = vec![
+        ("code".to_string(), Value::String(d.code.to_string())),
+        (
+            "severity".to_string(),
+            Value::String(d.severity.name().to_string()),
+        ),
+        ("message".to_string(), Value::String(d.message.clone())),
+    ];
+    match d.location {
+        analysis::Location::Graph => {
+            fields.push(("location".to_string(), Value::String("graph".to_string())));
+        }
+        analysis::Location::Node(n) => {
+            fields.push(("location".to_string(), Value::String("node".to_string())));
+            fields.push(("node".to_string(), Value::Number(n.index() as f64)));
+        }
+        analysis::Location::Edge(e) => {
+            fields.push(("location".to_string(), Value::String("edge".to_string())));
+            fields.push(("edge".to_string(), Value::Number(e.index() as f64)));
+        }
+    }
+    if let Some(s) = &d.suggestion {
+        fields.push(("suggestion".to_string(), Value::String(s.clone())));
+    }
+    Value::object(fields)
+}
+
+impl From<FlowError> for PoiesisError {
+    /// Structural flow errors become `analysis` diagnostics with stable
+    /// `PA0xx` codes instead of stringly planner-internal messages.
+    fn from(e: FlowError) -> Self {
+        PoiesisError::Analysis(vec![analysis::flow_error_diagnostic(&e)])
+    }
+}
+
+impl From<SchemaError> for PoiesisError {
+    /// Schema propagation errors become `analysis` diagnostics with stable
+    /// `PA0xx` codes instead of stringly planner-internal messages.
+    fn from(e: SchemaError) -> Self {
+        PoiesisError::Analysis(vec![analysis::flow_error_diagnostic(&FlowError::Schema(e))])
     }
 }
 
@@ -171,6 +241,14 @@ mod tests {
         let id = SessionId::from_raw(7);
         let cases: Vec<(PoiesisError, &str)> = vec![
             (PoiesisError::InvalidFlow("x".into()), "invalid_flow"),
+            (
+                PoiesisError::Analysis(vec![analysis::Diagnostic::error(
+                    analysis::codes::CYCLE,
+                    analysis::Location::Graph,
+                    "flow graph contains a directed cycle",
+                )]),
+                "analysis",
+            ),
             (PoiesisError::Pattern("x".into()), "pattern"),
             (PoiesisError::Eval("x".into()), "eval"),
             (PoiesisError::MissingFlow, "missing_flow"),
@@ -214,5 +292,65 @@ mod tests {
         .to_json();
         assert_eq!(v.get("rank").unwrap().as_usize("rank").unwrap(), 9);
         assert_eq!(v.get("frontier").unwrap().as_usize("frontier").unwrap(), 3);
+    }
+
+    #[test]
+    fn analysis_errors_carry_diagnostics_in_json() {
+        let diag = analysis::Diagnostic::error(
+            analysis::codes::UNRESOLVED_COLUMN,
+            analysis::Location::Node(etl_model::NodeId::from_raw(3)),
+            "`F` references column `ghost` absent from its input schema",
+        )
+        .with_suggestion("produce `ghost` upstream or correct the reference");
+        let err = PoiesisError::Analysis(vec![diag]);
+        assert_eq!(err.code(), "analysis");
+        assert!(err.to_string().contains("1 error(s)"));
+        assert!(err.to_string().contains("PA010"));
+
+        let v = err.to_json();
+        let diags = v
+            .get("diagnostics")
+            .unwrap()
+            .as_array("diagnostics")
+            .unwrap();
+        assert_eq!(diags.len(), 1);
+        let d = &diags[0];
+        assert_eq!(d.get("code").unwrap().as_str("code").unwrap(), "PA010");
+        assert_eq!(
+            d.get("severity").unwrap().as_str("severity").unwrap(),
+            "error"
+        );
+        assert_eq!(
+            d.get("location").unwrap().as_str("location").unwrap(),
+            "node"
+        );
+        assert_eq!(d.get("node").unwrap().as_usize("node").unwrap(), 3);
+        assert!(d.get("suggestion").is_ok());
+    }
+
+    #[test]
+    fn flow_and_schema_errors_convert_to_analysis_diagnostics() {
+        let e: PoiesisError = etl_model::FlowError::Cyclic.into();
+        match &e {
+            PoiesisError::Analysis(diags) => {
+                assert_eq!(diags.len(), 1);
+                assert_eq!(diags[0].code, analysis::codes::CYCLE);
+            }
+            other => panic!("expected Analysis, got {other:?}"),
+        }
+        assert_eq!(e.code(), "analysis");
+
+        let e: PoiesisError = etl_model::SchemaError::Bind {
+            op: "F".into(),
+            column: "ghost".into(),
+        }
+        .into();
+        match &e {
+            PoiesisError::Analysis(diags) => {
+                assert_eq!(diags[0].code, analysis::codes::UNRESOLVED_COLUMN);
+                assert!(diags[0].message.contains("ghost"));
+            }
+            other => panic!("expected Analysis, got {other:?}"),
+        }
     }
 }

@@ -67,6 +67,7 @@
 //! internally.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod api;
 pub mod apply;
@@ -84,8 +85,8 @@ pub mod session;
 pub mod skyline;
 
 pub use api::{
-    AlternativeSummary, ConstraintSpec, GoalSpec, ManagerSnapshot, ObjectiveSpec, PlanRequest,
-    PlanResponse, SessionSnapshot,
+    AlternativeSummary, ConstraintSpec, DiagnosticSpec, GoalSpec, LintReport, ManagerSnapshot,
+    ObjectiveSpec, PlanRequest, PlanResponse, SessionSnapshot,
 };
 pub use builder::{Poiesis, SessionBuilder};
 pub use error::PoiesisError;

@@ -12,7 +12,7 @@
 //! lock is only held for the microseconds of handle lookup, never across a
 //! planning cycle.
 
-use crate::api::{ManagerSnapshot, PlanRequest, PlanResponse, SessionSnapshot};
+use crate::api::{LintReport, ManagerSnapshot, PlanRequest, PlanResponse, SessionSnapshot};
 use crate::builder::SessionBuilder;
 use crate::error::PoiesisError;
 use crate::planner::PlannerOutcome;
@@ -181,6 +181,24 @@ impl SessionManager {
                 Err(err)
             }
         }
+    }
+
+    /// Runs the static analyzer over the session's *current* flow without
+    /// planning anything — the backing of `POST /sessions/{id}/lint`. A
+    /// session always holds an error-free flow (creation and selection
+    /// both gate on the analyzer), so in practice this reports the
+    /// warnings: dead fields, disconnected fragments, suspicious
+    /// expressions.
+    pub fn lint(&self, id: SessionId) -> Result<LintReport, PoiesisError> {
+        let slot = self.slot(id)?;
+        let slot = slot.lock().expect("session slot");
+        let flow = slot.session.current_flow();
+        let diags = analysis::analyze(flow);
+        Ok(LintReport::from_diagnostics(
+            Some(id.raw()),
+            &flow.name,
+            &diags,
+        ))
     }
 
     /// The session's completed iterations.
@@ -384,6 +402,24 @@ mod tests {
         mgr.select(id, 0).unwrap();
         // ... but is consumed by the successful selection
         assert_eq!(mgr.select(id, 0), Err(PoiesisError::NothingExplored(id)));
+    }
+
+    #[test]
+    fn lint_reports_on_the_current_flow() {
+        let mgr = SessionManager::new();
+        let id = mgr.create(builder()).unwrap();
+        let report = mgr.lint(id).unwrap();
+        assert_eq!(report.session, Some(id.raw()));
+        assert_eq!(report.flow, "s_purchases");
+        assert_eq!(report.errors, 0, "sessions only hold error-free flows");
+        // linting follows the evolving flow across selections
+        mgr.explore(id).unwrap();
+        mgr.select(id, 0).unwrap();
+        let report = mgr.lint(id).unwrap();
+        assert!(report.flow.contains("cycle"), "{}", report.flow);
+        assert_eq!(report.errors, 0);
+        mgr.close(id).unwrap();
+        assert_eq!(mgr.lint(id), Err(PoiesisError::UnknownSession(id)));
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::search::{CombinationSink, SearchSpace, SearchStrategy, SearchStrategy
 use crate::skyline::{pareto_skyline, Insertion, SkylineSet};
 use datagen::Catalog;
 use etl_model::EtlFlow;
-use fcp::{DeploymentPolicy, PatternRegistry};
+use fcp::{DeploymentPolicy, PatternContext, PatternRegistry};
 use quality::{Characteristic, MeasureVector, QualityReport, SourceStats};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -63,6 +63,14 @@ pub struct PlannerConfig {
     pub objective: Objective,
     /// RNG seed forwarded to simulation-mode evaluation.
     pub seed: u64,
+    /// Statically pre-screen every combination before evaluation: pattern
+    /// preconditions are checked against the base flow before the clone,
+    /// and the applied result is validated before the (much more expensive)
+    /// evaluation. Skipped combinations are counted in
+    /// [`PlannerOutcome::statically_rejected`] instead of surfacing as
+    /// apply- or evaluation-time failures. On by default; turning it off
+    /// restores the historical fail-at-evaluation behaviour.
+    pub prescreen: bool,
 }
 
 impl PlannerConfig {
@@ -84,6 +92,7 @@ impl Default for PlannerConfig {
             retain_dominated: true,
             objective: Objective::balanced(),
             seed: 0xBEEF,
+            prescreen: true,
         }
     }
 }
@@ -112,6 +121,11 @@ pub struct PlannerOutcome {
     /// aborting the cycle, so one bad simulation no longer discards
     /// thousands of good designs.
     pub failed_evaluations: usize,
+    /// Combinations pruned by the static pre-screen
+    /// ([`PlannerConfig::prescreen`]) before any evaluation: a pattern
+    /// precondition did not hold on the base flow, or the applied result
+    /// failed flow validation.
+    pub statically_rejected: usize,
     /// `skyline` re-ordered best-objective-first, computed once at
     /// assembly so [`skyline_alternatives`](Self::skyline_alternatives)
     /// neither sorts nor allocates per call.
@@ -132,6 +146,7 @@ impl PlannerOutcome {
         rejected_by_constraints: usize,
         failed_applications: usize,
         failed_evaluations: usize,
+        statically_rejected: usize,
     ) -> Self {
         let mut ranked = skyline.clone();
         ranked.sort_by(|&a, &b| {
@@ -148,6 +163,7 @@ impl PlannerOutcome {
             rejected_by_constraints,
             failed_applications,
             failed_evaluations,
+            statically_rejected,
             ranked,
         }
     }
@@ -272,7 +288,8 @@ impl Planner {
     /// user-defined) search strategy — the streaming engine.
     pub fn plan_with(&self, strategy: &dyn SearchStrategy) -> Result<PlannerOutcome, PlannerError> {
         let (baseline, candidates) = self.prepare()?;
-        let engine = StreamingEngine::new(self, &baseline, &candidates);
+        let precheck = self.precheck_context()?;
+        let engine = StreamingEngine::new(self, &baseline, &candidates, precheck);
         let space = SearchSpace {
             candidates: &candidates,
             policy: &self.config.policy,
@@ -304,6 +321,7 @@ impl Planner {
             harvest.rejected_by_constraints,
             harvest.failed_applications,
             harvest.failed_evaluations,
+            harvest.statically_rejected,
         ))
     }
 
@@ -318,14 +336,28 @@ impl Planner {
             &self.config.policy,
             self.config.max_alternatives,
         );
+        let precheck = self.precheck_context()?;
         let mut flows = Vec::with_capacity(combos.len());
         let mut metas = Vec::with_capacity(combos.len());
         let mut failed_applications = 0usize;
+        let mut statically_rejected = 0usize;
         for combo in &combos {
             let refs: Vec<&Candidate> = combo.iter().map(|&i| &candidates[i]).collect();
+            if let Some(ctx) = &precheck {
+                if refs.iter().any(|c| {
+                    !analysis::check_application(ctx, c.pattern.as_ref(), c.point).is_empty()
+                }) {
+                    statically_rejected += 1;
+                    continue;
+                }
+            }
             let name = combination_name(&self.flow, &refs);
             match apply_combination(&self.flow, &refs, name.clone()) {
                 Ok((flow, applied)) => {
+                    if precheck.is_some() && analysis::screen(&flow).is_some() {
+                        statically_rejected += 1;
+                        continue;
+                    }
                     let descs = applied
                         .iter()
                         .map(|a| format!("{} {}", a.pattern, a.point))
@@ -398,7 +430,22 @@ impl Planner {
             rejected,
             failed_applications,
             failed_evaluations,
+            statically_rejected,
         ))
+    }
+
+    /// The pattern context both pipelines pre-screen candidate
+    /// preconditions against, or `None` when
+    /// [`PlannerConfig::prescreen`] is off. Built once per cycle over the
+    /// base flow — combinations only ever fork the base, so one context
+    /// serves every check.
+    fn precheck_context(&self) -> Result<Option<PatternContext<'_>>, PlannerError> {
+        if !self.config.prescreen {
+            return Ok(None);
+        }
+        PatternContext::new(&self.flow)
+            .map(Some)
+            .map_err(|e| PlannerError::Pattern(e.to_string()))
     }
 
     /// Shared preamble of both pipelines: validate the flow, score the
@@ -440,6 +487,7 @@ struct Harvest {
     rejected_by_constraints: usize,
     failed_applications: usize,
     failed_evaluations: usize,
+    statically_rejected: usize,
 }
 
 /// The streaming generate→apply→evaluate→skyline engine. Each submitted
@@ -455,10 +503,14 @@ struct StreamingEngine<'a> {
     /// Goal axes, resolved from the objective once per cycle.
     dimensions: Vec<Characteristic>,
     retain_dominated: bool,
+    /// Base-flow pattern context the static pre-screen checks candidate
+    /// preconditions against; `None` when pre-screening is disabled.
+    precheck: Option<PatternContext<'a>>,
     state: Mutex<EngineState>,
     rejected: AtomicUsize,
     failed_applications: AtomicUsize,
     failed_evaluations: AtomicUsize,
+    statically_rejected: AtomicUsize,
 }
 
 /// The `&mut`-requiring [`CombinationSink`] face of the engine; owns the
@@ -470,13 +522,19 @@ struct EngineSink<'e, 'a> {
 }
 
 impl<'a> StreamingEngine<'a> {
-    fn new(planner: &'a Planner, baseline: &'a MeasureVector, candidates: &'a [Candidate]) -> Self {
+    fn new(
+        planner: &'a Planner,
+        baseline: &'a MeasureVector,
+        candidates: &'a [Candidate],
+        precheck: Option<PatternContext<'a>>,
+    ) -> Self {
         StreamingEngine {
             planner,
             baseline,
             candidates,
             dimensions: planner.config.objective.characteristics(),
             retain_dominated: planner.config.retain_dominated,
+            precheck,
             state: Mutex::new(EngineState {
                 skyline: SkylineSet::new(),
                 retained: Vec::new(),
@@ -484,6 +542,7 @@ impl<'a> StreamingEngine<'a> {
             rejected: AtomicUsize::new(0),
             failed_applications: AtomicUsize::new(0),
             failed_evaluations: AtomicUsize::new(0),
+            statically_rejected: AtomicUsize::new(0),
         }
     }
 
@@ -491,6 +550,17 @@ impl<'a> StreamingEngine<'a> {
     /// objective, or `None` when it failed or was rejected.
     fn process(&self, seq: usize, combo: &[usize]) -> Option<f64> {
         let refs: Vec<&Candidate> = combo.iter().map(|&i| &self.candidates[i]).collect();
+        if let Some(ctx) = &self.precheck {
+            // precondition screen: every candidate must hold on the base
+            // flow *before* we pay for the fork
+            if refs
+                .iter()
+                .any(|c| !analysis::check_application(ctx, c.pattern.as_ref(), c.point).is_empty())
+            {
+                self.statically_rejected.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        }
         let name = combination_name(&self.planner.flow, &refs);
         let (flow, applied) = match apply_combination(&self.planner.flow, &refs, name.clone()) {
             Ok(ok) => ok,
@@ -499,6 +569,12 @@ impl<'a> StreamingEngine<'a> {
                 return None;
             }
         };
+        // structural screen: an applied flow that no longer validates would
+        // only fail later (and more expensively) inside evaluation
+        if self.precheck.is_some() && analysis::screen(&flow).is_some() {
+            self.statically_rejected.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
         let measures = match evaluate_flow(
             &flow,
             &self.planner.catalog,
@@ -583,6 +659,7 @@ impl<'a> StreamingEngine<'a> {
             rejected_by_constraints: self.rejected.into_inner(),
             failed_applications: self.failed_applications.into_inner(),
             failed_evaluations: self.failed_evaluations.into_inner(),
+            statically_rejected: self.statically_rejected.into_inner(),
         }
     }
 }
@@ -901,6 +978,176 @@ mod tests {
                 + out.failed_evaluations
                 + out.failed_applications
                 + out.rejected_by_constraints
+                + out.statically_rejected
         );
+    }
+
+    #[test]
+    fn prescreening_preserves_the_frontier() {
+        // The pre-screen must be invisible on valid workloads: identical
+        // skyline and space accounting with and without it, on both demo
+        // flows (the acceptance bar for turning it on by default).
+        let screened = planner(PlannerConfig::default()).plan().unwrap();
+        let unscreened = planner(PlannerConfig {
+            prescreen: false,
+            ..PlannerConfig::default()
+        })
+        .plan()
+        .unwrap();
+        assert_eq!(screened.skyline_names(), unscreened.skyline_names());
+        assert_eq!(screened.alternatives.len(), unscreened.alternatives.len());
+        assert_eq!(screened.stats, unscreened.stats);
+        assert_eq!(screened.statically_rejected, 0);
+        assert_eq!(unscreened.statically_rejected, 0);
+
+        let tpch = |prescreen: bool| {
+            let (f, _) = tpch_flow();
+            let cat = tpch_catalog(120, &DirtProfile::demo(), 5);
+            let reg = PatternRegistry::standard_for_catalog(&cat);
+            let config = PlannerConfig {
+                prescreen,
+                max_alternatives: 2_000,
+                ..PlannerConfig::default()
+            };
+            Planner::new(f, cat, reg, config).plan().unwrap()
+        };
+        let on = tpch(true);
+        let off = tpch(false);
+        assert_eq!(on.skyline_names(), off.skyline_names());
+        assert_eq!(on.alternatives.len(), off.alternatives.len());
+        assert_eq!(on.statically_rejected, 0);
+    }
+
+    #[test]
+    fn non_applicable_points_are_prescreened() {
+        // A pattern that advertises points without honouring its own
+        // prerequisites (a buggy `candidate_points` override): the
+        // precondition screen must drop those combinations before apply.
+        struct WrongPoint;
+        impl fcp::Pattern for WrongPoint {
+            fn name(&self) -> &str {
+                "WrongPoint"
+            }
+            fn improves(&self) -> Characteristic {
+                Characteristic::Performance
+            }
+            fn prerequisites(&self) -> Vec<fcp::Prerequisite> {
+                // requires a node point, yet advertises the graph point
+                vec![fcp::Prerequisite::IsNode]
+            }
+            fn candidate_points(
+                &self,
+                _ctx: &fcp::PatternContext<'_>,
+            ) -> Vec<fcp::ApplicationPoint> {
+                vec![fcp::ApplicationPoint::Graph]
+            }
+            fn apply(
+                &self,
+                _flow: &mut EtlFlow,
+                _point: fcp::ApplicationPoint,
+            ) -> Result<fcp::AppliedPattern, fcp::PatternError> {
+                panic!("a prescreened pattern must never reach apply");
+            }
+        }
+
+        let (f, _) = purchases_flow();
+        let cat = purchases_catalog(60, &DirtProfile::demo(), 5);
+        let mut reg = PatternRegistry::standard_for_catalog(&cat);
+        reg.register(WrongPoint);
+        let config = PlannerConfig {
+            // room for every single-candidate combination: enumeration is
+            // ordered by pattern name and `WrongPoint` sorts last
+            max_alternatives: 500,
+            policy: DeploymentPolicy::exhaustive(1),
+            ..PlannerConfig::default()
+        };
+        let p = Planner::new(f, cat, reg, config);
+        let out = p.plan().unwrap();
+        assert!(
+            out.statically_rejected > 0,
+            "the wrong point must be pruned"
+        );
+        assert_eq!(out.failed_applications, 0);
+        assert_eq!(out.failed_evaluations, 0);
+        assert!(!out.alternatives.is_empty(), "good designs must survive");
+    }
+
+    #[test]
+    fn invalid_applications_are_prescreened_before_evaluation() {
+        // A pattern whose application breaks the flow (rewrites the filter
+        // predicate over a column that does not exist). With the structural
+        // screen on, the broken designs are counted as static rejections
+        // and evaluation never sees them; with it off, the same workload
+        // pays for the failures at evaluation time.
+        struct GhostColumn;
+        impl fcp::Pattern for GhostColumn {
+            fn name(&self) -> &str {
+                "GhostColumn"
+            }
+            fn improves(&self) -> Characteristic {
+                Characteristic::DataQuality
+            }
+            fn prerequisites(&self) -> Vec<fcp::Prerequisite> {
+                vec![]
+            }
+            fn candidate_points(
+                &self,
+                _ctx: &fcp::PatternContext<'_>,
+            ) -> Vec<fcp::ApplicationPoint> {
+                vec![fcp::ApplicationPoint::Graph]
+            }
+            fn apply(
+                &self,
+                flow: &mut EtlFlow,
+                point: fcp::ApplicationPoint,
+            ) -> Result<fcp::AppliedPattern, fcp::PatternError> {
+                let n = flow.ops_of_kind("filter")[0];
+                if let etl_model::OpKind::Filter { predicate } = &mut flow.op_mut(n).unwrap().kind {
+                    *predicate = etl_model::expr::Expr::col("__ghost__");
+                }
+                Ok(fcp::AppliedPattern {
+                    pattern: "GhostColumn".into(),
+                    point,
+                    added_nodes: vec![],
+                })
+            }
+        }
+
+        let run = |prescreen: bool| {
+            let (f, _) = purchases_flow();
+            let cat = purchases_catalog(60, &DirtProfile::demo(), 5);
+            let mut reg = PatternRegistry::standard_for_catalog(&cat);
+            reg.register(GhostColumn);
+            let config = PlannerConfig {
+                eval_mode: EvalMode::Simulate,
+                max_alternatives: 500,
+                policy: DeploymentPolicy::exhaustive(1),
+                prescreen,
+                ..PlannerConfig::default()
+            };
+            Planner::new(f, cat, reg, config).plan().unwrap()
+        };
+
+        let screened = run(true);
+        assert!(
+            screened.statically_rejected > 0,
+            "broken flows must be pruned"
+        );
+        assert_eq!(
+            screened.failed_evaluations, 0,
+            "evaluation must never see them"
+        );
+        assert!(
+            !screened.alternatives.is_empty(),
+            "good designs must survive"
+        );
+
+        let unscreened = run(false);
+        assert_eq!(unscreened.statically_rejected, 0);
+        assert!(
+            unscreened.failed_evaluations > 0,
+            "without the screen the same workload fails at evaluation time"
+        );
+        assert_eq!(screened.skyline_names(), unscreened.skyline_names());
     }
 }

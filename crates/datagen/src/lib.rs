@@ -20,6 +20,8 @@
 //! Every generator is deterministic in its seed, so experiments are
 //! reproducible run-to-run.
 
+#![forbid(unsafe_code)]
+
 mod catalog;
 mod dirt;
 pub mod fig2;

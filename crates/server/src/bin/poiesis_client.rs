@@ -6,6 +6,7 @@
 //! poiesis_client <addr> create [request.json]    new session (default request)
 //! poiesis_client <addr> explore <id>             run a cycle, print frontier
 //! poiesis_client <addr> select <id> <rank>       integrate a frontier design
+//! poiesis_client <addr> lint <id>                static diagnostics for the flow
 //! poiesis_client <addr> history <id>             completed iterations
 //! poiesis_client <addr> close <id>               drop the session
 //! poiesis_client <addr> script                   full create → explore →
@@ -30,7 +31,7 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: poiesis_client <addr> \
-                 <health|metrics|create|explore|select|history|close|script|shutdown> [args]"
+                 <health|metrics|create|explore|select|lint|history|close|script|shutdown> [args]"
             );
             ExitCode::FAILURE
         }
@@ -89,6 +90,10 @@ fn run(args: &[String]) -> Result<(), String> {
                 .map_err(|_| "rank must be a number".to_string())?;
             let record = client.select(id(2)?, rank).map_err(|e| e.to_string())?;
             println!("{}", poiesis::ToJson::to_json_string(&record));
+        }
+        "lint" => {
+            let report = client.lint(id(2)?).map_err(|e| e.to_string())?;
+            println!("{}", poiesis::ToJson::to_json_string(&report));
         }
         "history" => {
             let records = client.history(id(2)?).map_err(|e| e.to_string())?;

@@ -4,13 +4,14 @@
 //! contract of `docs/API.md`: raw [`request`](Client::request) for tests
 //! that need to probe error paths, and typed helpers
 //! ([`create`](Client::create) → [`explore`](Client::explore) →
-//! [`select`](Client::select) → [`history`](Client::history) →
-//! [`close`](Client::close)) that decode straight into the `poiesis::api`
+//! [`select`](Client::select) → [`lint`](Client::lint) →
+//! [`history`](Client::history) → [`close`](Client::close)) that decode
+//! straight into the `poiesis::api`
 //! DTOs. It exists so integration tests, the `poiesis_client` CLI and the
 //! `server_load` generator all exercise the same code path a real client
 //! would.
 
-use poiesis::{FromJson, IterationRecord, PlanRequest, PlanResponse, ToJson};
+use poiesis::{FromJson, IterationRecord, LintReport, PlanRequest, PlanResponse, ToJson};
 use serde::json::Value;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -252,6 +253,14 @@ impl Client {
                 .map_err(|e| ClientError::Decode(e.to_string()))?,
         )
         .map_err(|e| ClientError::Decode(e.to_string()))
+    }
+
+    /// `POST /sessions/{id}/lint` → static-analysis diagnostics for the
+    /// session's current flow.
+    pub fn lint(&mut self, id: u64) -> Result<LintReport, ClientError> {
+        let response =
+            Self::expect_ok(self.request("POST", &format!("/sessions/{id}/lint"), None)?)?;
+        LintReport::from_json_str(&response.body).map_err(|e| ClientError::Decode(e.to_string()))
     }
 
     /// `GET /sessions/{id}/history` → all completed iterations.

@@ -33,6 +33,7 @@
 //! | `POST /sessions` | `SessionManager::create_from_request` |
 //! | `POST /sessions/{id}/explore` | `SessionManager::explore` |
 //! | `POST /sessions/{id}/select` | `SessionManager::select` |
+//! | `POST /sessions/{id}/lint` | `SessionManager::lint` |
 //! | `GET /sessions/{id}/history` | `SessionManager::history` |
 //! | `DELETE /sessions/{id}` | `SessionManager::close` |
 //! | `POST /shutdown` | graceful stop of the whole server |
@@ -58,6 +59,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod client;
 pub mod http;

@@ -19,13 +19,14 @@ use std::time::{Duration, Instant};
 
 /// The endpoint shapes requests are counted under. `Other` covers
 /// unroutable paths and requests that failed HTTP parsing.
-const ROUTES: [&str; 10] = [
+const ROUTES: [&str; 11] = [
     "healthz",
     "metrics",
     "sessions_list",
     "session_create",
     "explore",
     "select",
+    "lint",
     "history",
     "close",
     "shutdown",
@@ -56,9 +57,10 @@ fn route_index(method: &str, path: &str) -> usize {
         ("POST", (Some("sessions"), None, _, _)) => 3,
         ("POST", (Some("sessions"), Some(_), Some("explore"), None)) => 4,
         ("POST", (Some("sessions"), Some(_), Some("select"), None)) => 5,
-        ("GET", (Some("sessions"), Some(_), Some("history"), None)) => 6,
-        ("DELETE", (Some("sessions"), Some(_), None, _)) => 7,
-        ("POST", (Some("shutdown"), None, _, _)) => 8,
+        ("POST", (Some("sessions"), Some(_), Some("lint"), None)) => 6,
+        ("GET", (Some("sessions"), Some(_), Some("history"), None)) => 7,
+        ("DELETE", (Some("sessions"), Some(_), None, _)) => 8,
+        ("POST", (Some("shutdown"), None, _, _)) => 9,
         _ => ROUTES.len() - 1,
     }
 }
@@ -139,6 +141,7 @@ pub struct Metrics {
     cycle: Histogram,
     snapshot_writes: AtomicU64,
     snapshot_errors: AtomicU64,
+    static_rejections: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -152,6 +155,7 @@ impl Default for Metrics {
             cycle: Histogram::default(),
             snapshot_writes: AtomicU64::new(0),
             snapshot_errors: AtomicU64::new(0),
+            static_rejections: AtomicU64::new(0),
         }
     }
 }
@@ -205,6 +209,15 @@ impl Metrics {
             self.snapshot_writes.fetch_add(1, Ordering::Relaxed);
         } else {
             self.snapshot_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts combinations pruned by the planner's static pre-screen
+    /// during one explore cycle.
+    pub fn record_static_rejections(&self, n: usize) {
+        if n > 0 {
+            self.static_rejections
+                .fetch_add(n as u64, Ordering::Relaxed);
         }
     }
 
@@ -284,6 +297,15 @@ impl Metrics {
             self.snapshot_errors.load(Ordering::Relaxed)
         ));
 
+        out.push_str(
+            "# HELP poiesis_static_rejections_total Combinations pruned by the static pre-screen before evaluation.\n",
+        );
+        out.push_str("# TYPE poiesis_static_rejections_total counter\n");
+        out.push_str(&format!(
+            "poiesis_static_rejections_total {}\n",
+            self.static_rejections.load(Ordering::Relaxed)
+        ));
+
         out.push_str("# HELP poiesis_uptime_seconds Seconds since the server started.\n");
         out.push_str("# TYPE poiesis_uptime_seconds gauge\n");
         out.push_str(&format!(
@@ -320,6 +342,7 @@ mod tests {
             ("POST", "/sessions", "session_create"),
             ("POST", "/sessions/12/explore", "explore"),
             ("POST", "/sessions/12/select", "select"),
+            ("POST", "/sessions/12/lint", "lint"),
             ("GET", "/sessions/12/history", "history"),
             ("DELETE", "/sessions/12", "close"),
             ("POST", "/shutdown", "shutdown"),
@@ -376,9 +399,20 @@ mod tests {
             "poiesis_sessions_live",
             "poiesis_snapshot_writes_total",
             "poiesis_snapshot_errors_total",
+            "poiesis_static_rejections_total",
             "poiesis_uptime_seconds",
         ] {
             assert!(text.contains(family), "missing {family}");
         }
+    }
+
+    #[test]
+    fn static_rejections_accumulate() {
+        let m = Metrics::new();
+        m.record_static_rejections(0);
+        assert!(m.render(0).contains("poiesis_static_rejections_total 0"));
+        m.record_static_rejections(3);
+        m.record_static_rejections(2);
+        assert!(m.render(0).contains("poiesis_static_rejections_total 5"));
     }
 }

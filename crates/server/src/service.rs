@@ -32,6 +32,7 @@ pub fn status_for(error: &PoiesisError) -> u16 {
     match error {
         PoiesisError::Malformed(_)
         | PoiesisError::InvalidObjective(_)
+        | PoiesisError::Analysis(_)
         | PoiesisError::MissingFlow
         | PoiesisError::MissingCatalog
         | PoiesisError::EmptyCatalog => 400,
@@ -199,6 +200,7 @@ impl PlanningService {
             ("POST", ["sessions"]) => self.create(request),
             ("POST", ["sessions", id, "explore"]) => self.with_id(id, |id| self.explore(id)),
             ("POST", ["sessions", id, "select"]) => self.with_id(id, |id| self.select(id, request)),
+            ("POST", ["sessions", id, "lint"]) => self.with_id(id, |id| self.lint(id)),
             ("GET", ["sessions", id, "history"]) => self.with_id(id, |id| self.history(id)),
             ("DELETE", ["sessions", id]) => self.with_id(id, |id| self.close(id)),
             // known paths with the wrong verb are 405, unknown paths 404
@@ -208,7 +210,7 @@ impl PlanningService {
                 | ["metrics"]
                 | ["sessions"]
                 | ["sessions", _]
-                | ["sessions", _, "explore" | "select" | "history"],
+                | ["sessions", _, "explore" | "select" | "lint" | "history"],
             ) => Response::json(
                 405,
                 error_body(
@@ -302,8 +304,17 @@ impl PlanningService {
         match self.manager.explore(id) {
             Ok(response) => {
                 self.metrics.observe_cycle(start.elapsed());
+                self.metrics
+                    .record_static_rejections(response.statically_rejected);
                 Response::json(200, response.to_json_string())
             }
+            Err(e) => plan_error(&e),
+        }
+    }
+
+    fn lint(&self, id: SessionId) -> Response {
+        match self.manager.lint(id) {
+            Ok(report) => Response::json(200, report.to_json_string()),
             Err(e) => plan_error(&e),
         }
     }
@@ -555,6 +566,36 @@ mod tests {
             "{\"rank\":0}",
         ));
         assert_eq!(r.status, 200, "{}", r.body);
+    }
+
+    #[test]
+    fn lint_route_reports_diagnostics_for_the_session() {
+        use poiesis::LintReport;
+        let svc = service();
+        let created = svc.handle(&request("POST", "/sessions", ""));
+        let id = json(&created)
+            .get("session")
+            .unwrap()
+            .as_usize("session")
+            .unwrap();
+        let linted = svc.handle(&request("POST", &format!("/sessions/{id}/lint"), ""));
+        assert_eq!(linted.status, 200, "{}", linted.body);
+        let report = LintReport::from_json_str(&linted.body).unwrap();
+        assert_eq!(report.session, Some(id as u64));
+        assert_eq!(report.errors, 0, "template flows are error-free");
+        // wrong verb → 405, unknown handle → 404, like every route
+        let r = svc.handle(&request("GET", &format!("/sessions/{id}/lint"), ""));
+        assert_eq!(
+            (r.status, error_code(&r)),
+            (405, "method_not_allowed".into())
+        );
+        let r = svc.handle(&request("POST", "/sessions/99/lint", ""));
+        assert_eq!((r.status, error_code(&r)), (404, "unknown_session".into()));
+    }
+
+    #[test]
+    fn analysis_errors_map_to_400() {
+        assert_eq!(status_for(&PoiesisError::Analysis(vec![])), 400);
     }
 
     #[test]

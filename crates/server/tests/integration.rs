@@ -61,6 +61,14 @@ fn full_lifecycle_round_trip_over_a_real_socket() {
     assert_eq!(record.cycle, 1);
     assert_eq!(record.selected, frontier.skyline[0].name);
 
+    let lint = client.lint(id).unwrap();
+    assert_eq!(lint.session, Some(id));
+    assert!(
+        lint.ok(),
+        "the demo flow must lint clean: {:?}",
+        lint.diagnostics
+    );
+
     let history = client.history(id).unwrap();
     assert_eq!(history, vec![record]);
 

@@ -10,6 +10,8 @@
 //!   (Fig. 5), with the composite→detail drill-down;
 //! * [`table`]: plain-text tables for the Fig. 1 / Fig. 6 style listings.
 
+#![forbid(unsafe_code)]
+
 pub mod bars;
 pub mod scatter;
 pub mod table;

@@ -18,6 +18,8 @@
 //! * [`expr_text`] — a total writer + recursive-descent parser for the
 //!   expression language (xLM stores predicates as text).
 
+#![forbid(unsafe_code)]
+
 pub mod expr_text;
 pub mod pdi;
 mod xlm;

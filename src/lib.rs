@@ -4,6 +4,8 @@
 //! single dependency. See the individual crates for the actual library
 //! surface; [`poiesis`] is the paper's primary contribution (the Planner).
 
+#![forbid(unsafe_code)]
+
 pub use datagen;
 pub use etl_model;
 pub use fcp;
