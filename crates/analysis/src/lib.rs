@@ -213,6 +213,91 @@ pub fn screen(flow: &EtlFlow) -> Option<Diagnostic> {
     flow.validate().err().map(|e| from_flow_error(flow, &e))
 }
 
+/// Incremental variant of [`screen`] for a copy-on-write fork of an
+/// already-screened base flow: checks only what the fork's patch can have
+/// changed, in `O(affected region)` instead of `O(flow)`.
+///
+/// * `base_schemas` — the base flow's schema table ([`propagate_schemas`]);
+/// * `delta` — the fork's divergence from the base ([`EtlFlow::delta_since`]).
+///
+/// **Precondition:** `screen(base)` returned `None`. Under it, this accepts a
+/// fork if and only if `screen(fork)` would: degree and kind can change only
+/// at touched nodes (any adjacency edit unshares the slot), a patch-created
+/// cycle always lies inside the touched-descendants region, and schemas of
+/// unaffected nodes are unchanged because the region is successor-closed.
+/// The returned diagnostic may name a different (equally real) finding than
+/// the full screen when several problems coexist.
+pub fn screen_delta(
+    fork: &EtlFlow,
+    base_schemas: &etl_model::SchemaTable,
+    delta: &flowgraph::CowDelta,
+) -> Option<Diagnostic> {
+    let g = &fork.graph;
+    if g.node_count() == 0 {
+        return Some(from_flow_error(fork, &FlowError::Empty));
+    }
+    // One pass detects both patch-created cycles (NotADag: a cycle through
+    // the patch always crosses a touched node) and schema breaks; the cycle
+    // verdict is pulled out first to keep the full screen's precedence
+    // (cycle → arity → schema).
+    let propagated = etl_model::propagate_schemas_delta(fork, base_schemas, delta);
+    if matches!(propagated, Err(etl_model::SchemaError::NotADag)) {
+        return Some(from_flow_error(fork, &FlowError::Cyclic));
+    }
+    if let Some(d) = touched_arity_diag(fork, delta) {
+        return Some(d);
+    }
+    if let Err(e) = propagated {
+        return Some(from_flow_error(fork, &FlowError::Schema(e)));
+    }
+    None
+}
+
+/// The structural half of [`screen_delta`], for callers that have already
+/// re-validated schema propagation over the patch (e.g. by carrying the
+/// fork's schema table through [`etl_model::repair_table`]): emptiness,
+/// patch-created cycles, and degree/arity rules at touched nodes. Same
+/// precondition as [`screen_delta`] — `screen(base)` returned `None`.
+pub fn screen_delta_structural(fork: &EtlFlow, delta: &flowgraph::CowDelta) -> Option<Diagnostic> {
+    if fork.graph.node_count() == 0 {
+        return Some(from_flow_error(fork, &FlowError::Empty));
+    }
+    if flowgraph::affected_topo(&fork.graph, &delta.touched_nodes).is_none() {
+        return Some(from_flow_error(fork, &FlowError::Cyclic));
+    }
+    touched_arity_diag(fork, delta)
+}
+
+/// Degree and arity checks restricted to a patch's touched nodes (any
+/// adjacency edit unshares the slot, so only touched nodes can violate).
+fn touched_arity_diag(fork: &EtlFlow, delta: &flowgraph::CowDelta) -> Option<Diagnostic> {
+    let g = &fork.graph;
+    for &n in &delta.touched_nodes {
+        let Some(op) = fork.op(n) else { continue };
+        let ins = g.in_degree(n);
+        let outs = g.out_degree(n);
+        let err = if ins == 0 && !matches!(op.kind, OpKind::Extract { .. }) {
+            Some(FlowError::NonExtractSource(op.name.clone()))
+        } else if outs == 0 && !matches!(op.kind, OpKind::Load { .. }) {
+            Some(FlowError::NonLoadSink(op.name.clone()))
+        } else {
+            let (ilo, ihi) = op.kind.input_arity();
+            let (olo, ohi) = op.kind.output_arity();
+            if ins < ilo || ins > ihi {
+                Some(FlowError::InputArity(op.name.clone(), ins, ilo, ihi))
+            } else if outs < olo || outs > ohi {
+                Some(FlowError::OutputArity(op.name.clone(), outs, olo, ohi))
+            } else {
+                None
+            }
+        };
+        if let Some(e) = err {
+            return Some(from_flow_error(fork, &e));
+        }
+    }
+    None
+}
+
 // ---------------------------------------------------------------------------
 // Pass 1: graph well-formedness.
 
@@ -362,7 +447,7 @@ pub fn dataflow(flow: &EtlFlow) -> Vec<Diagnostic> {
         let input = g
             .predecessors(n)
             .next()
-            .and_then(|p| schemas[p.index()].as_ref());
+            .and_then(|p| schemas[p.index()].as_deref());
         match &op.kind {
             OpKind::Filter { predicate } | OpKind::Router { predicate } => {
                 if let Some(schema) = input {
@@ -456,7 +541,11 @@ fn check_arithmetic(
 /// downstream operation ever consumes (PA014, warn). "Consumes" includes a
 /// load writing the field out; join renames (`r_` prefixing on clash) are
 /// normalised so a field consumed under its post-join name stays live.
-fn dead_fields(flow: &EtlFlow, schemas: &[Option<Schema>], out: &mut Vec<Diagnostic>) {
+fn dead_fields(
+    flow: &EtlFlow,
+    schemas: &[Option<std::sync::Arc<Schema>>],
+    out: &mut Vec<Diagnostic>,
+) {
     let g = &flow.graph;
     for (n, op) in g.nodes() {
         let introduced: Vec<&str> = match &op.kind {
@@ -791,6 +880,81 @@ mod tests {
         let diags = analyze(&valid_flow());
         assert!(diags.is_empty(), "unexpected: {diags:?}");
         assert!(screen(&valid_flow()).is_none());
+    }
+
+    #[test]
+    fn screen_delta_agrees_with_full_screen() {
+        let base = valid_flow();
+        let base_schemas = propagate_schemas(&base).unwrap();
+
+        // Clean patch: interpose a valid filter on the first edge.
+        let mut good = base.fork("good");
+        let e = good.graph.edge_ids().next().unwrap();
+        good.graph
+            .interpose_on_edge(
+                e,
+                Operation::filter("F2", Expr::col("price").gt(Expr::lit_i(0))),
+                Channel::default(),
+                Channel::default(),
+            )
+            .unwrap();
+        let delta = good.delta_since(&base);
+        assert!(screen(&good).is_none());
+        assert!(screen_delta(&good, &base_schemas, &delta).is_none());
+
+        // Schema-breaking patch: filter over a ghost column.
+        let mut bad = base.fork("bad");
+        let e = bad.graph.edge_ids().next().unwrap();
+        bad.graph
+            .interpose_on_edge(
+                e,
+                Operation::filter("G", Expr::col("ghost").gt(Expr::lit_i(0))),
+                Channel::default(),
+                Channel::default(),
+            )
+            .unwrap();
+        let delta = bad.delta_since(&base);
+        let fast = screen_delta(&bad, &base_schemas, &delta).expect("must reject");
+        let slow = screen(&bad).expect("must reject");
+        assert_eq!(fast.code, slow.code);
+        assert_eq!(fast.code, codes::UNRESOLVED_COLUMN);
+
+        // Structure-breaking patch: removing the load leaves a non-load sink.
+        let mut cut = base.fork("cut");
+        let load = cut
+            .graph
+            .nodes()
+            .find(|(_, op)| matches!(op.kind, OpKind::Load { .. }))
+            .map(|(n, _)| n)
+            .unwrap();
+        cut.graph.remove_node(load);
+        let delta = cut.delta_since(&base);
+        let fast = screen_delta(&cut, &base_schemas, &delta).expect("must reject");
+        let slow = screen(&cut).expect("must reject");
+        assert_eq!(fast.code, slow.code);
+
+        // Cycle-creating patch.
+        let mut cyc = base.fork("cyc");
+        let filter = cyc
+            .graph
+            .nodes()
+            .find(|(_, op)| op.name == "F")
+            .map(|(n, _)| n)
+            .unwrap();
+        let extract = cyc.graph.predecessors(filter).next().unwrap();
+        cyc.graph
+            .add_edge(filter, extract, Channel::default())
+            .unwrap();
+        let delta = cyc.delta_since(&base);
+        let fast = screen_delta(&cyc, &base_schemas, &delta).expect("must reject");
+        assert_eq!(fast.code, codes::CYCLE);
+        assert_eq!(screen(&cyc).unwrap().code, codes::CYCLE);
+
+        // Untouched fork sails through.
+        let same = base.fork("same");
+        let delta = same.delta_since(&base);
+        assert!(delta.is_empty());
+        assert!(screen_delta(&same, &base_schemas, &delta).is_none());
     }
 
     #[test]

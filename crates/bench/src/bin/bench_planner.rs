@@ -1,0 +1,295 @@
+//! BENCH_PLANNER — per-combination cost of the planning cycle, with and
+//! without incremental (copy-on-write + delta) evaluation.
+//!
+//! Runs a workload × strategy grid twice per cell — `delta_eval` on and
+//! off — asserts the skylines are identical, and writes a machine-readable
+//! `BENCH_planner.json` with combinations/second, µs per combination,
+//! frontier size and the delta-vs-scratch speedup per cell.
+//!
+//! ```text
+//! bench_planner [--out BENCH_planner.json] [--tiny] [--workers 1]
+//!               [--budget 100000] [--gate committed.json]
+//! ```
+//!
+//! * The headline `demo` workload is the 100 000-combination depth-3
+//!   estimate sweep over the TPC-DS-derived flow — the incremental
+//!   evaluator's acceptance benchmark.
+//! * `--workers` defaults to 1 so µs/combo measures per-combination cost,
+//!   not scheduling; pass the core count to measure wall-clock instead.
+//! * `--tiny` shrinks catalogs and budgets to CI scale (seconds, not
+//!   minutes); the emitted JSON records which scale produced it.
+//! * `--gate FILE` compares this run against a committed baseline produced
+//!   at the *same* scale and exits non-zero when any delta-mode cell lost
+//!   more than 20 % combinations/second — the CI perf-regression gate.
+
+use datagen::DirtProfile;
+use fcp::DeploymentPolicy;
+use poiesis::{Planner, PlannerConfig, PlannerOutcome, SearchStrategyKind};
+use serde::json::Value;
+use std::time::Instant;
+
+/// One workload of the grid: a flow, its catalog, and the policy/budget
+/// sizing its combination space.
+struct Workload {
+    name: &'static str,
+    flow: etl_model::EtlFlow,
+    catalog: datagen::Catalog,
+    depth: usize,
+    budget: usize,
+}
+
+fn workloads(tiny: bool, budget: usize) -> Vec<Workload> {
+    let dirt = DirtProfile::demo();
+    let scale = if tiny { 40 } else { 120 };
+    let side_budget = if tiny { 2_000 } else { 5_000 };
+    let (purchases, _) = datagen::fig2::purchases_flow();
+    let (tpch, _) = datagen::tpch::tpch_flow();
+    let (tpcds, _) = datagen::tpcds::tpcds_flow();
+    vec![
+        Workload {
+            name: "demo",
+            flow: tpcds.clone(),
+            catalog: datagen::tpcds::tpcds_catalog(scale, &dirt, 5),
+            depth: 3,
+            budget: if tiny { 5_000 } else { budget },
+        },
+        Workload {
+            name: "purchases",
+            flow: purchases,
+            catalog: datagen::fig2::purchases_catalog(scale, &dirt, 5),
+            depth: 3,
+            budget: if tiny { 5_000 } else { budget },
+        },
+        Workload {
+            name: "tpch",
+            flow: tpch,
+            catalog: datagen::tpch::tpch_catalog(scale, &dirt, 5),
+            depth: 2,
+            budget: side_budget,
+        },
+        Workload {
+            name: "tpcds",
+            flow: tpcds,
+            catalog: datagen::tpcds::tpcds_catalog(scale, &dirt, 5),
+            depth: 2,
+            budget: side_budget,
+        },
+    ]
+}
+
+/// One timed planning cycle; returns the outcome and wall seconds.
+fn run_once(
+    w: &Workload,
+    strategy: SearchStrategyKind,
+    workers: usize,
+    delta_eval: bool,
+) -> (PlannerOutcome, f64) {
+    let policy = DeploymentPolicy {
+        top_k_points_per_pattern: usize::MAX,
+        min_fitness: 0.0,
+        ..DeploymentPolicy::exhaustive(w.depth)
+    };
+    let config = PlannerConfig {
+        policy,
+        strategy,
+        workers,
+        max_alternatives: w.budget,
+        retain_dominated: false,
+        delta_eval,
+        ..PlannerConfig::default()
+    };
+    let registry = fcp::PatternRegistry::standard_for_catalog(&w.catalog);
+    let planner = Planner::new(w.flow.clone(), w.catalog.clone(), registry, config);
+    let t = Instant::now();
+    let out = planner.plan().expect("planning cycle");
+    (out, t.elapsed().as_secs_f64())
+}
+
+struct Cell {
+    workload: &'static str,
+    strategy: String,
+    enumerated: usize,
+    frontier: usize,
+    delta_secs: f64,
+    scratch_secs: f64,
+    skyline_equal: bool,
+}
+
+impl Cell {
+    fn combos_per_sec(&self) -> f64 {
+        self.enumerated as f64 / self.delta_secs.max(1e-9)
+    }
+    fn us_per_combo(&self) -> f64 {
+        self.delta_secs * 1e6 / self.enumerated.max(1) as f64
+    }
+    fn scratch_us_per_combo(&self) -> f64 {
+        self.scratch_secs * 1e6 / self.enumerated.max(1) as f64
+    }
+    fn speedup(&self) -> f64 {
+        self.scratch_secs / self.delta_secs.max(1e-9)
+    }
+
+    fn to_json(&self) -> Value {
+        let num = |x: f64| Value::number((x * 1000.0).round() / 1000.0).expect("finite");
+        Value::object([
+            ("workload".into(), Value::String(self.workload.into())),
+            ("strategy".into(), Value::String(self.strategy.clone())),
+            ("enumerated".into(), num(self.enumerated as f64)),
+            ("frontier".into(), num(self.frontier as f64)),
+            ("delta_secs".into(), num(self.delta_secs)),
+            ("scratch_secs".into(), num(self.scratch_secs)),
+            ("combos_per_sec".into(), num(self.combos_per_sec())),
+            ("us_per_combo".into(), num(self.us_per_combo())),
+            (
+                "scratch_us_per_combo".into(),
+                num(self.scratch_us_per_combo()),
+            ),
+            ("speedup".into(), num(self.speedup())),
+            ("skyline_equal".into(), Value::Bool(self.skyline_equal)),
+        ])
+    }
+}
+
+fn opt<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let workers: usize = opt(&args, "--workers", 1);
+    let budget: usize = opt(&args, "--budget", 100_000);
+    let out_path: String = opt(&args, "--out", "BENCH_planner.json".to_string());
+    let gate: Option<String> = args
+        .iter()
+        .position(|a| a == "--gate")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let strategies = [
+        SearchStrategyKind::Exhaustive,
+        SearchStrategyKind::Beam { width: 32 },
+        SearchStrategyKind::GreedyHillClimb,
+    ];
+
+    println!(
+        "BENCH_PLANNER — delta vs scratch, {} scale, {workers} workers\n",
+        if tiny { "tiny (CI)" } else { "full" }
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for w in workloads(tiny, budget) {
+        for strategy in strategies {
+            let (fast, delta_secs) = run_once(&w, strategy, workers, true);
+            let (slow, scratch_secs) = run_once(&w, strategy, workers, false);
+            let skyline_equal = fast.skyline_names() == slow.skyline_names();
+            assert!(
+                skyline_equal,
+                "{}/{strategy}: delta and scratch skylines diverged",
+                w.name
+            );
+            let cell = Cell {
+                workload: w.name,
+                strategy: strategy.to_string(),
+                enumerated: fast.stats.enumerated,
+                frontier: fast.skyline.len(),
+                delta_secs,
+                scratch_secs,
+                skyline_equal,
+            };
+            println!(
+                "{:<10} {:<22} {:>8} combos  {:>10.0} combos/s  {:>7.1} µs/combo (scratch {:>7.1})  speedup {:>5.2}x  frontier {}",
+                cell.workload,
+                cell.strategy,
+                cell.enumerated,
+                cell.combos_per_sec(),
+                cell.us_per_combo(),
+                cell.scratch_us_per_combo(),
+                cell.speedup(),
+                cell.frontier,
+            );
+            cells.push(cell);
+        }
+    }
+
+    let mean_speedup = cells.iter().map(Cell::speedup).sum::<f64>() / cells.len().max(1) as f64;
+    let demo_exhaustive_speedup = cells
+        .iter()
+        .find(|c| c.workload == "demo" && c.strategy == "exhaustive")
+        .map(Cell::speedup)
+        .unwrap_or(0.0);
+    println!(
+        "\nmean speedup {mean_speedup:.2}x; demo/exhaustive speedup {demo_exhaustive_speedup:.2}x"
+    );
+
+    let num = |x: f64| Value::number((x * 1000.0).round() / 1000.0).expect("finite");
+    let doc = Value::object([
+        ("schema".into(), num(1.0)),
+        ("tiny".into(), Value::Bool(tiny)),
+        ("workers".into(), num(workers as f64)),
+        (
+            "entries".into(),
+            Value::Array(cells.iter().map(Cell::to_json).collect()),
+        ),
+        ("mean_speedup".into(), num(mean_speedup)),
+    ]);
+    std::fs::write(&out_path, format!("{doc}\n")).expect("write bench json");
+    println!("wrote {out_path}");
+
+    if let Some(gate_path) = gate {
+        let committed = std::fs::read_to_string(&gate_path)
+            .unwrap_or_else(|e| panic!("read gate baseline {gate_path}: {e}"));
+        let committed = Value::parse(&committed).expect("parse gate baseline");
+        let base_tiny = committed
+            .get("tiny")
+            .and_then(|v| v.as_bool("tiny"))
+            .unwrap_or(false);
+        assert_eq!(
+            base_tiny, tiny,
+            "gate baseline was produced at a different scale; compare like with like"
+        );
+        let entries = committed
+            .get("entries")
+            .and_then(|v| v.as_array("entries").map(<[Value]>::to_vec))
+            .expect("gate baseline entries");
+        let mut failures = Vec::new();
+        for cell in &cells {
+            let Some(base) = entries.iter().find(|e| {
+                e.get("workload")
+                    .and_then(|v| v.as_str("w").map(str::to_owned))
+                    .ok()
+                    .as_deref()
+                    == Some(cell.workload)
+                    && e.get("strategy")
+                        .and_then(|v| v.as_str("s").map(str::to_owned))
+                        .ok()
+                        == Some(cell.strategy.clone())
+            }) else {
+                continue;
+            };
+            let base_cps = base
+                .get("combos_per_sec")
+                .and_then(|v| v.as_number("combos_per_sec"))
+                .unwrap_or(0.0);
+            let now_cps = cell.combos_per_sec();
+            if now_cps < base_cps * 0.8 {
+                failures.push(format!(
+                    "{}/{}: {now_cps:.0} combos/s < 80% of baseline {base_cps:.0}",
+                    cell.workload, cell.strategy
+                ));
+            }
+        }
+        if !failures.is_empty() {
+            eprintln!("PERF REGRESSION (>20% combos/s loss vs {gate_path}):");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("gate vs {gate_path}: OK (no cell lost >20% combos/s)");
+    }
+}

@@ -2,8 +2,8 @@
 //! flow by applying a combination of candidates to a fork of the base flow.
 
 use crate::generate::Candidate;
-use etl_model::EtlFlow;
-use fcp::{ApplicationPoint, AppliedPattern, PatternError};
+use etl_model::{EtlFlow, SchemaTable};
+use fcp::{ApplicationPoint, AppliedPattern, PatternContext, PatternError};
 
 /// Applies a combination of candidates to a fork of `base`, named `name`.
 ///
@@ -34,11 +34,190 @@ pub fn apply_combination(
     Ok((flow, applied))
 }
 
+/// How [`apply_combination_incremental`]'s carried schema table ended up
+/// after the last application.
+pub enum CarriedTable {
+    /// The table is exact for the returned flow — structurally equal to
+    /// `propagate_schemas(&flow)`. Callers can skip schema re-validation.
+    Exact {
+        /// The fork's final schema table.
+        table: SchemaTable,
+        /// The fork's copy-on-write delta against the base, as of the last
+        /// application — shared so callers don't recompute it.
+        cow: etl_model::CowDelta,
+    },
+    /// The combination broke schema propagation; a full screen of the
+    /// returned flow would report this error (or a structural one).
+    Broken(etl_model::SchemaError),
+}
+
+/// The incremental counterpart of [`apply_combination`]: identical result,
+/// O(patch) instead of O(flow) per application.
+///
+/// `base_schemas` is `base`'s schema table, computed once per planning
+/// cycle. The fork starts with an `Arc`-shared clone of that table; after
+/// each application the table is repaired in place via
+/// [`etl_model::repair_table`], seeded from the nodes that application
+/// added — O(patch) for schema-passthrough patterns, O(downstream of the
+/// patch) only when schemas genuinely changed. Each candidate's full
+/// [`Pattern::applicable`](fcp::Pattern::applicable) check runs against the
+/// carried table (built-ins add conjunctive schema conditions beyond their
+/// declared prerequisites), then
+/// [`Pattern::apply_unchecked`](fcp::Pattern::apply_unchecked) performs the
+/// structural edit without rebuilding an O(flow) context. If a repair gives
+/// up or errors mid-combination, the table is rebuilt by a topologically
+/// ordered [`etl_model::propagate_schemas_delta`] — repair's worklist may
+/// transiently mix settled and unsettled inputs at a confluence, so only
+/// the ordered rebuild's verdict counts. Application order and failure
+/// behaviour match [`apply_combination`] exactly — the planner's
+/// equivalence tests assert bit-identical alternatives and rejection
+/// counts. The returned [`CarriedTable`] reports whether the final table is
+/// exact, letting the post-screen skip schema propagation entirely.
+pub fn apply_combination_incremental(
+    base: &EtlFlow,
+    combo: &[&Candidate],
+    name: impl Into<String>,
+    base_schemas: &SchemaTable,
+) -> Result<(EtlFlow, Vec<AppliedPattern>, CarriedTable), PatternError> {
+    let mut flow = base.fork(name);
+    let mut applied = Vec::with_capacity(combo.len());
+    let (structural, graph_level): (Vec<&Candidate>, Vec<&Candidate>) = combo
+        .iter()
+        .copied()
+        .partition(|c| c.point != ApplicationPoint::Graph);
+    let mut table = base_schemas.clone();
+    // Seeds for repairing the table after the previous application. A
+    // pattern that opts into `patch_confined_to_added_nodes` lets us seed
+    // the repair from just the nodes it added — no delta derivation at all.
+    // Otherwise the fork's cumulative copy-on-write delta is the sound seed
+    // set for *any* mutation (an application that edits an operation in
+    // place unshares its slot, so it is touched even though it added no
+    // nodes).
+    enum Seeds {
+        Confined(Vec<etl_model::NodeId>),
+        Cumulative,
+    }
+    // Full rebuild when a repair gives up (patch-created cycle) or hits an
+    // error: repair's worklist may transiently mix settled and unsettled
+    // inputs at a confluence, so only the topologically ordered rebuild's
+    // verdict counts.
+    let rebuild = |flow: &EtlFlow, table: &mut SchemaTable| -> Result<(), etl_model::SchemaError> {
+        *table = etl_model::propagate_schemas_delta(flow, base_schemas, &flow.delta_since(base))?;
+        Ok(())
+    };
+    let mut pending: Option<Seeds> = None;
+    for c in structural.into_iter().chain(graph_level) {
+        match pending.take() {
+            None => {}
+            Some(Seeds::Confined(seeds)) => {
+                let repaired = etl_model::repair_table(&flow, &mut table, &seeds);
+                if !matches!(repaired, Ok(true)) {
+                    rebuild(&flow, &mut table).map_err(|e| PatternError::Graph(e.to_string()))?;
+                }
+            }
+            Some(Seeds::Cumulative) => {
+                let cow = flow.delta_since(base);
+                if !matches!(
+                    etl_model::repair_table(&flow, &mut table, &cow.touched_nodes),
+                    Ok(true)
+                ) {
+                    table = etl_model::propagate_schemas_delta(&flow, base_schemas, &cow)
+                        .map_err(|e| PatternError::Graph(e.to_string()))?;
+                }
+            }
+        }
+        let ctx = PatternContext::with_schemas(&flow, table);
+        if !c.pattern.applicable(&ctx, c.point) {
+            return Err(PatternError::NotApplicable {
+                pattern: c.pattern.name().to_string(),
+                point: c.point.describe(&flow),
+            });
+        }
+        table = ctx.into_schemas();
+        let a = c.pattern.apply_unchecked(&mut flow, c.point, &table)?;
+        pending = Some(if c.pattern.patch_confined_to_added_nodes() {
+            Seeds::Confined(a.added_nodes.clone())
+        } else {
+            Seeds::Cumulative
+        });
+        applied.push(a);
+    }
+    // The final repair: the fork's delta is derived once regardless (the
+    // caller needs it for screening and delta estimation), but confined
+    // seeds still pay off by keeping the repair worklist to the last patch.
+    let cow = flow.delta_since(base);
+    let exact = match pending {
+        None => true,
+        Some(Seeds::Confined(seeds)) => {
+            matches!(etl_model::repair_table(&flow, &mut table, &seeds), Ok(true))
+        }
+        Some(Seeds::Cumulative) => matches!(
+            etl_model::repair_table(&flow, &mut table, &cow.touched_nodes),
+            Ok(true)
+        ),
+    };
+    let carried = if exact {
+        CarriedTable::Exact { table, cow }
+    } else {
+        match etl_model::propagate_schemas_delta(&flow, base_schemas, &cow) {
+            Ok(t) => CarriedTable::Exact { table: t, cow },
+            Err(e) => CarriedTable::Broken(e),
+        }
+    };
+    Ok((flow, applied, carried))
+}
+
 /// Derives a deterministic alternative name from the combination.
+///
+/// Convenience wrapper that re-derives every label on each call; hot paths
+/// (the planner walks up to hundreds of thousands of combinations per
+/// cycle) build a [`LabelTable`] once and use [`LabelTable::name`].
 pub fn combination_name(base: &EtlFlow, combo: &[&Candidate]) -> String {
     let mut parts: Vec<String> = combo.iter().map(|c| c.label()).collect();
     parts.sort();
     format!("{}+{}", base.name, parts.join("+"))
+}
+
+/// Per-cycle candidate label table: every candidate's
+/// `"Pattern@point"` label plus its rank in the global label sort order,
+/// computed once so that naming a combination needs only an integer sort
+/// and one string allocation — no label re-derivation, no string
+/// comparisons per combination.
+pub struct LabelTable {
+    labels: Vec<String>,
+    rank: Vec<usize>,
+}
+
+impl LabelTable {
+    /// Derives and ranks the labels of `candidates` (indices align).
+    pub fn new(candidates: &[Candidate]) -> Self {
+        let labels: Vec<String> = candidates.iter().map(|c| c.label()).collect();
+        let mut order: Vec<usize> = (0..labels.len()).collect();
+        order.sort_by(|&a, &b| labels[a].cmp(&labels[b]));
+        let mut rank = vec![0usize; labels.len()];
+        for (r, &i) in order.iter().enumerate() {
+            rank[i] = r;
+        }
+        LabelTable { labels, rank }
+    }
+
+    /// The alternative name for a combination given as candidate indices.
+    /// Produces exactly the string [`combination_name`] would: ranks are
+    /// assigned by a stable label sort, so ordering indices by rank orders
+    /// their labels; equal labels join identically in either order.
+    pub fn name(&self, base: &EtlFlow, combo: &[usize]) -> String {
+        let mut idx: Vec<usize> = combo.to_vec();
+        idx.sort_unstable_by_key(|&i| self.rank[i]);
+        let mut s = String::with_capacity(
+            base.name.len() + idx.iter().map(|&i| self.labels[i].len() + 1).sum::<usize>(),
+        );
+        s.push_str(&base.name);
+        for &i in &idx {
+            s.push('+');
+            s.push_str(&self.labels[i]);
+        }
+        s
+    }
 }
 
 #[cfg(test)]
@@ -149,5 +328,27 @@ mod tests {
             .find(|c| c.pattern.name() != a.pattern.name())
             .unwrap();
         assert_eq!(combination_name(&f, &[a, b]), combination_name(&f, &[b, a]));
+    }
+
+    #[test]
+    fn label_table_names_match_combination_name() {
+        let (f, cands) = setup();
+        let table = LabelTable::new(&cands);
+        // singletons, pairs and a triple, in both orders
+        let b = cands
+            .iter()
+            .position(|c| c.pattern.name() != cands[0].pattern.name())
+            .unwrap();
+        let combos: Vec<Vec<usize>> = vec![
+            vec![0],
+            vec![b],
+            vec![0, b],
+            vec![b, 0],
+            vec![0, b, cands.len() - 1],
+        ];
+        for combo in combos {
+            let refs: Vec<&Candidate> = combo.iter().map(|&i| &cands[i]).collect();
+            assert_eq!(table.name(&f, &combo), combination_name(&f, &refs));
+        }
     }
 }

@@ -13,8 +13,8 @@
 //! magnitude. [`Planner::plan_materialized`] keeps the original
 //! materialize-all path for A/B comparison (see the `streaming_sweep` bin).
 
-use crate::apply::{apply_combination, combination_name};
-use crate::eval::{characteristic_scores, evaluate_flow, evaluate_pool, Alternative, EvalMode};
+use crate::apply::{apply_combination, apply_combination_incremental, CarriedTable, LabelTable};
+use crate::eval::{characteristic_scores, evaluate_flow, Alternative, EvalMode};
 use crate::explore::{enumerate_combinations, theoretical_space, SpaceStats};
 use crate::generate::{generate_candidates, Candidate};
 use crate::objective::Objective;
@@ -22,7 +22,7 @@ use crate::search::{CombinationSink, SearchSpace, SearchStrategy, SearchStrategy
 use crate::skyline::{pareto_skyline, Insertion, SkylineSet};
 use datagen::Catalog;
 use etl_model::EtlFlow;
-use fcp::{DeploymentPolicy, PatternContext, PatternRegistry};
+use fcp::{AppliedPattern, DeploymentPolicy, PatternContext, PatternRegistry};
 use quality::{Characteristic, MeasureVector, QualityReport, SourceStats};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -71,6 +71,18 @@ pub struct PlannerConfig {
     /// apply- or evaluation-time failures. On by default; turning it off
     /// restores the historical fail-at-evaluation behaviour.
     pub prescreen: bool,
+    /// Incremental (delta) evaluation of [`EvalMode::Estimate`] cycles.
+    /// The base flow's estimator state ([`quality::EstimateBaseline`]) and
+    /// `Arc`-shared schema table are computed once per cycle; each
+    /// combination then recomputes only the nodes its patch touched plus
+    /// their downstream closure — O(patch) instead of O(flow) per
+    /// combination — for both the structural/schema screen
+    /// ([`analysis::screen_delta`]) and the measure estimate
+    /// ([`quality::estimate_delta`]). The resulting measure vectors are
+    /// bit-identical to from-scratch evaluation (enforced by tests), so
+    /// this is on by default; turning it off restores full per-combination
+    /// re-evaluation for A/B timing. Ignored in [`EvalMode::Simulate`].
+    pub delta_eval: bool,
 }
 
 impl PlannerConfig {
@@ -93,6 +105,7 @@ impl Default for PlannerConfig {
             objective: Objective::balanced(),
             seed: 0xBEEF,
             prescreen: true,
+            delta_eval: true,
         }
     }
 }
@@ -289,7 +302,9 @@ impl Planner {
     pub fn plan_with(&self, strategy: &dyn SearchStrategy) -> Result<PlannerOutcome, PlannerError> {
         let (baseline, candidates) = self.prepare()?;
         let precheck = self.precheck_context()?;
-        let engine = StreamingEngine::new(self, &baseline, &candidates, precheck);
+        let delta = self.delta_context();
+        let labels = LabelTable::new(&candidates);
+        let engine = StreamingEngine::new(self, &baseline, &candidates, precheck, delta, labels);
         let space = SearchSpace {
             candidates: &candidates,
             policy: &self.config.policy,
@@ -337,54 +352,43 @@ impl Planner {
             self.config.max_alternatives,
         );
         let precheck = self.precheck_context()?;
+        let delta = self.delta_context();
+        let labels = LabelTable::new(&candidates);
         let mut flows = Vec::with_capacity(combos.len());
+        let mut cows = Vec::with_capacity(combos.len());
         let mut metas = Vec::with_capacity(combos.len());
         let mut failed_applications = 0usize;
         let mut statically_rejected = 0usize;
         for combo in &combos {
-            let refs: Vec<&Candidate> = combo.iter().map(|&i| &candidates[i]).collect();
-            if let Some(ctx) = &precheck {
-                if refs.iter().any(|c| {
-                    !analysis::check_application(ctx, c.pattern.as_ref(), c.point).is_empty()
-                }) {
-                    statically_rejected += 1;
-                    continue;
-                }
-            }
-            let name = combination_name(&self.flow, &refs);
-            match apply_combination(&self.flow, &refs, name.clone()) {
-                Ok((flow, applied)) => {
-                    if precheck.is_some() && analysis::screen(&flow).is_some() {
-                        statically_rejected += 1;
-                        continue;
-                    }
+            match self.realize_combination(
+                combo,
+                &candidates,
+                &labels,
+                precheck.as_ref(),
+                delta.as_ref(),
+            ) {
+                Realization::Ready {
+                    flow,
+                    applied,
+                    name,
+                    cow,
+                } => {
                     let descs = applied
                         .iter()
                         .map(|a| format!("{} {}", a.pattern, a.point))
                         .collect::<Vec<_>>();
                     flows.push(flow);
+                    cows.push(cow);
                     metas.push((name, descs, combo.clone()));
                 }
-                Err(_) => failed_applications += 1,
+                Realization::Screened => statically_rejected += 1,
+                Realization::ApplyFailed => failed_applications += 1,
             }
         }
 
-        struct FlowRef<'a>(&'a EtlFlow);
-        impl AsRef<EtlFlow> for FlowRef<'_> {
-            fn as_ref(&self) -> &EtlFlow {
-                self.0
-            }
-        }
-        let flow_refs: Vec<FlowRef<'_>> = flows.iter().map(FlowRef).collect();
-        let measures = evaluate_pool(
-            &flow_refs,
-            &self.catalog,
-            &self.stats_cache,
-            self.config.eval_mode,
-            self.config.workers,
-            self.config.seed,
-        );
-        drop(flow_refs);
+        let measures = crate::eval::par_map_indexed(flows.len(), self.config.workers, |i| {
+            self.evaluate_combination(&flows[i], delta.as_ref(), cows[i].as_ref())
+        });
 
         let objective = &self.config.objective;
         let dimensions = objective.characteristics();
@@ -448,6 +452,130 @@ impl Planner {
             .map_err(|e| PlannerError::Pattern(e.to_string()))
     }
 
+    /// The per-cycle incremental-evaluation context, or `None` when delta
+    /// evaluation does not apply (disabled, or the cycle simulates). Both
+    /// parts are O(flow) once: the estimator baseline caches every node's
+    /// measure contributions, the schema table `Arc`-shares every node's
+    /// output schema; per-combination work then touches only the patch and
+    /// its downstream closure.
+    fn delta_context(&self) -> Option<DeltaCtx> {
+        if !self.config.delta_eval || self.config.eval_mode != EvalMode::Estimate {
+            return None;
+        }
+        // `prepare` has already validated the flow, so propagation cannot
+        // fail here; fall back to full evaluation defensively if it does.
+        let schemas = etl_model::propagate_schemas(&self.flow).ok()?;
+        Some(DeltaCtx {
+            baseline: quality::estimate_baseline(&self.flow, &self.stats_cache),
+            schemas,
+        })
+    }
+
+    /// The shared prescreen → apply → post-screen pipeline of both planner
+    /// paths: checks every candidate's preconditions against the base flow,
+    /// forks and applies the combination, and screens the applied result —
+    /// incrementally when a [`DeltaCtx`] is available.
+    fn realize_combination(
+        &self,
+        combo: &[usize],
+        candidates: &[Candidate],
+        labels: &LabelTable,
+        precheck: Option<&PatternContext<'_>>,
+        delta: Option<&DeltaCtx>,
+    ) -> Realization {
+        let refs: Vec<&Candidate> = combo.iter().map(|&i| &candidates[i]).collect();
+        if let Some(ctx) = precheck {
+            // precondition screen: every candidate must hold on the base
+            // flow *before* we pay for the fork
+            if refs
+                .iter()
+                .any(|c| !analysis::check_application(ctx, c.pattern.as_ref(), c.point).is_empty())
+            {
+                return Realization::Screened;
+            }
+        }
+        let name = labels.name(&self.flow, combo);
+        // With a delta context, apply incrementally: the base schema table
+        // is carried across the combination's applications (O(patch) per
+        // step) instead of re-propagated from scratch inside each pattern.
+        let (flow, applied, carried) = match delta {
+            Some(d) => {
+                match apply_combination_incremental(&self.flow, &refs, name.clone(), &d.schemas) {
+                    Ok((f, a, c)) => (f, a, Some(c)),
+                    Err(_) => return Realization::ApplyFailed,
+                }
+            }
+            None => match apply_combination(&self.flow, &refs, name.clone()) {
+                Ok((f, a)) => (f, a, None),
+                Err(_) => return Realization::ApplyFailed,
+            },
+        };
+        // structural screen: an applied flow that no longer validates would
+        // only fail later (and more expensively) inside evaluation. With a
+        // delta context the incremental apply has already settled the
+        // schema verdict and computed the fork's copy-on-write delta, so
+        // only the patched region's structure is checked here.
+        let cow = match carried {
+            Some(CarriedTable::Broken(_)) => {
+                if precheck.is_some() {
+                    return Realization::Screened;
+                }
+                Some(flow.delta_since(&self.flow))
+            }
+            Some(CarriedTable::Exact { cow, .. }) => {
+                if precheck.is_some() && analysis::screen_delta_structural(&flow, &cow).is_some() {
+                    return Realization::Screened;
+                }
+                Some(cow)
+            }
+            None => {
+                if precheck.is_some() && analysis::screen(&flow).is_some() {
+                    return Realization::Screened;
+                }
+                None
+            }
+        };
+        Realization::Ready {
+            flow,
+            applied,
+            name,
+            cow,
+        }
+    }
+
+    /// Scores one realized combination: delta estimation against the
+    /// cached baseline when available, full evaluation otherwise. Both
+    /// produce bit-identical measure vectors.
+    fn evaluate_combination(
+        &self,
+        flow: &EtlFlow,
+        delta: Option<&DeltaCtx>,
+        cow: Option<&etl_model::CowDelta>,
+    ) -> Result<MeasureVector, simulator::SimError> {
+        match (delta, cow) {
+            (Some(d), Some(cd)) => Ok(quality::estimate_delta_with(
+                flow,
+                &self.flow,
+                &d.baseline,
+                &self.stats_cache,
+                cd,
+            )),
+            (Some(d), None) => Ok(quality::estimate_delta(
+                flow,
+                &self.flow,
+                &d.baseline,
+                &self.stats_cache,
+            )),
+            _ => evaluate_flow(
+                flow,
+                &self.catalog,
+                &self.stats_cache,
+                self.config.eval_mode,
+                self.config.seed,
+            ),
+        }
+    }
+
     /// Shared preamble of both pipelines: validate the flow, score the
     /// baseline, generate candidates.
     fn prepare(&self) -> Result<(MeasureVector, Vec<Candidate>), PlannerError> {
@@ -466,6 +594,35 @@ impl Planner {
             .map_err(|e| PlannerError::Pattern(e.to_string()))?;
         Ok((baseline, candidates))
     }
+}
+
+/// Per-cycle incremental-evaluation state (the copy-on-write/delta
+/// tentpole): the base flow's cached estimator contributions and its
+/// `Arc`-shared schema table. Combinations fork the base flow, so their
+/// [`CowDelta`](etl_model::CowDelta) recovers exactly the patched slots and
+/// everything outside the patch's downstream closure is reused verbatim.
+struct DeltaCtx {
+    baseline: quality::EstimateBaseline,
+    schemas: etl_model::SchemaTable,
+}
+
+/// Outcome of [`Planner::realize_combination`]: an applied flow ready for
+/// evaluation, or a counted rejection (the caller owns the counters — the
+/// streaming engine uses atomics, the materialized path plain integers).
+enum Realization {
+    /// Applied and screened; evaluate it.
+    Ready {
+        flow: EtlFlow,
+        applied: Vec<AppliedPattern>,
+        name: String,
+        /// The fork's copy-on-write delta (present iff a [`DeltaCtx`] was
+        /// active), reused by the measure estimate.
+        cow: Option<etl_model::CowDelta>,
+    },
+    /// Dropped by the static pre- or post-screen.
+    Screened,
+    /// The application itself failed (conflicting candidates).
+    ApplyFailed,
 }
 
 // --------------------------------------------------------- streaming engine
@@ -506,6 +663,11 @@ struct StreamingEngine<'a> {
     /// Base-flow pattern context the static pre-screen checks candidate
     /// preconditions against; `None` when pre-screening is disabled.
     precheck: Option<PatternContext<'a>>,
+    /// Incremental-evaluation context ([`PlannerConfig::delta_eval`]);
+    /// `None` when delta evaluation does not apply to this cycle.
+    delta: Option<DeltaCtx>,
+    /// Candidate labels, derived and ranked once per cycle.
+    labels: LabelTable,
     state: Mutex<EngineState>,
     rejected: AtomicUsize,
     failed_applications: AtomicUsize,
@@ -527,6 +689,8 @@ impl<'a> StreamingEngine<'a> {
         baseline: &'a MeasureVector,
         candidates: &'a [Candidate],
         precheck: Option<PatternContext<'a>>,
+        delta: Option<DeltaCtx>,
+        labels: LabelTable,
     ) -> Self {
         StreamingEngine {
             planner,
@@ -535,6 +699,8 @@ impl<'a> StreamingEngine<'a> {
             dimensions: planner.config.objective.characteristics(),
             retain_dominated: planner.config.retain_dominated,
             precheck,
+            delta,
+            labels,
             state: Mutex::new(EngineState {
                 skyline: SkylineSet::new(),
                 retained: Vec::new(),
@@ -549,45 +715,39 @@ impl<'a> StreamingEngine<'a> {
     /// Applies, evaluates and skyline-feeds one combination; returns its
     /// objective, or `None` when it failed or was rejected.
     fn process(&self, seq: usize, combo: &[usize]) -> Option<f64> {
-        let refs: Vec<&Candidate> = combo.iter().map(|&i| &self.candidates[i]).collect();
-        if let Some(ctx) = &self.precheck {
-            // precondition screen: every candidate must hold on the base
-            // flow *before* we pay for the fork
-            if refs
-                .iter()
-                .any(|c| !analysis::check_application(ctx, c.pattern.as_ref(), c.point).is_empty())
-            {
+        let (flow, applied, name, cow) = match self.planner.realize_combination(
+            combo,
+            self.candidates,
+            &self.labels,
+            self.precheck.as_ref(),
+            self.delta.as_ref(),
+        ) {
+            Realization::Ready {
+                flow,
+                applied,
+                name,
+                cow,
+            } => (flow, applied, name, cow),
+            Realization::Screened => {
                 self.statically_rejected.fetch_add(1, Ordering::Relaxed);
                 return None;
             }
-        }
-        let name = combination_name(&self.planner.flow, &refs);
-        let (flow, applied) = match apply_combination(&self.planner.flow, &refs, name.clone()) {
-            Ok(ok) => ok,
-            Err(_) => {
+            Realization::ApplyFailed => {
                 self.failed_applications.fetch_add(1, Ordering::Relaxed);
                 return None;
             }
         };
-        // structural screen: an applied flow that no longer validates would
-        // only fail later (and more expensively) inside evaluation
-        if self.precheck.is_some() && analysis::screen(&flow).is_some() {
-            self.statically_rejected.fetch_add(1, Ordering::Relaxed);
-            return None;
-        }
-        let measures = match evaluate_flow(
-            &flow,
-            &self.planner.catalog,
-            &self.planner.stats_cache,
-            self.planner.config.eval_mode,
-            self.planner.config.seed,
-        ) {
-            Ok(m) => m,
-            Err(_) => {
-                self.failed_evaluations.fetch_add(1, Ordering::Relaxed);
-                return None;
-            }
-        };
+        let measures =
+            match self
+                .planner
+                .evaluate_combination(&flow, self.delta.as_ref(), cow.as_ref())
+            {
+                Ok(m) => m,
+                Err(_) => {
+                    self.failed_evaluations.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+            };
         let objective = &self.planner.config.objective;
         if !self.planner.config.policy.admits(self.baseline, &measures)
             || !objective.admits(self.baseline, &measures)
@@ -601,14 +761,17 @@ impl<'a> StreamingEngine<'a> {
         // objective, not an implicit score-sum
         let steer = objective.scalarize(&scores);
         let oriented = objective.oriented(&scores);
-        let applied = applied
-            .iter()
-            .map(|a| format!("{} {}", a.pattern, a.point))
-            .collect::<Vec<_>>();
-        let alt = Alternative {
+        // Alternative construction (description strings, combo clone) is
+        // deferred until the skyline verdict: with `retain_dominated` off,
+        // the overwhelming majority of combinations are dominated and
+        // dropped right here, so they never pay for it.
+        let alt = move || Alternative {
             name,
             flow,
-            applied,
+            applied: applied
+                .iter()
+                .map(|a| format!("{} {}", a.pattern, a.point))
+                .collect::<Vec<_>>(),
             combo: combo.to_vec(),
             measures,
             scores,
@@ -623,11 +786,11 @@ impl<'a> StreamingEngine<'a> {
                         }
                     }
                 }
-                state.retained.push((seq, alt));
+                state.retained.push((seq, alt()));
             }
             Insertion::Dominated => {
                 if self.retain_dominated {
-                    state.retained.push((seq, alt));
+                    state.retained.push((seq, alt()));
                 }
                 // else: the dominated flow is dropped right here, keeping
                 // the engine's memory proportional to the frontier
@@ -1149,5 +1312,102 @@ mod tests {
             "without the screen the same workload fails at evaluation time"
         );
         assert_eq!(screened.skyline_names(), unscreened.skyline_names());
+    }
+
+    #[test]
+    fn delta_evaluation_is_bit_identical_to_full() {
+        // The tentpole's acceptance bar: with `delta_eval` on (default)
+        // every alternative's MeasureVector equals the from-scratch value
+        // exactly — not approximately — and the frontier is unchanged, on
+        // both planner paths.
+        let run = |delta_eval: bool, materialized: bool| {
+            let p = planner(PlannerConfig {
+                delta_eval,
+                ..PlannerConfig::default()
+            });
+            if materialized {
+                p.plan_materialized().unwrap()
+            } else {
+                p.plan().unwrap()
+            }
+        };
+        for materialized in [false, true] {
+            let fast = run(true, materialized);
+            let slow = run(false, materialized);
+            assert_eq!(fast.skyline_names(), slow.skyline_names());
+            assert_eq!(fast.skyline, slow.skyline);
+            assert_eq!(fast.alternatives.len(), slow.alternatives.len());
+            for (a, b) in fast.alternatives.iter().zip(&slow.alternatives) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(
+                    a.measures, b.measures,
+                    "delta-evaluated measures must be bit-identical for {}",
+                    a.name
+                );
+            }
+            assert_eq!(fast.statically_rejected, slow.statically_rejected);
+            assert_eq!(fast.failed_applications, slow.failed_applications);
+            assert_eq!(fast.failed_evaluations, slow.failed_evaluations);
+        }
+    }
+
+    #[test]
+    fn delta_evaluation_screens_broken_applications_identically() {
+        // The delta post-screen must reject exactly the combinations the
+        // full screen rejects (a pattern whose application breaks schema
+        // consistency), with identical counters.
+        struct GhostColumn;
+        impl fcp::Pattern for GhostColumn {
+            fn name(&self) -> &str {
+                "GhostColumn"
+            }
+            fn improves(&self) -> Characteristic {
+                Characteristic::DataQuality
+            }
+            fn prerequisites(&self) -> Vec<fcp::Prerequisite> {
+                vec![]
+            }
+            fn candidate_points(
+                &self,
+                _ctx: &fcp::PatternContext<'_>,
+            ) -> Vec<fcp::ApplicationPoint> {
+                vec![fcp::ApplicationPoint::Graph]
+            }
+            fn apply(
+                &self,
+                flow: &mut EtlFlow,
+                point: fcp::ApplicationPoint,
+            ) -> Result<fcp::AppliedPattern, fcp::PatternError> {
+                let n = flow.ops_of_kind("filter")[0];
+                if let etl_model::OpKind::Filter { predicate } = &mut flow.op_mut(n).unwrap().kind {
+                    *predicate = etl_model::expr::Expr::col("__ghost__");
+                }
+                Ok(fcp::AppliedPattern {
+                    pattern: "GhostColumn".into(),
+                    point,
+                    added_nodes: vec![],
+                })
+            }
+        }
+
+        let run = |delta_eval: bool| {
+            let (f, _) = purchases_flow();
+            let cat = purchases_catalog(60, &DirtProfile::demo(), 5);
+            let mut reg = PatternRegistry::standard_for_catalog(&cat);
+            reg.register(GhostColumn);
+            let config = PlannerConfig {
+                max_alternatives: 500,
+                policy: DeploymentPolicy::exhaustive(2),
+                delta_eval,
+                ..PlannerConfig::default()
+            };
+            Planner::new(f, cat, reg, config).plan().unwrap()
+        };
+        let fast = run(true);
+        let slow = run(false);
+        assert!(fast.statically_rejected > 0, "broken flows must be pruned");
+        assert_eq!(fast.statically_rejected, slow.statically_rejected);
+        assert_eq!(fast.failed_evaluations, 0);
+        assert_eq!(fast.skyline_names(), slow.skyline_names());
     }
 }

@@ -250,12 +250,20 @@ impl EtlFlow {
         flowgraph::topo_sort(&self.graph).map_err(|_| FlowError::Cyclic)
     }
 
-    /// Deep clone under a new name — the planner materialises alternative
-    /// designs this way.
+    /// Copy-on-write clone under a new name — the planner materialises
+    /// alternative designs this way. `O(n)` refcount bumps: every operator and
+    /// channel slot is shared with `self` until the fork mutates it, and
+    /// mutations copy only the touched slots (the base never observes them).
     pub fn fork(&self, name: impl Into<String>) -> EtlFlow {
         let mut f = self.clone();
         f.name = name.into();
         f
+    }
+
+    /// Which nodes this flow (a fork) has diverged on since `base`, recovered
+    /// from copy-on-write slot sharing. See [`flowgraph::DiGraph::cow_delta`].
+    pub fn delta_since(&self, base: &EtlFlow) -> flowgraph::CowDelta {
+        self.graph.cow_delta(&base.graph)
     }
 
     /// Distance (in edges) from the nearest extract, per node; used by the

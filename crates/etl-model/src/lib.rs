@@ -52,9 +52,12 @@ mod value;
 
 pub use flow::{Channel, EtlFlow, FlowConfig, FlowError, ResourceClass};
 pub use op::{AggFunc, CostParams, OpKind, Operation};
-pub use propagate::{propagate_schemas, SchemaError};
+pub use propagate::{
+    output_schema, propagate_schemas, propagate_schemas_delta, repair_table, SchemaError,
+    SchemaTable,
+};
 pub use types::{Attribute, DataType, Schema};
 pub use value::{Tuple, Value};
 
 /// Convenient re-exports of the graph handles used throughout the stack.
-pub use flowgraph::{EdgeId, NodeId};
+pub use flowgraph::{CowDelta, EdgeId, NodeId};

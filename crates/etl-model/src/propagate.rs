@@ -6,7 +6,10 @@ use crate::expr::BindError;
 use crate::flow::EtlFlow;
 use crate::op::OpKind;
 use crate::types::Schema;
+use flowgraph::{affected_topo, CowDelta, NodeId};
+use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
 
 /// Schema-propagation failures, attributed to the offending operation.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,58 +75,223 @@ fn bind_err(op: &str, e: BindError) -> SchemaError {
     }
 }
 
+/// Dense schema table indexed by [`flowgraph::NodeId::index`]: the output
+/// schema of every live operation, `None` for removed ids. Schemas are
+/// `Arc`-shared — passthrough operators (filter, sort, checkpoint, …) reuse
+/// their input's allocation, and [`propagate_schemas_delta`] reuses a base
+/// table's entries for unaffected nodes.
+pub type SchemaTable = Vec<Option<Arc<Schema>>>;
+
 /// Computes the output schema of every operation, in a dense table indexed
 /// by [`flowgraph::NodeId::index`]. Operations whose ids were removed hold `None`.
-pub fn propagate_schemas(flow: &EtlFlow) -> Result<Vec<Option<Schema>>, SchemaError> {
+pub fn propagate_schemas(flow: &EtlFlow) -> Result<SchemaTable, SchemaError> {
     let order = flow.topo_order().map_err(|_| SchemaError::NotADag)?;
-    let mut out: Vec<Option<Schema>> = vec![None; flow.graph.node_bound()];
+    let mut out: SchemaTable = vec![None; flow.graph.node_bound()];
     for n in order {
-        let op = flow.op(n).expect("live node");
-        let inputs: Vec<&Schema> = flow
-            .graph
-            .predecessors(n)
-            .map(|p| {
-                out[p.index()]
-                    .as_ref()
-                    .expect("topological order guarantees predecessor schemas")
-            })
-            .collect();
-        let schema = output_schema(&op.name, &op.kind, &inputs)?;
-        out[n.index()] = Some(schema);
+        out[n.index()] = Some(propagate_node(flow, n, &out)?);
     }
     Ok(out)
+}
+
+/// Recomputes the schema table of a copy-on-write fork against its base's
+/// table, re-propagating only over the affected region (the fork's touched
+/// nodes and their descendants). Produces a table equal to
+/// [`propagate_schemas`] on the fork, in `O(affected region)` worst case —
+/// and in `O(patch)` for the common case of schema-passthrough patches,
+/// because the walk stops descending once recomputed schemas converge back
+/// to the base's.
+///
+/// Soundness: an unaffected node's entire ancestry is unaffected (the region
+/// is successor-closed), so its base schema is still exact; affected nodes
+/// are recomputed in topological order over inputs that are either base
+/// schemas or freshly recomputed ones. The early stop is sound because a
+/// structurally untouched node whose inputs all equal the base's recomputes
+/// to exactly its base schema (propagation is a pure function of the
+/// operation and its input schemas) — its base entry, validated when the
+/// base table was built, is reused verbatim. A recomputed schema that is
+/// structurally equal to the base entry is canonicalised to the base's
+/// `Arc`, so downstream sharing (and the stop condition) keeps working.
+pub fn propagate_schemas_delta(
+    flow: &EtlFlow,
+    base_table: &[Option<Arc<Schema>>],
+    delta: &CowDelta,
+) -> Result<SchemaTable, SchemaError> {
+    let order = affected_topo(&flow.graph, &delta.touched_nodes).ok_or(SchemaError::NotADag)?;
+    let bound = flow.graph.node_bound();
+    let mut out: SchemaTable = vec![None; bound];
+    for n in flow.graph.node_ids() {
+        if let Some(s) = base_table.get(n.index()).and_then(|s| s.as_ref()) {
+            out[n.index()] = Some(Arc::clone(s));
+        }
+    }
+    let mut touched = vec![false; bound];
+    for n in &delta.touched_nodes {
+        touched[n.index()] = true;
+    }
+    // `changed[i]` = node i's table entry semantically differs from the base.
+    let mut changed = vec![false; bound];
+    for n in order {
+        let must_recompute = touched[n.index()]
+            || out[n.index()].is_none()
+            || flow.graph.predecessors(n).any(|p| changed[p.index()]);
+        if !must_recompute {
+            continue;
+        }
+        let fresh = propagate_node(flow, n, &out)?;
+        match base_table.get(n.index()).and_then(|s| s.as_ref()) {
+            Some(b) if Arc::ptr_eq(&fresh, b) => out[n.index()] = Some(fresh),
+            Some(b) if **b == *fresh => out[n.index()] = Some(Arc::clone(b)),
+            _ => {
+                changed[n.index()] = true;
+                out[n.index()] = Some(fresh);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Repairs a schema table **in place** after one structural patch, seeded
+/// from the patch's added nodes — the `O(patch)` alternative to
+/// [`propagate_schemas_delta`] when the caller applies patterns one at a
+/// time and carries the table across steps.
+///
+/// Computes the added nodes' entries, then ripples through successors only
+/// while recomputed schemas actually differ from the carried entries; a
+/// schema-passthrough patch (checkpoint, dedup, parallelise, …) converges
+/// after the added nodes plus one confirming recompute per boundary
+/// successor. Entries of removed ids are cleared, matching what a fresh
+/// propagation would produce.
+///
+/// Returns `Ok(true)` when the table is exact, `Ok(false)` when the walk
+/// gave up (work cap hit — e.g. a patch-created cycle, or seeds that don't
+/// cover every added node); the caller must then rebuild the table from
+/// scratch. `Err` carries a genuine schema error, exactly the one a full
+/// propagation over the patched region would report.
+pub fn repair_table(
+    flow: &EtlFlow,
+    table: &mut SchemaTable,
+    seeds: &[NodeId],
+) -> Result<bool, SchemaError> {
+    let bound = flow.graph.node_bound();
+    if table.len() < bound {
+        table.resize(bound, None);
+    }
+    let mut live = vec![false; bound];
+    for n in flow.graph.node_ids() {
+        live[n.index()] = true;
+    }
+    for (i, slot) in table.iter_mut().enumerate() {
+        if !live.get(i).copied().unwrap_or(false) {
+            *slot = None;
+        }
+    }
+    let mut queue: VecDeque<NodeId> = seeds.iter().copied().filter(|n| live[n.index()]).collect();
+    // In a DAG each node settles after its predecessors do, so total work is
+    // bounded by the patched region's edges; the cap catches patch-created
+    // cycles and incomplete seed sets without looping.
+    let mut budget = 2 * flow.graph.edge_count() + flow.graph.node_count() + 8;
+    while let Some(n) = queue.pop_front() {
+        if budget == 0 {
+            return Ok(false);
+        }
+        budget -= 1;
+        if flow
+            .graph
+            .predecessors(n)
+            .any(|p| table[p.index()].is_none())
+        {
+            // an added predecessor not yet computed — retry after it
+            queue.push_back(n);
+            continue;
+        }
+        let fresh = propagate_node(flow, n, table)?;
+        let same = table[n.index()]
+            .as_ref()
+            .is_some_and(|old| Arc::ptr_eq(old, &fresh) || **old == *fresh);
+        if !same {
+            table[n.index()] = Some(fresh);
+            queue.extend(flow.graph.successors(n));
+        }
+    }
+    Ok(true)
+}
+
+/// One node's output schema against a partially-filled table (predecessor
+/// entries must be present). Shares the input `Arc` for passthrough kinds.
+fn propagate_node(
+    flow: &EtlFlow,
+    n: NodeId,
+    table: &[Option<Arc<Schema>>],
+) -> Result<Arc<Schema>, SchemaError> {
+    let op = flow.op(n).expect("live node");
+    let input_arcs: Vec<&Arc<Schema>> = flow
+        .graph
+        .predecessors(n)
+        .map(|p| {
+            table[p.index()]
+                .as_ref()
+                .expect("topological order guarantees predecessor schemas")
+        })
+        .collect();
+    let inputs: Vec<&Schema> = input_arcs.iter().map(|a| a.as_ref()).collect();
+    Ok(match propagate_one(&op.name, &op.kind, &inputs)? {
+        Propagated::Share(i) => Arc::clone(input_arcs[i]),
+        Propagated::Fresh(s) => Arc::new(s),
+    })
 }
 
 /// Output schema of one operation given its input schemas (in predecessor
 /// order). Exposed for pattern configuration, which must compute the schema
 /// at an application point before instantiating an FCP there.
 pub fn output_schema(name: &str, kind: &OpKind, inputs: &[&Schema]) -> Result<Schema, SchemaError> {
-    let first = |op: &str| -> Result<Schema, SchemaError> {
+    Ok(match propagate_one(name, kind, inputs)? {
+        Propagated::Share(i) => inputs[i].clone(),
+        Propagated::Fresh(s) => s,
+    })
+}
+
+/// How an operation's output schema relates to its inputs: shared verbatim
+/// (passthrough operators) or freshly constructed.
+enum Propagated {
+    /// Output equals input `i` — callers can share its allocation.
+    Share(usize),
+    /// A newly constructed schema.
+    Fresh(Schema),
+}
+
+/// Validates an operation against its input schemas and classifies its
+/// output schema. The single place operation → schema semantics live.
+fn propagate_one(name: &str, kind: &OpKind, inputs: &[&Schema]) -> Result<Propagated, SchemaError> {
+    use Propagated::{Fresh, Share};
+    let first = |op: &str| -> Result<&Schema, SchemaError> {
         inputs
             .first()
-            .map(|s| (*s).clone())
+            .copied()
             .ok_or_else(|| SchemaError::MissingAttr {
                 op: op.to_string(),
                 column: "<input>".to_string(),
             })
     };
     Ok(match kind {
-        OpKind::Extract { schema, .. } => schema.clone(),
-        OpKind::Load { .. } => first(name)?,
+        OpKind::Extract { schema, .. } => Fresh(schema.clone()),
+        OpKind::Load { .. } => {
+            first(name)?;
+            Share(0)
+        }
         OpKind::Filter { predicate } => {
             let s = first(name)?;
-            predicate.bind(&s).map_err(|e| bind_err(name, e))?;
-            s
+            predicate.bind(s).map_err(|e| bind_err(name, e))?;
+            Share(0)
         }
         OpKind::Project { keep } => {
             let s = first(name)?;
-            s.project(keep).map_err(|c| SchemaError::MissingAttr {
+            Fresh(s.project(keep).map_err(|c| SchemaError::MissingAttr {
                 op: name.to_string(),
                 column: c,
-            })?
+            })?)
         }
         OpKind::Derive { outputs } => {
-            let mut s = first(name)?;
+            let mut s = first(name)?.clone();
             for (new_name, expr) in outputs {
                 let dtype = expr.result_type(&s).map_err(|e| bind_err(name, e))?;
                 expr.bind(&s).map_err(|e| bind_err(name, e))?;
@@ -134,7 +302,7 @@ pub fn output_schema(name: &str, kind: &OpKind, inputs: &[&Schema]) -> Result<Sc
                         column: c,
                     })?;
             }
-            s
+            Fresh(s)
         }
         OpKind::Convert { column, to } => {
             let s = first(name)?;
@@ -144,7 +312,7 @@ pub fn output_schema(name: &str, kind: &OpKind, inputs: &[&Schema]) -> Result<Sc
                     column: column.clone(),
                 });
             }
-            Schema::new(
+            Fresh(Schema::new(
                 s.attrs()
                     .iter()
                     .map(|a| {
@@ -155,7 +323,7 @@ pub fn output_schema(name: &str, kind: &OpKind, inputs: &[&Schema]) -> Result<Sc
                         a
                     })
                     .collect(),
-            )
+            ))
         }
         OpKind::Join {
             left_key,
@@ -180,7 +348,7 @@ pub fn output_schema(name: &str, kind: &OpKind, inputs: &[&Schema]) -> Result<Sc
                     column: right_key.clone(),
                 });
             }
-            l.join_concat(r, "r")
+            Fresh(l.join_concat(r, "r"))
         }
         OpKind::Aggregate { group_by, aggs } => {
             let s = first(name)?;
@@ -205,7 +373,7 @@ pub fn output_schema(name: &str, kind: &OpKind, inputs: &[&Schema]) -> Result<Sc
                     func.result_type(input.dtype),
                 ));
             }
-            Schema::new(attrs)
+            Fresh(Schema::new(attrs))
         }
         OpKind::Sort { by } => {
             let s = first(name)?;
@@ -217,23 +385,23 @@ pub fn output_schema(name: &str, kind: &OpKind, inputs: &[&Schema]) -> Result<Sc
                     });
                 }
             }
-            s
+            Share(0)
         }
         OpKind::Router { predicate } => {
             let s = first(name)?;
-            predicate.bind(&s).map_err(|e| bind_err(name, e))?;
-            s
+            predicate.bind(s).map_err(|e| bind_err(name, e))?;
+            Share(0)
         }
         OpKind::Merge => {
             let s = first(name)?;
             for other in &inputs[1..] {
-                if !same_shape(&s, other) {
+                if !same_shape(s, other) {
                     return Err(SchemaError::MergeMismatch {
                         op: name.to_string(),
                     });
                 }
             }
-            s
+            Share(0)
         }
         OpKind::Dedup { keys } => {
             let s = first(name)?;
@@ -245,7 +413,7 @@ pub fn output_schema(name: &str, kind: &OpKind, inputs: &[&Schema]) -> Result<Sc
                     });
                 }
             }
-            s
+            Share(0)
         }
         OpKind::FilterNulls { columns } => {
             let s = first(name)?;
@@ -260,9 +428,9 @@ pub fn output_schema(name: &str, kind: &OpKind, inputs: &[&Schema]) -> Result<Sc
             // Downstream, the filtered columns are guaranteed non-null.
             if columns.is_empty() {
                 let all: Vec<String> = s.attrs().iter().map(|a| a.name.clone()).collect();
-                s.with_non_nullable(&all)
+                Fresh(s.with_non_nullable(&all))
             } else {
-                s.with_non_nullable(columns)
+                Fresh(s.with_non_nullable(columns))
             }
         }
         OpKind::Crosscheck { key, .. } => {
@@ -273,10 +441,11 @@ pub fn output_schema(name: &str, kind: &OpKind, inputs: &[&Schema]) -> Result<Sc
                     column: key.clone(),
                 });
             }
-            s
+            Share(0)
         }
         OpKind::Split | OpKind::Partition | OpKind::Checkpoint { .. } | OpKind::Encrypt => {
-            first(name)?
+            first(name)?;
+            Share(0)
         }
     })
 }
@@ -318,7 +487,7 @@ mod tests {
 
     fn schema_of(f: &EtlFlow, idx: usize) -> Schema {
         let schemas = propagate_schemas(f).unwrap();
-        schemas[idx].clone().unwrap()
+        schemas[idx].as_deref().unwrap().clone()
     }
 
     #[test]
@@ -479,6 +648,51 @@ mod tests {
         ));
         let s = schema_of(&f, 1);
         assert!(s.attrs().iter().all(|a| !a.nullable));
+    }
+
+    #[test]
+    fn passthrough_shares_schema_allocation() {
+        let f = flow_one(Operation::filter("f", Expr::col("qty").gt(Expr::lit_i(0))));
+        let schemas = propagate_schemas(&f).unwrap();
+        let (e, fi, l) = (&schemas[0], &schemas[1], &schemas[2]);
+        // extract → filter → load: both passthroughs reuse the extract's Arc.
+        assert!(Arc::ptr_eq(e.as_ref().unwrap(), fi.as_ref().unwrap()));
+        assert!(Arc::ptr_eq(e.as_ref().unwrap(), l.as_ref().unwrap()));
+    }
+
+    #[test]
+    fn delta_propagation_equals_full_recompute() {
+        let base = flow_one(Operation::filter("f", Expr::col("qty").gt(Expr::lit_i(0))));
+        let base_table = propagate_schemas(&base).unwrap();
+        // Fork and interpose a derive on the filter → load edge.
+        let mut fork = base.fork("alt");
+        let filter = fork.ops_of_kind("filter")[0];
+        let edge = fork.graph.out_edges(filter).next().unwrap();
+        fork.graph
+            .interpose_on_edge(
+                edge,
+                Operation::derive(
+                    "d",
+                    vec![("total".into(), Expr::col("qty").mul(Expr::col("price")))],
+                ),
+                crate::flow::Channel::default(),
+                crate::flow::Channel::default(),
+            )
+            .unwrap();
+        let delta = fork.delta_since(&base);
+        assert!(!delta.is_empty());
+        let fast = propagate_schemas_delta(&fork, &base_table, &delta).unwrap();
+        let full = propagate_schemas(&fork).unwrap();
+        assert_eq!(fast.len(), full.len());
+        for (a, b) in fast.iter().zip(full.iter()) {
+            assert_eq!(a.as_deref(), b.as_deref());
+        }
+        // Unaffected prefix reuses the base table's allocations verbatim.
+        let extract = fork.ops_of_kind("extract")[0];
+        assert!(Arc::ptr_eq(
+            fast[extract.index()].as_ref().unwrap(),
+            base_table[extract.index()].as_ref().unwrap()
+        ));
     }
 
     #[test]

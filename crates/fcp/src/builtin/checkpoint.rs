@@ -2,7 +2,9 @@
 //! intermediary data as a savepoint so a downstream failure re-extracts from
 //! the savepoint instead of re-running the whole upstream segment.
 
-use crate::pattern::{interpose_applying, AppliedPattern, Pattern, PatternContext, PatternError};
+use crate::pattern::{
+    interpose_applying, interpose_unchecked, AppliedPattern, Pattern, PatternContext, PatternError,
+};
 use crate::point::ApplicationPoint;
 use crate::prereq::Prerequisite;
 use etl_model::{EtlFlow, OpKind, Operation};
@@ -15,6 +17,9 @@ pub struct AddCheckpoint;
 impl Pattern for AddCheckpoint {
     fn name(&self) -> &str {
         "AddCheckpoint"
+    }
+    fn patch_confined_to_added_nodes(&self) -> bool {
+        true
     }
 
     fn improves(&self) -> Characteristic {
@@ -46,10 +51,10 @@ impl Pattern for AddCheckpoint {
         let Some(op) = ctx.flow.op(src) else {
             return 0.0;
         };
-        if ctx.max_cost_per_tuple <= 0.0 {
+        if ctx.max_cost_per_tuple() <= 0.0 {
             return 0.0;
         }
-        (op.cost.cost_per_tuple_ms / ctx.max_cost_per_tuple).clamp(0.0, 1.0)
+        (op.cost.cost_per_tuple_ms / ctx.max_cost_per_tuple()).clamp(0.0, 1.0)
     }
 
     fn apply(
@@ -61,6 +66,18 @@ impl Pattern for AddCheckpoint {
         let op = Operation::new("PERSIST intermediary data", OpKind::Checkpoint { tag })
             .tag_pattern(self.name());
         interpose_applying(self, flow, point, op)
+    }
+
+    fn apply_unchecked(
+        &self,
+        flow: &mut EtlFlow,
+        point: ApplicationPoint,
+        _schemas: &etl_model::SchemaTable,
+    ) -> Result<AppliedPattern, PatternError> {
+        let tag = format!("sp_{}", flow.op_count());
+        let op = Operation::new("PERSIST intermediary data", OpKind::Checkpoint { tag })
+            .tag_pattern(self.name());
+        interpose_unchecked(self, flow, point, op)
     }
 }
 

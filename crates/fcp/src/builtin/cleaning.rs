@@ -5,7 +5,10 @@
 //! the operations for inputting data sources" placement heuristic from §3,
 //! "to prevent cumulative side-effects of reduced data quality".
 
-use crate::pattern::{interpose_applying, AppliedPattern, Pattern, PatternContext, PatternError};
+use crate::pattern::{
+    interpose_applying, interpose_unchecked, point_schema_in, AppliedPattern, Pattern,
+    PatternContext, PatternError,
+};
 use crate::point::ApplicationPoint;
 use crate::prereq::Prerequisite;
 use etl_model::{EtlFlow, OpKind, Operation};
@@ -56,6 +59,9 @@ impl Pattern for FilterNullValues {
     fn name(&self) -> &str {
         "FilterNullValues"
     }
+    fn patch_confined_to_added_nodes(&self) -> bool {
+        true
+    }
 
     fn improves(&self) -> Characteristic {
         Characteristic::DataQuality
@@ -103,6 +109,20 @@ impl Pattern for FilterNullValues {
             .tag_pattern(self.name());
         interpose_applying(self, flow, point, op)
     }
+
+    fn apply_unchecked(
+        &self,
+        flow: &mut EtlFlow,
+        point: ApplicationPoint,
+        schemas: &etl_model::SchemaTable,
+    ) -> Result<AppliedPattern, PatternError> {
+        let columns = point_schema_in(flow, schemas, point)
+            .map(Self::target_columns)
+            .unwrap_or_default();
+        let op = Operation::new("FILTER null values", OpKind::FilterNulls { columns })
+            .tag_pattern(self.name());
+        interpose_unchecked(self, flow, point, op)
+    }
 }
 
 /// `RemoveDuplicateEntries` — interposes a dedup keyed on the non-nullable
@@ -114,6 +134,9 @@ pub struct RemoveDuplicateEntries;
 impl Pattern for RemoveDuplicateEntries {
     fn name(&self) -> &str {
         "RemoveDuplicateEntries"
+    }
+    fn patch_confined_to_added_nodes(&self) -> bool {
+        true
     }
 
     fn improves(&self) -> Characteristic {
@@ -140,6 +163,17 @@ impl Pattern for RemoveDuplicateEntries {
         let op = Operation::new("REMOVE duplicate entries", OpKind::Dedup { keys: vec![] })
             .tag_pattern(self.name());
         interpose_applying(self, flow, point, op)
+    }
+
+    fn apply_unchecked(
+        &self,
+        flow: &mut EtlFlow,
+        point: ApplicationPoint,
+        _schemas: &etl_model::SchemaTable,
+    ) -> Result<AppliedPattern, PatternError> {
+        let op = Operation::new("REMOVE duplicate entries", OpKind::Dedup { keys: vec![] })
+            .tag_pattern(self.name());
+        interpose_unchecked(self, flow, point, op)
     }
 }
 
@@ -185,6 +219,9 @@ impl CrosscheckSources {
 impl Pattern for CrosscheckSources {
     fn name(&self) -> &str {
         "CrosscheckSources"
+    }
+    fn patch_confined_to_added_nodes(&self) -> bool {
+        true
     }
 
     fn improves(&self) -> Characteristic {
@@ -237,6 +274,28 @@ impl Pattern for CrosscheckSources {
         )
         .tag_pattern(self.name());
         interpose_applying(self, flow, point, op)
+    }
+
+    fn apply_unchecked(
+        &self,
+        flow: &mut EtlFlow,
+        point: ApplicationPoint,
+        schemas: &etl_model::SchemaTable,
+    ) -> Result<AppliedPattern, PatternError> {
+        let spec = point_schema_in(flow, schemas, point)
+            .and_then(|s| self.spec_for(s))
+            .cloned()
+            .ok_or_else(|| PatternError::NotApplicable {
+                pattern: self.name().to_string(),
+                point: point.describe(flow),
+            })?;
+        let (key, alt_source) = spec;
+        let op = Operation::new(
+            format!("CROSSCHECK against {alt_source}"),
+            OpKind::Crosscheck { alt_source, key },
+        )
+        .tag_pattern(self.name());
+        interpose_unchecked(self, flow, point, op)
     }
 }
 

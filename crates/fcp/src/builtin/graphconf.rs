@@ -32,6 +32,23 @@ fn graph_apply(
     })
 }
 
+/// The unchecked counterpart of [`graph_apply`]: the caller has already
+/// verified applicability on this exact flow state, so the mutation runs
+/// with no context rebuild.
+fn graph_apply_unchecked(
+    pattern: &dyn Pattern,
+    flow: &mut EtlFlow,
+    point: ApplicationPoint,
+    mutate: impl FnOnce(&mut EtlFlow),
+) -> Result<AppliedPattern, PatternError> {
+    mutate(flow);
+    Ok(AppliedPattern {
+        pattern: pattern.name().to_string(),
+        point,
+        added_nodes: vec![],
+    })
+}
+
 /// Enables channel encryption process-wide (security ↑, performance tax).
 #[derive(Debug, Default, Clone)]
 pub struct EncryptChannels;
@@ -39,6 +56,9 @@ pub struct EncryptChannels;
 impl Pattern for EncryptChannels {
     fn name(&self) -> &str {
         "EncryptChannels"
+    }
+    fn patch_confined_to_added_nodes(&self) -> bool {
+        true
     }
     fn improves(&self) -> Characteristic {
         Characteristic::Security
@@ -53,6 +73,14 @@ impl Pattern for EncryptChannels {
     ) -> Result<AppliedPattern, PatternError> {
         graph_apply(self, flow, point, |f| f.config.encrypted = true)
     }
+    fn apply_unchecked(
+        &self,
+        flow: &mut EtlFlow,
+        point: ApplicationPoint,
+        _schemas: &etl_model::SchemaTable,
+    ) -> Result<AppliedPattern, PatternError> {
+        graph_apply_unchecked(self, flow, point, |f| f.config.encrypted = true)
+    }
 }
 
 /// Enables role-based access control (security ↑, negligible runtime cost).
@@ -62,6 +90,9 @@ pub struct EnableAccessControl;
 impl Pattern for EnableAccessControl {
     fn name(&self) -> &str {
         "EnableAccessControl"
+    }
+    fn patch_confined_to_added_nodes(&self) -> bool {
+        true
     }
     fn improves(&self) -> Characteristic {
         Characteristic::Security
@@ -76,6 +107,14 @@ impl Pattern for EnableAccessControl {
     ) -> Result<AppliedPattern, PatternError> {
         graph_apply(self, flow, point, |f| f.config.role_based_access = true)
     }
+    fn apply_unchecked(
+        &self,
+        flow: &mut EtlFlow,
+        point: ApplicationPoint,
+        _schemas: &etl_model::SchemaTable,
+    ) -> Result<AppliedPattern, PatternError> {
+        graph_apply_unchecked(self, flow, point, |f| f.config.role_based_access = true)
+    }
 }
 
 /// Upgrades the Hw/Sw resource class one step (performance ↑, cost ↑).
@@ -85,6 +124,9 @@ pub struct UpgradeResources;
 impl Pattern for UpgradeResources {
     fn name(&self) -> &str {
         "UpgradeResources"
+    }
+    fn patch_confined_to_added_nodes(&self) -> bool {
+        true
     }
     fn improves(&self) -> Characteristic {
         Characteristic::Performance
@@ -104,6 +146,19 @@ impl Pattern for UpgradeResources {
             }
         })
     }
+    fn apply_unchecked(
+        &self,
+        flow: &mut EtlFlow,
+        point: ApplicationPoint,
+        _schemas: &etl_model::SchemaTable,
+    ) -> Result<AppliedPattern, PatternError> {
+        graph_apply_unchecked(self, flow, point, |f| {
+            f.config.resources = match f.config.resources {
+                ResourceClass::Small => ResourceClass::Medium,
+                ResourceClass::Medium | ResourceClass::Large => ResourceClass::Large,
+            }
+        })
+    }
 }
 
 /// Halves the recurrence period — the process runs twice as often, so data
@@ -114,6 +169,9 @@ pub struct IncreaseRecurrence;
 impl Pattern for IncreaseRecurrence {
     fn name(&self) -> &str {
         "IncreaseRecurrence"
+    }
+    fn patch_confined_to_added_nodes(&self) -> bool {
+        true
     }
     fn improves(&self) -> Characteristic {
         Characteristic::DataQuality
@@ -130,6 +188,16 @@ impl Pattern for IncreaseRecurrence {
         point: ApplicationPoint,
     ) -> Result<AppliedPattern, PatternError> {
         graph_apply(self, flow, point, |f| {
+            f.config.recurrence_minutes = (f.config.recurrence_minutes / 2.0).max(30.0)
+        })
+    }
+    fn apply_unchecked(
+        &self,
+        flow: &mut EtlFlow,
+        point: ApplicationPoint,
+        _schemas: &etl_model::SchemaTable,
+    ) -> Result<AppliedPattern, PatternError> {
+        graph_apply_unchecked(self, flow, point, |f| {
             f.config.recurrence_minutes = (f.config.recurrence_minutes / 2.0).max(30.0)
         })
     }

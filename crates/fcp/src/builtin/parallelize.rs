@@ -46,57 +46,16 @@ impl ParallelizeTask {
     pub fn ways(&self) -> usize {
         self.ways
     }
-}
 
-impl Pattern for ParallelizeTask {
-    fn name(&self) -> &str {
-        "ParallelizeTask"
-    }
-
-    fn improves(&self) -> Characteristic {
-        Characteristic::Performance
-    }
-
-    fn prerequisites(&self) -> Vec<Prerequisite> {
-        vec![
-            Prerequisite::IsNode,
-            Prerequisite::NodeKindIn(PARALLELIZABLE.to_vec()),
-            Prerequisite::NodeSingleInOut,
-            Prerequisite::NodeCostAtLeast(self.min_cost_ms),
-            Prerequisite::NotAdjacentToPattern("self".into()),
-        ]
-    }
-
-    /// "Parallelise the most expensive task first": fitness is the node's
-    /// per-tuple cost share of the flow's maximum.
-    fn fitness(&self, ctx: &PatternContext<'_>, point: ApplicationPoint) -> f64 {
-        let ApplicationPoint::Node(n) = point else {
-            return 0.0;
-        };
-        match ctx.flow.op(n) {
-            Some(op) if ctx.max_cost_per_tuple > 0.0 => {
-                (op.cost.cost_per_tuple_ms / ctx.max_cost_per_tuple).clamp(0.0, 1.0)
-            }
-            _ => 0.0,
-        }
-    }
-
-    fn apply(
+    /// The structural edit shared by [`Pattern::apply`] and
+    /// [`Pattern::apply_unchecked`]: replace node `n` with the
+    /// `partition → replicas → merge` donor subgraph (Fig. 2a).
+    fn splice_replicas(
         &self,
         flow: &mut EtlFlow,
         point: ApplicationPoint,
+        n: NodeId,
     ) -> Result<AppliedPattern, PatternError> {
-        let ctx = PatternContext::new(flow)?;
-        if !self.applicable(&ctx, point) {
-            return Err(PatternError::NotApplicable {
-                pattern: self.name().to_string(),
-                point: point.describe(flow),
-            });
-        }
-        drop(ctx);
-        let ApplicationPoint::Node(n) = point else {
-            unreachable!("prerequisites enforce a node point");
-        };
         let original = flow.op(n).expect("applicable point is live").clone();
 
         // The pattern's internal representation is itself a small ETL flow:
@@ -134,6 +93,77 @@ impl Pattern for ParallelizeTask {
             point,
             added_nodes: added,
         })
+    }
+}
+
+impl Pattern for ParallelizeTask {
+    fn name(&self) -> &str {
+        "ParallelizeTask"
+    }
+    fn patch_confined_to_added_nodes(&self) -> bool {
+        true
+    }
+
+    fn improves(&self) -> Characteristic {
+        Characteristic::Performance
+    }
+
+    fn prerequisites(&self) -> Vec<Prerequisite> {
+        vec![
+            Prerequisite::IsNode,
+            Prerequisite::NodeKindIn(PARALLELIZABLE.to_vec()),
+            Prerequisite::NodeSingleInOut,
+            Prerequisite::NodeCostAtLeast(self.min_cost_ms),
+            Prerequisite::NotAdjacentToPattern("self".into()),
+        ]
+    }
+
+    /// "Parallelise the most expensive task first": fitness is the node's
+    /// per-tuple cost share of the flow's maximum.
+    fn fitness(&self, ctx: &PatternContext<'_>, point: ApplicationPoint) -> f64 {
+        let ApplicationPoint::Node(n) = point else {
+            return 0.0;
+        };
+        match ctx.flow.op(n) {
+            Some(op) if ctx.max_cost_per_tuple() > 0.0 => {
+                (op.cost.cost_per_tuple_ms / ctx.max_cost_per_tuple()).clamp(0.0, 1.0)
+            }
+            _ => 0.0,
+        }
+    }
+
+    fn apply(
+        &self,
+        flow: &mut EtlFlow,
+        point: ApplicationPoint,
+    ) -> Result<AppliedPattern, PatternError> {
+        let ctx = PatternContext::new(flow)?;
+        if !self.applicable(&ctx, point) {
+            return Err(PatternError::NotApplicable {
+                pattern: self.name().to_string(),
+                point: point.describe(flow),
+            });
+        }
+        drop(ctx);
+        let ApplicationPoint::Node(n) = point else {
+            unreachable!("prerequisites enforce a node point");
+        };
+        self.splice_replicas(flow, point, n)
+    }
+
+    fn apply_unchecked(
+        &self,
+        flow: &mut EtlFlow,
+        point: ApplicationPoint,
+        _schemas: &etl_model::SchemaTable,
+    ) -> Result<AppliedPattern, PatternError> {
+        let ApplicationPoint::Node(n) = point else {
+            return Err(PatternError::NotApplicable {
+                pattern: self.name().to_string(),
+                point: point.describe(flow),
+            });
+        };
+        self.splice_replicas(flow, point, n)
     }
 }
 

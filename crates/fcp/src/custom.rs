@@ -65,6 +65,9 @@ impl Pattern for CustomPattern {
     fn name(&self) -> &str {
         &self.name
     }
+    fn patch_confined_to_added_nodes(&self) -> bool {
+        true
+    }
 
     fn improves(&self) -> Characteristic {
         self.improves
@@ -92,11 +95,12 @@ impl Pattern for CustomPattern {
                 let Some((src, _)) = ctx.flow.graph.endpoints(e) else {
                     return 0.0;
                 };
-                let max = ctx.upstream_cost.iter().fold(0.0f64, |a, &b| a.max(b));
+                let upstream = ctx.upstream_cost();
+                let max = upstream.iter().fold(0.0f64, |a, &b| a.max(b));
                 if max <= 0.0 {
                     0.0
                 } else {
-                    (ctx.upstream_cost[src.index()] / max).clamp(0.0, 1.0)
+                    (upstream[src.index()] / max).clamp(0.0, 1.0)
                 }
             }
         }

@@ -55,7 +55,7 @@ mod prereq;
 mod registry;
 
 pub use custom::CustomPattern;
-pub use pattern::{AppliedPattern, Pattern, PatternContext, PatternError};
+pub use pattern::{point_schema_in, AppliedPattern, Pattern, PatternContext, PatternError};
 pub use point::ApplicationPoint;
 pub use policy::{DeploymentPolicy, MeasureConstraint};
 pub use prereq::Prerequisite;

@@ -2,7 +2,7 @@
 
 use crate::point::ApplicationPoint;
 use crate::prereq::Prerequisite;
-use etl_model::{propagate_schemas, EtlFlow, NodeId, Schema};
+use etl_model::{propagate_schemas, EtlFlow, NodeId, Schema, SchemaTable};
 use quality::Characteristic;
 use std::fmt;
 
@@ -44,6 +44,21 @@ pub struct AppliedPattern {
     pub added_nodes: Vec<NodeId>,
 }
 
+/// Cost/topology landmarks used only by fitness heuristics — computed
+/// lazily because the planner's incremental apply path checks applicability
+/// (schemas + prerequisites) without ever ranking placements.
+struct Landmarks {
+    /// Distance (edges) from the nearest extract, per node index.
+    distances: Vec<usize>,
+    /// The maximum per-tuple cost over all operations (for normalising
+    /// cost-based fitness).
+    max_cost_per_tuple: f64,
+    /// Cumulative upstream cost per node: the per-tuple cost of the most
+    /// expensive source→node chain (the "how much work would a failure here
+    /// lose" landmark behind checkpoint placement).
+    upstream_cost: Vec<f64>,
+}
+
 /// Pre-computed per-flow context shared by applicability checks and fitness
 /// heuristics: output schemas, source distances and cost landmarks. Built
 /// once per flow, reused across every (pattern, point) probe.
@@ -51,53 +66,88 @@ pub struct PatternContext<'a> {
     /// The flow under analysis.
     pub flow: &'a EtlFlow,
     /// Output schema per node (dense by node index), `None` for dead ids.
-    pub schemas: Vec<Option<Schema>>,
-    /// Distance (edges) from the nearest extract, per node index.
-    pub distances: Vec<usize>,
-    /// The maximum per-tuple cost over all operations (for normalising
-    /// cost-based fitness).
-    pub max_cost_per_tuple: f64,
-    /// Cumulative upstream cost per node: the per-tuple cost of the most
-    /// expensive source→node chain (the "how much work would a failure here
-    /// lose" landmark behind checkpoint placement).
-    pub upstream_cost: Vec<f64>,
+    /// `Arc`-shared: passthrough operators alias their input's allocation.
+    pub schemas: SchemaTable,
+    landmarks: std::sync::OnceLock<Landmarks>,
 }
 
 impl<'a> PatternContext<'a> {
     /// Builds the context; the flow must be schema-consistent.
     pub fn new(flow: &'a EtlFlow) -> Result<Self, PatternError> {
         let schemas = propagate_schemas(flow).map_err(|e| PatternError::Graph(e.to_string()))?;
-        let distances = flow.distance_from_sources();
-        let max_cost_per_tuple = flow
-            .graph
-            .nodes()
-            .map(|(_, op)| op.cost.cost_per_tuple_ms)
-            .fold(0.0f64, f64::max);
-        let mut upstream_cost = vec![0.0f64; flow.graph.node_bound()];
-        if let Ok(order) = flow.topo_order() {
-            for n in order {
-                let op = flow.op(n).expect("live node");
-                let up = flow
-                    .graph
-                    .predecessors(n)
-                    .map(|p| upstream_cost[p.index()])
-                    .fold(0.0f64, f64::max);
-                upstream_cost[n.index()] = up + op.cost.cost_per_tuple_ms;
-            }
-        }
-        Ok(PatternContext {
+        Ok(Self::with_schemas(flow, schemas))
+    }
+
+    /// Builds the context around an already-computed schema table — the
+    /// cheap constructor behind incremental combination application: the
+    /// caller carries the table across successive pattern applications
+    /// (via `propagate_schemas_delta`) instead of re-propagating the whole
+    /// flow. Cost landmarks are computed lazily, only if a fitness
+    /// heuristic asks for them. `schemas` must be `flow`'s own table, dense
+    /// by node index.
+    pub fn with_schemas(flow: &'a EtlFlow, schemas: SchemaTable) -> Self {
+        PatternContext {
             flow,
             schemas,
-            distances,
-            max_cost_per_tuple,
-            upstream_cost,
+            landmarks: std::sync::OnceLock::new(),
+        }
+    }
+
+    fn landmarks(&self) -> &Landmarks {
+        self.landmarks.get_or_init(|| {
+            let flow = self.flow;
+            let distances = flow.distance_from_sources();
+            let max_cost_per_tuple = flow
+                .graph
+                .nodes()
+                .map(|(_, op)| op.cost.cost_per_tuple_ms)
+                .fold(0.0f64, f64::max);
+            let mut upstream_cost = vec![0.0f64; flow.graph.node_bound()];
+            if let Ok(order) = flow.topo_order() {
+                for n in order {
+                    let op = flow.op(n).expect("live node");
+                    let up = flow
+                        .graph
+                        .predecessors(n)
+                        .map(|p| upstream_cost[p.index()])
+                        .fold(0.0f64, f64::max);
+                    upstream_cost[n.index()] = up + op.cost.cost_per_tuple_ms;
+                }
+            }
+            Landmarks {
+                distances,
+                max_cost_per_tuple,
+                upstream_cost,
+            }
         })
+    }
+
+    /// Distance (edges) from the nearest extract, per node index.
+    pub fn distances(&self) -> &[usize] {
+        &self.landmarks().distances
+    }
+
+    /// The maximum per-tuple cost over all operations (for normalising
+    /// cost-based fitness).
+    pub fn max_cost_per_tuple(&self) -> f64 {
+        self.landmarks().max_cost_per_tuple
+    }
+
+    /// Cumulative upstream cost per node: the per-tuple cost of the most
+    /// expensive source→node chain.
+    pub fn upstream_cost(&self) -> &[f64] {
+        &self.landmarks().upstream_cost
+    }
+
+    /// Consumes the context, returning its schema table.
+    pub fn into_schemas(self) -> SchemaTable {
+        self.schemas
     }
 
     /// Schema flowing over an edge (= output schema of its source node).
     pub fn edge_schema(&self, e: etl_model::EdgeId) -> Option<&Schema> {
         let (src, _) = self.flow.graph.endpoints(e)?;
-        self.schemas[src.index()].as_ref()
+        self.schemas[src.index()].as_deref()
     }
 
     /// Schema at a point: edge schema, node *input* schema (first
@@ -107,7 +157,7 @@ impl<'a> PatternContext<'a> {
             ApplicationPoint::Edge(e) => self.edge_schema(e),
             ApplicationPoint::Node(n) => {
                 let pred = self.flow.graph.predecessors(n).next()?;
-                self.schemas[pred.index()].as_ref()
+                self.schemas[pred.index()].as_deref()
             }
             ApplicationPoint::Graph => None,
         }
@@ -121,11 +171,13 @@ impl<'a> PatternContext<'a> {
                 .flow
                 .graph
                 .endpoints(e)
-                .map(|(s, _)| self.distances[s.index()])
+                .map(|(s, _)| self.distances()[s.index()])
                 .unwrap_or(usize::MAX),
-            ApplicationPoint::Node(n) => {
-                self.distances.get(n.index()).copied().unwrap_or(usize::MAX)
-            }
+            ApplicationPoint::Node(n) => self
+                .distances()
+                .get(n.index())
+                .copied()
+                .unwrap_or(usize::MAX),
             ApplicationPoint::Graph => 0,
         }
     }
@@ -198,6 +250,57 @@ pub trait Pattern: Send + Sync {
         flow: &mut EtlFlow,
         point: ApplicationPoint,
     ) -> Result<AppliedPattern, PatternError>;
+
+    /// Applies the pattern at `point` *without* re-validating
+    /// applicability. The caller must have just checked
+    /// [`applicable`](Self::applicable) against this exact flow state;
+    /// `schemas` is that check's schema table (dense by node index), so
+    /// implementations can configure inserted operations from the point
+    /// schema without re-propagating the flow. The default conservatively
+    /// delegates to [`apply`](Self::apply) (which re-checks from scratch);
+    /// built-ins override it to skip the O(flow) context rebuild — the hot
+    /// path of the planner's incremental evaluation.
+    fn apply_unchecked(
+        &self,
+        flow: &mut EtlFlow,
+        point: ApplicationPoint,
+        schemas: &SchemaTable,
+    ) -> Result<AppliedPattern, PatternError> {
+        let _ = schemas;
+        self.apply(flow, point)
+    }
+
+    /// True when this pattern's structural edit is confined to the nodes it
+    /// reports in [`AppliedPattern::added_nodes`] (plus adjacency rewiring
+    /// and graph-level configuration) — i.e. it never edits an existing
+    /// operation's definition in place. Incremental appliers then repair
+    /// their carried schema table from just those nodes instead of
+    /// re-deriving the fork's full copy-on-write delta. The conservative
+    /// default is `false`; every built-in opts in.
+    fn patch_confined_to_added_nodes(&self) -> bool {
+        false
+    }
+}
+
+/// Schema at a point against an externally-carried schema table — the
+/// context-free counterpart of [`PatternContext::point_schema`], used by
+/// [`Pattern::apply_unchecked`] implementations.
+pub fn point_schema_in<'s>(
+    flow: &EtlFlow,
+    schemas: &'s SchemaTable,
+    p: ApplicationPoint,
+) -> Option<&'s Schema> {
+    match p {
+        ApplicationPoint::Edge(e) => {
+            let (src, _) = flow.graph.endpoints(e)?;
+            schemas.get(src.index())?.as_deref()
+        }
+        ApplicationPoint::Node(n) => {
+            let pred = flow.graph.predecessors(n).next()?;
+            schemas.get(pred.index())?.as_deref()
+        }
+        ApplicationPoint::Graph => None,
+    }
 }
 
 /// Helper shared by edge-interposing patterns: re-validates applicability,
@@ -215,6 +318,32 @@ pub(crate) fn interpose_applying(
             point: point.describe(flow),
         });
     }
+    let ApplicationPoint::Edge(e) = point else {
+        return Err(PatternError::NotApplicable {
+            pattern: pattern.name().to_string(),
+            point: point.describe(flow),
+        });
+    };
+    let splice = flow
+        .graph
+        .interpose_on_edge(e, op, Default::default(), Default::default())
+        .map_err(|err| PatternError::Graph(err.to_string()))?;
+    Ok(AppliedPattern {
+        pattern: pattern.name().to_string(),
+        point,
+        added_nodes: vec![splice.node],
+    })
+}
+
+/// The unchecked counterpart of [`interpose_applying`]: splices `op` onto
+/// the edge with no context rebuild. Callers must have verified
+/// applicability on this exact flow state.
+pub(crate) fn interpose_unchecked(
+    pattern: &dyn Pattern,
+    flow: &mut EtlFlow,
+    point: ApplicationPoint,
+    op: etl_model::Operation,
+) -> Result<AppliedPattern, PatternError> {
     let ApplicationPoint::Edge(e) = point else {
         return Err(PatternError::NotApplicable {
             pattern: pattern.name().to_string(),

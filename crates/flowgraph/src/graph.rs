@@ -1,6 +1,13 @@
 //! Core arena-based directed graph with stable node/edge ids.
+//!
+//! Storage is copy-on-write: every slot sits behind an [`Arc`], so cloning a
+//! graph is `O(n)` refcount bumps and a clone's mutations copy only the slots
+//! they touch ([`Arc::make_mut`]). [`DiGraph::cow_delta`] recovers exactly
+//! which nodes diverged between a fork and its base by pointer comparison,
+//! which is what makes delta re-evaluation of forked flows possible.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// Stable handle to a node in a [`DiGraph`].
 ///
@@ -115,12 +122,49 @@ pub struct EdgeRef<'a, E> {
 /// Parallel edges are allowed (the ETL model itself forbids them at a higher
 /// layer where needed); self-loops are rejected because an ETL transition
 /// from an operation to itself is meaningless.
-#[derive(Debug, Clone)]
+///
+/// Slots are `Arc`-shared: `clone()` is cheap and structurally shares every
+/// slot with the original; mutating either side copies only the touched slots
+/// (copy-on-write), so a fork never observes writes through to its base.
+#[derive(Debug)]
 pub struct DiGraph<N, E> {
-    nodes: Vec<Option<NodeSlot<N>>>,
-    edges: Vec<Option<EdgeSlot<E>>>,
+    nodes: Vec<Option<Arc<NodeSlot<N>>>>,
+    edges: Vec<Option<Arc<EdgeSlot<E>>>>,
     node_count: usize,
     edge_count: usize,
+}
+
+impl<N, E> Clone for DiGraph<N, E> {
+    /// `O(n)` refcount bumps; no node or edge weight is cloned.
+    fn clone(&self) -> Self {
+        DiGraph {
+            nodes: self.nodes.clone(),
+            edges: self.edges.clone(),
+            node_count: self.node_count,
+            edge_count: self.edge_count,
+        }
+    }
+}
+
+/// Difference between a copy-on-write fork and the base it was cloned from,
+/// recovered by [`DiGraph::cow_delta`].
+#[derive(Debug, Clone, Default)]
+pub struct CowDelta {
+    /// Live nodes of the fork whose slot diverged from the base: added nodes,
+    /// nodes with edited weights, and nodes whose adjacency changed. Endpoints
+    /// of edges with diverged slots are folded in too, so any semantic change
+    /// is anchored at a touched node. Sorted ascending, deduplicated.
+    pub touched_nodes: Vec<NodeId>,
+    /// Nodes live in the base but removed in the fork. Sorted ascending.
+    pub removed_nodes: Vec<NodeId>,
+}
+
+impl CowDelta {
+    /// True when the fork's structure is identical (slot-for-slot shared)
+    /// with its base.
+    pub fn is_empty(&self) -> bool {
+        self.touched_nodes.is_empty() && self.removed_nodes.is_empty()
+    }
 }
 
 impl<N, E> Default for DiGraph<N, E> {
@@ -174,11 +218,11 @@ impl<N, E> DiGraph<N, E> {
     /// Adds a node, returning its stable id.
     pub fn add_node(&mut self, weight: N) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Some(NodeSlot {
+        self.nodes.push(Some(Arc::new(NodeSlot {
             weight,
             out: Vec::new(),
             inc: Vec::new(),
-        }));
+        })));
         self.node_count += 1;
         id
     }
@@ -186,7 +230,10 @@ impl<N, E> DiGraph<N, E> {
     /// Adds a directed edge `src → dst`.
     ///
     /// Fails if either endpoint is missing or if `src == dst`.
-    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, weight: E) -> Result<EdgeId, GraphError> {
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, weight: E) -> Result<EdgeId, GraphError>
+    where
+        N: Clone,
+    {
         if src == dst {
             return Err(GraphError::SelfLoop(src));
         }
@@ -197,7 +244,8 @@ impl<N, E> DiGraph<N, E> {
             return Err(GraphError::MissingNode(dst));
         }
         let id = EdgeId(self.edges.len() as u32);
-        self.edges.push(Some(EdgeSlot { weight, src, dst }));
+        self.edges
+            .push(Some(Arc::new(EdgeSlot { weight, src, dst })));
         self.slot_mut(src).out.push(id);
         self.slot_mut(dst).inc.push(id);
         self.edge_count += 1;
@@ -218,38 +266,56 @@ impl<N, E> DiGraph<N, E> {
         self.nodes[n.index()].as_ref().expect("live node")
     }
 
-    fn slot_mut(&mut self, n: NodeId) -> &mut NodeSlot<N> {
-        self.nodes[n.index()].as_mut().expect("live node")
+    /// Copy-on-write access: unshares the slot from any fork before handing
+    /// out the mutable borrow.
+    fn slot_mut(&mut self, n: NodeId) -> &mut NodeSlot<N>
+    where
+        N: Clone,
+    {
+        Arc::make_mut(self.nodes[n.index()].as_mut().expect("live node"))
     }
 
     fn eslot(&self, e: EdgeId) -> &EdgeSlot<E> {
         self.edges[e.index()].as_ref().expect("live edge")
     }
 
-    /// Borrow a node weight.
-    pub fn node(&self, n: NodeId) -> Option<&N> {
-        self.nodes.get(n.index())?.as_ref().map(|s| &s.weight)
+    fn eslot_mut(&mut self, e: EdgeId) -> &mut EdgeSlot<E>
+    where
+        E: Clone,
+    {
+        Arc::make_mut(self.edges[e.index()].as_mut().expect("live edge"))
     }
 
-    /// Mutably borrow a node weight.
-    pub fn node_mut(&mut self, n: NodeId) -> Option<&mut N> {
+    /// Borrow a node weight.
+    pub fn node(&self, n: NodeId) -> Option<&N> {
+        self.nodes.get(n.index())?.as_deref().map(|s| &s.weight)
+    }
+
+    /// Mutably borrow a node weight (copy-on-write: unshares the slot).
+    pub fn node_mut(&mut self, n: NodeId) -> Option<&mut N>
+    where
+        N: Clone,
+    {
         self.nodes
             .get_mut(n.index())?
             .as_mut()
-            .map(|s| &mut s.weight)
+            .map(|s| &mut Arc::make_mut(s).weight)
     }
 
     /// Borrow an edge weight.
     pub fn edge(&self, e: EdgeId) -> Option<&E> {
-        self.edges.get(e.index())?.as_ref().map(|s| &s.weight)
+        self.edges.get(e.index())?.as_deref().map(|s| &s.weight)
     }
 
-    /// Mutably borrow an edge weight.
-    pub fn edge_mut(&mut self, e: EdgeId) -> Option<&mut E> {
+    /// Mutably borrow an edge weight (copy-on-write: unshares the slot).
+    pub fn edge_mut(&mut self, e: EdgeId) -> Option<&mut E>
+    where
+        E: Clone,
+    {
         self.edges
             .get_mut(e.index())?
             .as_mut()
-            .map(|s| &mut s.weight)
+            .map(|s| &mut Arc::make_mut(s).weight)
     }
 
     /// Endpoints `(src, dst)` of a live edge.
@@ -258,7 +324,11 @@ impl<N, E> DiGraph<N, E> {
     }
 
     /// Removes a node and every incident edge, returning its weight.
-    pub fn remove_node(&mut self, n: NodeId) -> Option<N> {
+    pub fn remove_node(&mut self, n: NodeId) -> Option<N>
+    where
+        N: Clone,
+        E: Clone,
+    {
         if !self.contains_node(n) {
             return None;
         }
@@ -271,11 +341,15 @@ impl<N, E> DiGraph<N, E> {
         }
         let slot = self.nodes[n.index()].take().expect("live node");
         self.node_count -= 1;
-        Some(slot.weight)
+        Some(Arc::try_unwrap(slot).map_or_else(|s| s.weight.clone(), |s| s.weight))
     }
 
     /// Removes an edge, returning its weight.
-    pub fn remove_edge(&mut self, e: EdgeId) -> Option<E> {
+    pub fn remove_edge(&mut self, e: EdgeId) -> Option<E>
+    where
+        N: Clone,
+        E: Clone,
+    {
         if !self.contains_edge(e) {
             return None;
         }
@@ -283,7 +357,7 @@ impl<N, E> DiGraph<N, E> {
         self.slot_mut(slot.src).out.retain(|&x| x != e);
         self.slot_mut(slot.dst).inc.retain(|&x| x != e);
         self.edge_count -= 1;
-        Some(slot.weight)
+        Some(Arc::try_unwrap(slot).map_or_else(|s| s.weight.clone(), |s| s.weight))
     }
 
     /// Iterator over live node ids, ascending.
@@ -364,7 +438,11 @@ impl<N, E> DiGraph<N, E> {
 
     /// Retargets an existing edge to a new destination, keeping its id and
     /// weight. Used by splice operations.
-    pub fn retarget_edge(&mut self, e: EdgeId, new_dst: NodeId) -> Result<(), GraphError> {
+    pub fn retarget_edge(&mut self, e: EdgeId, new_dst: NodeId) -> Result<(), GraphError>
+    where
+        N: Clone,
+        E: Clone,
+    {
         if !self.contains_edge(e) {
             return Err(GraphError::MissingEdge(e));
         }
@@ -380,12 +458,16 @@ impl<N, E> DiGraph<N, E> {
         }
         self.slot_mut(old_dst).inc.retain(|&x| x != e);
         self.slot_mut(new_dst).inc.push(e);
-        self.edges[e.index()].as_mut().expect("live edge").dst = new_dst;
+        self.eslot_mut(e).dst = new_dst;
         Ok(())
     }
 
     /// Re-sources an existing edge from a new origin, keeping id and weight.
-    pub fn resource_edge(&mut self, e: EdgeId, new_src: NodeId) -> Result<(), GraphError> {
+    pub fn resource_edge(&mut self, e: EdgeId, new_src: NodeId) -> Result<(), GraphError>
+    where
+        N: Clone,
+        E: Clone,
+    {
         if !self.contains_edge(e) {
             return Err(GraphError::MissingEdge(e));
         }
@@ -401,7 +483,7 @@ impl<N, E> DiGraph<N, E> {
         }
         self.slot_mut(old_src).out.retain(|&x| x != e);
         self.slot_mut(new_src).out.push(e);
-        self.edges[e.index()].as_mut().expect("live edge").src = new_src;
+        self.eslot_mut(e).src = new_src;
         Ok(())
     }
 
@@ -409,7 +491,10 @@ impl<N, E> DiGraph<N, E> {
     /// `v`'s incoming-edge order. Splice operations use this to preserve
     /// the input ordering of multi-input operators (a join's left/right
     /// sides are positional).
-    pub fn set_in_position(&mut self, v: NodeId, e: EdgeId, pos: usize) -> Result<(), GraphError> {
+    pub fn set_in_position(&mut self, v: NodeId, e: EdgeId, pos: usize) -> Result<(), GraphError>
+    where
+        N: Clone,
+    {
         if !self.contains_node(v) {
             return Err(GraphError::MissingNode(v));
         }
@@ -437,10 +522,12 @@ impl<N, E> DiGraph<N, E> {
                 .iter()
                 .enumerate()
                 .map(|(i, s)| {
-                    s.as_ref().map(|s| NodeSlot {
-                        weight: fnode(NodeId(i as u32), &s.weight),
-                        out: s.out.clone(),
-                        inc: s.inc.clone(),
+                    s.as_ref().map(|s| {
+                        Arc::new(NodeSlot {
+                            weight: fnode(NodeId(i as u32), &s.weight),
+                            out: s.out.clone(),
+                            inc: s.inc.clone(),
+                        })
                     })
                 })
                 .collect(),
@@ -449,16 +536,86 @@ impl<N, E> DiGraph<N, E> {
                 .iter()
                 .enumerate()
                 .map(|(i, s)| {
-                    s.as_ref().map(|s| EdgeSlot {
-                        weight: fedge(EdgeId(i as u32), &s.weight),
-                        src: s.src,
-                        dst: s.dst,
+                    s.as_ref().map(|s| {
+                        Arc::new(EdgeSlot {
+                            weight: fedge(EdgeId(i as u32), &s.weight),
+                            src: s.src,
+                            dst: s.dst,
+                        })
                     })
                 })
                 .collect(),
             node_count: self.node_count,
             edge_count: self.edge_count,
         }
+    }
+
+    /// Recovers the set of nodes on which `self` (a copy-on-write fork)
+    /// diverged from `base`, by comparing slot pointers.
+    ///
+    /// Any mutation — weight edit, adjacency change, node/edge add or remove —
+    /// unshares the slots it touches, so pointer inequality is a sound
+    /// overapproximation of "semantically changed" and pointer equality is an
+    /// exact proof of "identical". Endpoints of edges whose slot diverged are
+    /// folded into `touched_nodes` so edge-weight edits (which do not unshare
+    /// node slots) are still anchored at a node.
+    ///
+    /// `base` must be the graph this one was cloned from (ids are only
+    /// comparable within one clone family); `self.cow_delta(self)` is empty.
+    pub fn cow_delta(&self, base: &Self) -> CowDelta {
+        let mut touched: Vec<NodeId> = Vec::new();
+        let mut removed: Vec<NodeId> = Vec::new();
+        let upper = self.nodes.len().max(base.nodes.len());
+        for i in 0..upper {
+            let ours = self.nodes.get(i).and_then(|s| s.as_ref());
+            let theirs = base.nodes.get(i).and_then(|s| s.as_ref());
+            match (ours, theirs) {
+                (Some(a), Some(b)) => {
+                    if !Arc::ptr_eq(a, b) {
+                        touched.push(NodeId(i as u32));
+                    }
+                }
+                (Some(_), None) => touched.push(NodeId(i as u32)),
+                (None, Some(_)) => removed.push(NodeId(i as u32)),
+                (None, None) => {}
+            }
+        }
+        let eupper = self.edges.len().max(base.edges.len());
+        for i in 0..eupper {
+            let ours = self.edges.get(i).and_then(|s| s.as_ref());
+            let theirs = base.edges.get(i).and_then(|s| s.as_ref());
+            let diverged = match (ours, theirs) {
+                (Some(a), Some(b)) => !Arc::ptr_eq(a, b),
+                (Some(_), None) => true,
+                // Edge removed: remove_edge unshared both endpoint slots, so
+                // the anchoring nodes are already in `touched` (or removed).
+                (None, _) => false,
+            };
+            if diverged {
+                let s = ours.expect("diverged implies live in self");
+                touched.push(s.src);
+                touched.push(s.dst);
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        CowDelta {
+            touched_nodes: touched,
+            removed_nodes: removed,
+        }
+    }
+
+    /// Number of live node slots structurally shared (same allocation) with
+    /// `base`. Diagnostic for tests and benchmarks of copy-on-write forking.
+    pub fn shared_node_slots(&self, base: &Self) -> usize {
+        self.nodes
+            .iter()
+            .zip(base.nodes.iter())
+            .filter(|(a, b)| match (a, b) {
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            })
+            .count()
     }
 }
 
@@ -597,6 +754,57 @@ mod tests {
         let w: Vec<u32> = g2.edges().map(|e| *e.weight).collect();
         assert_eq!(w, vec![10, 20, 30, 40]);
         assert_eq!(g2.in_degree(d), 2);
+    }
+
+    #[test]
+    fn cow_clone_shares_all_slots() {
+        let (g, _) = diamond();
+        let f = g.clone();
+        assert_eq!(f.shared_node_slots(&g), 4);
+        assert!(f.cow_delta(&g).is_empty());
+        assert!(g.cow_delta(&g).is_empty());
+    }
+
+    #[test]
+    fn cow_fork_mutation_never_observed_by_base() {
+        let (g, [a, b, _c, d]) = diamond();
+        let mut f = g.clone();
+        *f.node_mut(a).unwrap() = "A!";
+        f.remove_node(b);
+        assert_eq!(g.node(a), Some(&"a"));
+        assert!(g.contains_node(b));
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.in_degree(d), 2);
+        assert_eq!(f.node(a), Some(&"A!"));
+        assert!(!f.contains_node(b));
+    }
+
+    #[test]
+    fn cow_delta_reports_touched_and_removed() {
+        let (g, [a, b, c, d]) = diamond();
+        let mut f = g.clone();
+        *f.node_mut(c).unwrap() = "C!";
+        f.remove_node(b); // also unshares a (out list) and d (inc list)
+        let x = f.add_node("x");
+        f.add_edge(c, x, 9).unwrap();
+        let delta = f.cow_delta(&g);
+        assert_eq!(delta.removed_nodes, vec![b]);
+        assert_eq!(delta.touched_nodes, vec![a, c, d, x]);
+    }
+
+    #[test]
+    fn cow_delta_anchors_edge_weight_edits_at_endpoints() {
+        let (g, [a, b, _c, _d]) = diamond();
+        let mut f = g.clone();
+        let ab = f.out_edges(a).next().unwrap();
+        *f.edge_mut(ab).unwrap() = 100;
+        // Edge weight edit does not unshare node slots…
+        assert_eq!(f.shared_node_slots(&g), 4);
+        // …but the delta still anchors the change at both endpoints.
+        let delta = f.cow_delta(&g);
+        assert_eq!(delta.touched_nodes, vec![a, b]);
+        assert!(delta.removed_nodes.is_empty());
+        assert_eq!(g.edge(ab), Some(&1));
     }
 
     #[test]

@@ -45,10 +45,10 @@ mod metrics;
 mod splice;
 
 pub use algo::{
-    critical_path, has_cycle, is_dag, longest_path_len, reachable_from, shortest_path_len,
-    topo_sort, weakly_connected_components, TopoError,
+    affected_topo, critical_path, has_cycle, is_dag, longest_path_len, reachable_from,
+    shortest_path_len, topo_sort, weakly_connected_components, TopoError,
 };
 pub use dot::to_dot;
-pub use graph::{DiGraph, EdgeId, EdgeRef, GraphError, NodeId};
+pub use graph::{CowDelta, DiGraph, EdgeId, EdgeRef, GraphError, NodeId};
 pub use metrics::{coupling, degree_stats, density, fan_in, fan_out, DegreeStats};
 pub use splice::{InterposeSplice, SubgraphSplice};

@@ -51,6 +51,7 @@ impl<N, E> DiGraph<N, E> {
         out_weight: E,
     ) -> Result<InterposeSplice, GraphError>
     where
+        N: Clone,
         E: Clone,
     {
         let (_, dst) = self.endpoints(e).ok_or(GraphError::MissingEdge(e))?;

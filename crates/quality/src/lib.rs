@@ -47,7 +47,10 @@ pub mod report;
 pub mod runtime;
 pub mod static_measures;
 
-pub use estimator::{estimate, source_stats, SourceStats};
+pub use estimator::{
+    estimate, estimate_baseline, estimate_delta, estimate_delta_with, source_stats,
+    EstimateBaseline, SourceStats,
+};
 pub use measure::{Characteristic, MeasureId, MeasureVector};
 pub use report::{relative_change, QualityReport, RelativeChange};
 pub use runtime::evaluate_trace;

@@ -117,7 +117,7 @@ pub fn simulate(flow: &EtlFlow, catalog: &Catalog, config: &SimConfig) -> Result
             .collect();
         let in_schemas: Vec<&etl_model::Schema> = preds
             .iter()
-            .map(|p| schemas[p.index()].as_ref().expect("propagated"))
+            .map(|p| schemas[p.index()].as_deref().expect("propagated"))
             .collect();
         let out_edges: Vec<_> = flow.graph.out_edges(n).collect();
 
@@ -181,7 +181,7 @@ pub fn simulate(flow: &EtlFlow, catalog: &Catalog, config: &SimConfig) -> Result
         if let OpKind::Load { target } = &op.kind {
             loads.push(LoadedData {
                 target: target.clone(),
-                schema: schemas[n.index()].clone().expect("propagated"),
+                schema: schemas[n.index()].as_deref().expect("propagated").clone(),
                 rows: outputs.first().cloned().unwrap_or_default(),
             });
         }
