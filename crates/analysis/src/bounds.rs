@@ -1,0 +1,140 @@
+//! Static measure-bound analysis: a sound optimistic ceiling on what a
+//! pattern combination can achieve, computed *without* applying it.
+//!
+//! Each pattern declares a [`GainProfile`] — per-characteristic caps on the
+//! multiplier it can put on a characteristic score in a single application.
+//! A combination's profile is the per-axis product of its members' profiles
+//! (clamped at [`quality::RATIO_CLAMP_MAX`], the ceiling the score
+//! computation itself enforces). Since every baseline characteristic score
+//! is 100, the optimistic *score* bound per axis is simply `100 × cap`.
+//!
+//! Soundness: for every combination `C` and every characteristic `c`,
+//! `score_c(apply(C, flow)) ≤ 100 × combination_gain(C).cap(c)` under the
+//! estimate evaluation mode. The planner uses this to skip combinations
+//! whose best possible outcome is already dominated by the current skyline
+//! — pruned combinations provably cannot change the skyline, so the result
+//! set stays bit-identical.
+
+use fcp::Pattern;
+use quality::{Characteristic, GainProfile};
+use std::sync::Arc;
+
+/// Folds the gain profiles of a pattern combination into one profile via
+/// [`GainProfile::combine`], starting from the identity
+/// ([`GainProfile::neutral`]). The empty combination therefore bounds every
+/// axis at the baseline (cap 1.0).
+pub fn combination_gain<'a, I>(patterns: I) -> GainProfile
+where
+    I: IntoIterator<Item = &'a Arc<dyn Pattern>>,
+{
+    patterns.into_iter().fold(GainProfile::neutral(), |acc, p| {
+        acc.combine(&p.gain_profile())
+    })
+}
+
+/// The optimistic characteristic-score bound implied by a profile: `100 ×
+/// cap` per axis, in [`Characteristic::ALL`] order. This is the best score
+/// any flow rewritten by the combination can reach, given baseline scores
+/// of 100 and ratio clamping.
+pub fn optimistic_scores(gain: &GainProfile) -> [f64; Characteristic::ALL.len()] {
+    let mut out = [0.0; Characteristic::ALL.len()];
+    for (i, c) in Characteristic::ALL.iter().enumerate() {
+        out[i] = 100.0 * gain.cap(*c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcp::PatternRegistry;
+    use quality::RATIO_CLAMP_MAX;
+
+    fn registry() -> PatternRegistry {
+        PatternRegistry::standard(vec![("pu_id".into(), "ref_purchases".into())])
+    }
+
+    #[test]
+    fn empty_combination_is_baseline() {
+        let g = combination_gain([]);
+        for c in Characteristic::ALL {
+            assert_eq!(g.cap(c), 1.0);
+        }
+        assert_eq!(optimistic_scores(&g), [100.0; 6]);
+    }
+
+    #[test]
+    fn security_pair_cannot_move_other_axes() {
+        let r = registry();
+        let pair = [
+            r.by_name("EncryptChannels").unwrap(),
+            r.by_name("EnableAccessControl").unwrap(),
+        ];
+        let g = combination_gain(pair);
+        assert_eq!(g.cap(Characteristic::Security), RATIO_CLAMP_MAX);
+        for c in Characteristic::ALL {
+            if c != Characteristic::Security {
+                assert_eq!(g.cap(c), 1.0, "security pair must not claim gains on {c}");
+            }
+        }
+        let scores = optimistic_scores(&g);
+        assert_eq!(
+            scores[Characteristic::ALL.len() - 1],
+            100.0 * RATIO_CLAMP_MAX
+        );
+    }
+
+    #[test]
+    fn combination_bound_is_at_least_each_members() {
+        // combine() multiplies caps ≥ 1, so a combination can never promise
+        // less than any member alone — the monotonicity the pruner relies on.
+        let r = registry();
+        let all: Vec<_> = r.iter().collect();
+        let combined = combination_gain(all.iter().copied());
+        for p in r.iter() {
+            let single = combination_gain([p]);
+            for c in Characteristic::ALL {
+                assert!(combined.cap(c) >= single.cap(c) - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_are_sound_on_the_demo_flow() {
+        // Apply each single-pattern combination to the Fig. 2 flow and check
+        // the estimated characteristic scores never exceed the static bound.
+        use datagen::fig2::{purchases_catalog, purchases_flow};
+        use datagen::DirtProfile;
+        use fcp::{ApplicationPoint, PatternContext};
+        use quality::{estimate, source_stats, Characteristic};
+
+        let (flow, _) = purchases_flow();
+        let catalog = purchases_catalog(500, &DirtProfile::clean(), 3);
+        let stats = source_stats(&catalog);
+        let base = estimate(&flow, &stats);
+        let r = registry();
+        for p in r.iter() {
+            let ctx = PatternContext::new(&flow).unwrap();
+            let points: Vec<ApplicationPoint> = p.candidate_points(&ctx);
+            drop(ctx);
+            let Some(point) = points.first() else {
+                continue;
+            };
+            let mut fork = flow.fork("bound-check");
+            if p.apply(&mut fork, *point).is_err() {
+                continue;
+            }
+            let after = estimate(&fork, &stats);
+            let bound = optimistic_scores(&p.gain_profile());
+            for (i, c) in Characteristic::ALL.iter().enumerate() {
+                let score = after.characteristic_score(&base, *c);
+                assert!(
+                    score <= bound[i] + 1e-9,
+                    "{}: measured {c} score {score} exceeds static bound {}",
+                    p.name(),
+                    bound[i]
+                );
+            }
+        }
+    }
+}

@@ -36,6 +36,12 @@ use fcp::{ApplicationPoint, Pattern, PatternContext};
 use flowgraph::{has_cycle, reachable_from, topo_sort, weakly_connected_components};
 use std::fmt;
 
+pub mod bounds;
+pub mod lineage;
+
+pub use bounds::{combination_gain, optimistic_scores};
+pub use lineage::{Lineage, SourceColumn};
+
 /// Stable diagnostic codes. Codes are append-only: a published `PAxxx` never
 /// changes meaning (wire compatibility for lint consumers and CI greps).
 pub mod codes {
@@ -69,6 +75,14 @@ pub mod codes {
     pub const DEAD_POINT: &str = "PA020";
     /// Pattern prerequisite unsatisfied at the application point.
     pub const PREREQUISITE: &str = "PA021";
+    /// Sensitive source column reaches a load over unencrypted channels.
+    pub const SENSITIVE_LEAK: &str = "PA030";
+    /// Sensitive source column reaches a load, protected by encryption.
+    pub const SENSITIVE_EXPOSURE: &str = "PA031";
+    /// In-flow encryption under a flow-wide encrypted configuration.
+    pub const REDUNDANT_ENCRYPTION: &str = "PA040";
+    /// Flow-wide encryption with no sensitive source column to protect.
+    pub const UNUSED_ENCRYPTION: &str = "PA041";
 }
 
 /// How bad a finding is. Ordered: `Error > Warn > Info`.
@@ -154,6 +168,9 @@ pub struct Diagnostic {
     pub message: String,
     /// How to fix it, when the analyzer can tell.
     pub suggestion: Option<String>,
+    /// Supporting evidence lines (lineage traces, provenance), rendered as
+    /// rustc-style `= note:` lines. Usually empty.
+    pub notes: Vec<String>,
 }
 
 impl Diagnostic {
@@ -165,6 +182,7 @@ impl Diagnostic {
             location,
             message: message.into(),
             suggestion: None,
+            notes: Vec::new(),
         }
     }
 
@@ -176,9 +194,23 @@ impl Diagnostic {
         }
     }
 
+    /// Info-severity diagnostic.
+    pub fn info(code: &'static str, location: Location, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Info,
+            ..Diagnostic::error(code, location, message)
+        }
+    }
+
     /// Attaches a fix suggestion.
     pub fn with_suggestion(mut self, suggestion: impl Into<String>) -> Self {
         self.suggestion = Some(suggestion.into());
+        self
+    }
+
+    /// Appends one supporting note line.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
         self
     }
 }
@@ -194,11 +226,38 @@ pub fn has_errors(diags: &[Diagnostic]) -> bool {
     diags.iter().any(|d| d.severity == Severity::Error)
 }
 
-/// Runs every flow pass — [`well_formedness`] then [`dataflow`] — and
-/// returns all findings, errors first within the original pass order.
+/// Runs every flow pass — [`well_formedness`], [`dataflow`] and the
+/// sensitive-data [`lineage::taint`] pass — and returns all findings, errors
+/// first within the original pass order.
 pub fn analyze(flow: &EtlFlow) -> Vec<Diagnostic> {
+    analyze_with(flow, None)
+}
+
+/// [`analyze`] over a schema table the caller already computed (the planner
+/// and session builder carry one), avoiding a second [`propagate_schemas`]
+/// over the same flow. Pass `None` to propagate internally.
+pub fn analyze_with(flow: &EtlFlow, schemas: Option<&etl_model::SchemaTable>) -> Vec<Diagnostic> {
     let mut out = well_formedness(flow);
-    out.extend(dataflow(flow));
+    if flow.graph.node_count() > 0 && !has_cycle(&flow.graph) {
+        let owned;
+        let table = match schemas {
+            Some(t) => Some(t),
+            None => match propagate_schemas(flow) {
+                Ok(t) => {
+                    owned = t;
+                    Some(&owned)
+                }
+                Err(e) => {
+                    out.push(schema_error_diagnostic(flow, &e));
+                    None
+                }
+            },
+        };
+        if let Some(table) = table {
+            out.extend(dataflow_with(flow, table));
+            out.extend(lineage::taint(flow, table));
+        }
+    }
     // Stable sort: errors surface first, ties keep pass order.
     out.sort_by_key(|d| std::cmp::Reverse(d.severity));
     out
@@ -211,6 +270,19 @@ pub fn analyze(flow: &EtlFlow) -> Vec<Diagnostic> {
 /// multi-pass analysis.
 pub fn screen(flow: &EtlFlow) -> Option<Diagnostic> {
     flow.validate().err().map(|e| from_flow_error(flow, &e))
+}
+
+/// [`screen`] for callers that already carry a valid schema table for the
+/// flow: schema propagation is proven, so only the structural half of
+/// validation runs ([`EtlFlow::validate_structure`]).
+pub fn screen_with(flow: &EtlFlow, schemas: Option<&etl_model::SchemaTable>) -> Option<Diagnostic> {
+    match schemas {
+        None => screen(flow),
+        Some(_) => flow
+            .validate_structure()
+            .err()
+            .map(|e| from_flow_error(flow, &e)),
+    }
 }
 
 /// Incremental variant of [`screen`] for a copy-on-write fork of an
@@ -442,6 +514,12 @@ pub fn dataflow(flow: &EtlFlow) -> Vec<Diagnostic> {
         // let the user iterate (matching how compilers gate later passes).
         Err(e) => return vec![schema_error_diagnostic(flow, &e)],
     };
+    dataflow_with(flow, &schemas)
+}
+
+/// [`dataflow`] over an already-propagated schema table.
+fn dataflow_with(flow: &EtlFlow, schemas: &etl_model::SchemaTable) -> Vec<Diagnostic> {
+    let g = &flow.graph;
     let mut out = Vec::new();
     for (n, op) in g.nodes() {
         let input = g
@@ -464,7 +542,7 @@ pub fn dataflow(flow: &EtlFlow) -> Vec<Diagnostic> {
             _ => {}
         }
     }
-    dead_fields(flow, &schemas, &mut out);
+    dead_fields(flow, schemas, &mut out);
     out
 }
 
@@ -824,6 +902,9 @@ pub fn render(flow: &EtlFlow, diags: &[Diagnostic]) -> String {
             d.location.describe(flow),
             flow.name
         ));
+        for note in &d.notes {
+            out.push_str(&format!("  = note: {note}\n"));
+        }
         if let Some(s) = &d.suggestion {
             out.push_str(&format!("  = help: {s}\n"));
         }

@@ -1,10 +1,15 @@
 //! BENCH_PLANNER — per-combination cost of the planning cycle, with and
-//! without incremental (copy-on-write + delta) evaluation.
+//! without incremental (copy-on-write + delta) evaluation and the
+//! bound-based dominance pre-pruner.
 //!
-//! Runs a workload × strategy grid twice per cell — `delta_eval` on and
-//! off — asserts the skylines are identical, and writes a machine-readable
-//! `BENCH_planner.json` with combinations/second, µs per combination,
-//! frontier size and the delta-vs-scratch speedup per cell.
+//! Runs a workload × strategy grid three times per cell — `delta_eval` on
+//! and off (both with the default bound pruner), plus delta with
+//! `bound_prune` off — asserts all three skylines are identical, and
+//! writes a machine-readable `BENCH_planner.json` with combinations/second,
+//! µs per combination, frontier size, the delta-vs-scratch speedup, and
+//! the pruner's skip count / rate / speedup per cell. The pruner only
+//! activates on non-steering cells (exhaustive, estimate mode, no
+//! retention), so beam/greedy rows report zero pruned by design.
 //!
 //! ```text
 //! bench_planner [--out BENCH_planner.json] [--tiny] [--workers 1]
@@ -83,6 +88,7 @@ fn run_once(
     strategy: SearchStrategyKind,
     workers: usize,
     delta_eval: bool,
+    bound_prune: bool,
 ) -> (PlannerOutcome, f64) {
     let policy = DeploymentPolicy {
         top_k_points_per_pattern: usize::MAX,
@@ -96,6 +102,7 @@ fn run_once(
         max_alternatives: w.budget,
         retain_dominated: false,
         delta_eval,
+        bound_prune,
         ..PlannerConfig::default()
     };
     let registry = fcp::PatternRegistry::standard_for_catalog(&w.catalog);
@@ -112,6 +119,8 @@ struct Cell {
     frontier: usize,
     delta_secs: f64,
     scratch_secs: f64,
+    noprune_secs: f64,
+    bound_pruned: usize,
     skyline_equal: bool,
 }
 
@@ -127,6 +136,12 @@ impl Cell {
     }
     fn speedup(&self) -> f64 {
         self.scratch_secs / self.delta_secs.max(1e-9)
+    }
+    fn prune_rate(&self) -> f64 {
+        self.bound_pruned as f64 / self.enumerated.max(1) as f64
+    }
+    fn prune_speedup(&self) -> f64 {
+        self.noprune_secs / self.delta_secs.max(1e-9)
     }
 
     fn to_json(&self) -> Value {
@@ -145,6 +160,10 @@ impl Cell {
                 num(self.scratch_us_per_combo()),
             ),
             ("speedup".into(), num(self.speedup())),
+            ("noprune_secs".into(), num(self.noprune_secs)),
+            ("bound_pruned".into(), num(self.bound_pruned as f64)),
+            ("prune_rate".into(), num(self.prune_rate())),
+            ("prune_speedup".into(), num(self.prune_speedup())),
             ("skyline_equal".into(), Value::Bool(self.skyline_equal)),
         ])
     }
@@ -184,12 +203,14 @@ fn main() {
     let mut cells: Vec<Cell> = Vec::new();
     for w in workloads(tiny, budget) {
         for strategy in strategies {
-            let (fast, delta_secs) = run_once(&w, strategy, workers, true);
-            let (slow, scratch_secs) = run_once(&w, strategy, workers, false);
-            let skyline_equal = fast.skyline_names() == slow.skyline_names();
+            let (fast, delta_secs) = run_once(&w, strategy, workers, true, true);
+            let (slow, scratch_secs) = run_once(&w, strategy, workers, false, true);
+            let (unpruned, noprune_secs) = run_once(&w, strategy, workers, true, false);
+            let skyline_equal = fast.skyline_names() == slow.skyline_names()
+                && fast.skyline_names() == unpruned.skyline_names();
             assert!(
                 skyline_equal,
-                "{}/{strategy}: delta and scratch skylines diverged",
+                "{}/{strategy}: delta/scratch/no-prune skylines diverged",
                 w.name
             );
             let cell = Cell {
@@ -199,10 +220,12 @@ fn main() {
                 frontier: fast.skyline.len(),
                 delta_secs,
                 scratch_secs,
+                noprune_secs,
+                bound_pruned: fast.bound_pruned,
                 skyline_equal,
             };
             println!(
-                "{:<10} {:<22} {:>8} combos  {:>10.0} combos/s  {:>7.1} µs/combo (scratch {:>7.1})  speedup {:>5.2}x  frontier {}",
+                "{:<10} {:<22} {:>8} combos  {:>10.0} combos/s  {:>7.1} µs/combo (scratch {:>7.1})  speedup {:>5.2}x  pruned {:>6} ({:>4.1}%, {:>4.2}x)  frontier {}",
                 cell.workload,
                 cell.strategy,
                 cell.enumerated,
@@ -210,6 +233,9 @@ fn main() {
                 cell.us_per_combo(),
                 cell.scratch_us_per_combo(),
                 cell.speedup(),
+                cell.bound_pruned,
+                cell.prune_rate() * 100.0,
+                cell.prune_speedup(),
                 cell.frontier,
             );
             cells.push(cell);
@@ -217,13 +243,14 @@ fn main() {
     }
 
     let mean_speedup = cells.iter().map(Cell::speedup).sum::<f64>() / cells.len().max(1) as f64;
-    let demo_exhaustive_speedup = cells
+    let demo_exhaustive = cells
         .iter()
-        .find(|c| c.workload == "demo" && c.strategy == "exhaustive")
-        .map(Cell::speedup)
-        .unwrap_or(0.0);
+        .find(|c| c.workload == "demo" && c.strategy == "exhaustive");
+    let demo_exhaustive_speedup = demo_exhaustive.map(Cell::speedup).unwrap_or(0.0);
+    let demo_prune_rate = demo_exhaustive.map(Cell::prune_rate).unwrap_or(0.0);
     println!(
-        "\nmean speedup {mean_speedup:.2}x; demo/exhaustive speedup {demo_exhaustive_speedup:.2}x"
+        "\nmean speedup {mean_speedup:.2}x; demo/exhaustive speedup {demo_exhaustive_speedup:.2}x, prune rate {:.1}%",
+        demo_prune_rate * 100.0
     );
 
     let num = |x: f64| Value::number((x * 1000.0).round() / 1000.0).expect("finite");
@@ -236,6 +263,7 @@ fn main() {
             Value::Array(cells.iter().map(Cell::to_json).collect()),
         ),
         ("mean_speedup".into(), num(mean_speedup)),
+        ("demo_prune_rate".into(), num(demo_prune_rate)),
     ]);
     std::fs::write(&out_path, format!("{doc}\n")).expect("write bench json");
     println!("wrote {out_path}");

@@ -396,6 +396,9 @@ pub struct PlanResponse {
     pub failed_evaluations: usize,
     /// Combinations pruned by the static pre-screen before evaluation.
     pub statically_rejected: usize,
+    /// Combinations skipped by the bound-based dominance pre-pruner: their
+    /// optimistic score bound was already dominated by the frontier.
+    pub bound_pruned: usize,
     /// The Pareto frontier, best objective first.
     pub skyline: Vec<AlternativeSummary>,
 }
@@ -422,6 +425,7 @@ impl PlanResponse {
             failed_applications: outcome.failed_applications,
             failed_evaluations: outcome.failed_evaluations,
             statically_rejected: outcome.statically_rejected,
+            bound_pruned: outcome.bound_pruned,
             skyline: outcome
                 .skyline_alternatives()
                 .enumerate()
@@ -484,6 +488,7 @@ impl ToJson for PlanResponse {
                 "statically_rejected".to_string(),
                 int(self.statically_rejected),
             ),
+            ("bound_pruned".to_string(), int(self.bound_pruned)),
             (
                 "skyline".to_string(),
                 Value::Array(self.skyline.iter().map(|s| s.to_json()).collect()),
@@ -537,6 +542,7 @@ impl FromJson for PlanResponse {
             statically_rejected: v
                 .get("statically_rejected")?
                 .as_usize("statically_rejected")?,
+            bound_pruned: v.get("bound_pruned")?.as_usize("bound_pruned")?,
             skyline: v
                 .get("skyline")?
                 .as_array("skyline")?
@@ -570,6 +576,9 @@ pub struct DiagnosticSpec {
     pub message: String,
     /// Suggested fix, when the analyzer has one.
     pub suggestion: Option<String>,
+    /// Supporting evidence lines (lineage traces); omitted from the wire
+    /// when empty.
+    pub notes: Vec<String>,
 }
 
 impl DiagnosticSpec {
@@ -588,6 +597,7 @@ impl DiagnosticSpec {
             edge,
             message: d.message.clone(),
             suggestion: d.suggestion.clone(),
+            notes: d.notes.clone(),
         }
     }
 }
@@ -608,6 +618,12 @@ impl ToJson for DiagnosticSpec {
         }
         if let Some(s) = &self.suggestion {
             fields.push(("suggestion".to_string(), string(s)));
+        }
+        if !self.notes.is_empty() {
+            fields.push((
+                "notes".to_string(),
+                Value::Array(self.notes.iter().map(|n| string(n)).collect()),
+            ));
         }
         Value::object(fields)
     }
@@ -631,6 +647,14 @@ impl FromJson for DiagnosticSpec {
             suggestion: match v.get_opt("suggestion")? {
                 Some(s) => Some(s.as_str("suggestion")?.to_string()),
                 None => None,
+            },
+            notes: match v.get_opt("notes")? {
+                Some(n) => n
+                    .as_array("notes")?
+                    .iter()
+                    .map(|x| Ok(x.as_str("notes[]")?.to_string()))
+                    .collect::<Result<_, JsonError>>()?,
+                None => Vec::new(),
             },
         })
     }

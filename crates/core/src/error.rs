@@ -182,6 +182,12 @@ pub(crate) fn diagnostic_json(d: &Diagnostic) -> Value {
     if let Some(s) = &d.suggestion {
         fields.push(("suggestion".to_string(), Value::String(s.clone())));
     }
+    if !d.notes.is_empty() {
+        fields.push((
+            "notes".to_string(),
+            Value::Array(d.notes.iter().map(|n| Value::String(n.clone())).collect()),
+        ));
+    }
     Value::object(fields)
 }
 

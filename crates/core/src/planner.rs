@@ -83,6 +83,21 @@ pub struct PlannerConfig {
     /// this is on by default; turning it off restores full per-combination
     /// re-evaluation for A/B timing. Ignored in [`EvalMode::Simulate`].
     pub delta_eval: bool,
+    /// Bound-based dominance pre-pruning: before a combination is even
+    /// forked, its sound optimistic score bound
+    /// ([`analysis::combination_gain`] over the patterns'
+    /// [`fcp::Pattern::gain_profile`]s) is offered to the current frontier;
+    /// if some member already dominates the *best the combination could
+    /// possibly score*, it is skipped unevaluated and counted in
+    /// [`PlannerOutcome::bound_pruned`]. Pruned combinations provably
+    /// cannot enter the skyline, so the frontier is bit-identical with the
+    /// flag on or off (proptest-enforced). Activates only when it cannot
+    /// change any observable output: [`retain_dominated`](Self::retain_dominated)
+    /// off (a pruned flow would otherwise be retained), a non-steering
+    /// strategy ([`SearchStrategy::uses_steering`] false — skipping scores
+    /// would change beam/greedy walks), and [`EvalMode::Estimate`] (the
+    /// bounds are proven against the estimator). On by default.
+    pub bound_prune: bool,
 }
 
 impl PlannerConfig {
@@ -106,6 +121,7 @@ impl Default for PlannerConfig {
             seed: 0xBEEF,
             prescreen: true,
             delta_eval: true,
+            bound_prune: true,
         }
     }
 }
@@ -139,6 +155,11 @@ pub struct PlannerOutcome {
     /// precondition did not hold on the base flow, or the applied result
     /// failed flow validation.
     pub statically_rejected: usize,
+    /// Combinations skipped by the bound-based dominance pre-pruner
+    /// ([`PlannerConfig::bound_prune`]): their optimistic score bound was
+    /// already dominated by the frontier, so they were never forked,
+    /// applied or evaluated.
+    pub bound_pruned: usize,
     /// `skyline` re-ordered best-objective-first, computed once at
     /// assembly so [`skyline_alternatives`](Self::skyline_alternatives)
     /// neither sorts nor allocates per call.
@@ -160,6 +181,7 @@ impl PlannerOutcome {
         failed_applications: usize,
         failed_evaluations: usize,
         statically_rejected: usize,
+        bound_pruned: usize,
     ) -> Self {
         let mut ranked = skyline.clone();
         ranked.sort_by(|&a, &b| {
@@ -177,6 +199,7 @@ impl PlannerOutcome {
             failed_applications,
             failed_evaluations,
             statically_rejected,
+            bound_pruned,
             ranked,
         }
     }
@@ -300,11 +323,25 @@ impl Planner {
     /// Runs one full planning cycle with an explicit (possibly
     /// user-defined) search strategy — the streaming engine.
     pub fn plan_with(&self, strategy: &dyn SearchStrategy) -> Result<PlannerOutcome, PlannerError> {
-        let (baseline, candidates) = self.prepare()?;
+        let (baseline, candidates, schemas) = self.prepare()?;
         let precheck = self.precheck_context()?;
-        let delta = self.delta_context();
+        let delta = self.delta_context(&schemas);
         let labels = LabelTable::new(&candidates);
-        let engine = StreamingEngine::new(self, &baseline, &candidates, precheck, delta, labels);
+        // The pruner activates only where a skipped combination is provably
+        // unobservable — see [`PlannerConfig::bound_prune`].
+        let bound_prune = self.config.bound_prune
+            && !self.config.retain_dominated
+            && !strategy.uses_steering()
+            && self.config.eval_mode == EvalMode::Estimate;
+        let engine = StreamingEngine::new(
+            self,
+            &baseline,
+            &candidates,
+            precheck,
+            delta,
+            labels,
+            bound_prune,
+        );
         let space = SearchSpace {
             candidates: &candidates,
             policy: &self.config.policy,
@@ -337,6 +374,7 @@ impl Planner {
             harvest.failed_applications,
             harvest.failed_evaluations,
             harvest.statically_rejected,
+            harvest.bound_pruned,
         ))
     }
 
@@ -345,14 +383,14 @@ impl Planner {
     /// Kept as the A/B reference for the streaming engine (equal skylines,
     /// O(space) memory) — see `streaming_sweep` and the equivalence tests.
     pub fn plan_materialized(&self) -> Result<PlannerOutcome, PlannerError> {
-        let (baseline, candidates) = self.prepare()?;
+        let (baseline, candidates, schemas) = self.prepare()?;
         let (combos, stats) = enumerate_combinations(
             &candidates,
             &self.config.policy,
             self.config.max_alternatives,
         );
         let precheck = self.precheck_context()?;
-        let delta = self.delta_context();
+        let delta = self.delta_context(&schemas);
         let labels = LabelTable::new(&candidates);
         let mut flows = Vec::with_capacity(combos.len());
         let mut cows = Vec::with_capacity(combos.len());
@@ -435,6 +473,8 @@ impl Planner {
             failed_applications,
             failed_evaluations,
             statically_rejected,
+            // the materialize-all reference path never prunes
+            0,
         ))
     }
 
@@ -458,16 +498,15 @@ impl Planner {
     /// measure contributions, the schema table `Arc`-shares every node's
     /// output schema; per-combination work then touches only the patch and
     /// its downstream closure.
-    fn delta_context(&self) -> Option<DeltaCtx> {
+    fn delta_context(&self, schemas: &etl_model::SchemaTable) -> Option<DeltaCtx> {
         if !self.config.delta_eval || self.config.eval_mode != EvalMode::Estimate {
             return None;
         }
-        // `prepare` has already validated the flow, so propagation cannot
-        // fail here; fall back to full evaluation defensively if it does.
-        let schemas = etl_model::propagate_schemas(&self.flow).ok()?;
+        // `prepare` already propagated the table once for the whole cycle;
+        // the `Arc`-shared slots make this clone O(nodes) pointer bumps.
         Some(DeltaCtx {
             baseline: quality::estimate_baseline(&self.flow, &self.stats_cache),
-            schemas,
+            schemas: schemas.clone(),
         })
     }
 
@@ -577,11 +616,17 @@ impl Planner {
     }
 
     /// Shared preamble of both pipelines: validate the flow, score the
-    /// baseline, generate candidates.
-    fn prepare(&self) -> Result<(MeasureVector, Vec<Candidate>), PlannerError> {
+    /// baseline, generate candidates. Returns the propagated schema table
+    /// so the cycle never re-derives it — validation, the incremental
+    /// [`DeltaCtx`] and any later analysis share the one propagation.
+    fn prepare(
+        &self,
+    ) -> Result<(MeasureVector, Vec<Candidate>, etl_model::SchemaTable), PlannerError> {
         self.flow
-            .validate()
+            .validate_structure()
             .map_err(|e| PlannerError::InvalidFlow(e.to_string()))?;
+        let schemas = etl_model::propagate_schemas(&self.flow)
+            .map_err(|e| PlannerError::InvalidFlow(etl_model::FlowError::Schema(e).to_string()))?;
         let baseline = evaluate_flow(
             &self.flow,
             &self.catalog,
@@ -592,7 +637,7 @@ impl Planner {
         .map_err(|e| PlannerError::Eval(e.to_string()))?;
         let candidates = generate_candidates(&self.flow, &self.registry, &self.config.policy)
             .map_err(|e| PlannerError::Pattern(e.to_string()))?;
-        Ok((baseline, candidates))
+        Ok((baseline, candidates, schemas))
     }
 }
 
@@ -645,6 +690,7 @@ struct Harvest {
     failed_applications: usize,
     failed_evaluations: usize,
     statically_rejected: usize,
+    bound_pruned: usize,
 }
 
 /// The streaming generate→apply→evaluate→skyline engine. Each submitted
@@ -668,11 +714,16 @@ struct StreamingEngine<'a> {
     delta: Option<DeltaCtx>,
     /// Candidate labels, derived and ranked once per cycle.
     labels: LabelTable,
+    /// Per-candidate static gain profiles, present iff the bound-based
+    /// dominance pre-pruner is active for this cycle (see
+    /// [`PlannerConfig::bound_prune`] for the activation conditions).
+    gain_profiles: Option<Vec<quality::GainProfile>>,
     state: Mutex<EngineState>,
     rejected: AtomicUsize,
     failed_applications: AtomicUsize,
     failed_evaluations: AtomicUsize,
     statically_rejected: AtomicUsize,
+    bound_pruned: AtomicUsize,
 }
 
 /// The `&mut`-requiring [`CombinationSink`] face of the engine; owns the
@@ -691,7 +742,14 @@ impl<'a> StreamingEngine<'a> {
         precheck: Option<PatternContext<'a>>,
         delta: Option<DeltaCtx>,
         labels: LabelTable,
+        bound_prune: bool,
     ) -> Self {
+        let gain_profiles = bound_prune.then(|| {
+            candidates
+                .iter()
+                .map(|c| c.pattern.gain_profile())
+                .collect()
+        });
         StreamingEngine {
             planner,
             baseline,
@@ -701,6 +759,7 @@ impl<'a> StreamingEngine<'a> {
             precheck,
             delta,
             labels,
+            gain_profiles,
             state: Mutex::new(EngineState {
                 skyline: SkylineSet::new(),
                 retained: Vec::new(),
@@ -709,12 +768,44 @@ impl<'a> StreamingEngine<'a> {
             failed_applications: AtomicUsize::new(0),
             failed_evaluations: AtomicUsize::new(0),
             statically_rejected: AtomicUsize::new(0),
+            bound_pruned: AtomicUsize::new(0),
         }
     }
 
     /// Applies, evaluates and skyline-feeds one combination; returns its
     /// objective, or `None` when it failed or was rejected.
     fn process(&self, seq: usize, combo: &[usize]) -> Option<f64> {
+        // Bound-based dominance pre-prune: the combination's sound optimistic
+        // score bound is offered to the live frontier *before* the fork. A
+        // dominated bound proves the real point (never better per axis)
+        // would be rejected as dominated too, so skipping it cannot change
+        // the skyline or the retained (frontier-only) set.
+        if let Some(profiles) = &self.gain_profiles {
+            let gain = combo
+                .iter()
+                .fold(quality::GainProfile::neutral(), |acc, &i| {
+                    acc.combine(&profiles[i])
+                });
+            let objective = &self.planner.config.objective;
+            let bound: Vec<f64> = objective
+                .goals()
+                .iter()
+                .map(|g| match g.direction {
+                    crate::objective::Direction::Maximize => 100.0 * gain.cap(g.characteristic),
+                    // a minimize axis is best served by the worst possible
+                    // score, floored by the estimator's ratio clamp
+                    crate::objective::Direction::Minimize => -100.0 * quality::RATIO_CLAMP_MIN,
+                })
+                .collect();
+            let dominated = {
+                let state = self.state.lock().expect("engine state");
+                state.skyline.dominates_point(&bound)
+            };
+            if dominated {
+                self.bound_pruned.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        }
         let (flow, applied, name, cow) = match self.planner.realize_combination(
             combo,
             self.candidates,
@@ -823,6 +914,7 @@ impl<'a> StreamingEngine<'a> {
             failed_applications: self.failed_applications.into_inner(),
             failed_evaluations: self.failed_evaluations.into_inner(),
             statically_rejected: self.statically_rejected.into_inner(),
+            bound_pruned: self.bound_pruned.into_inner(),
         }
     }
 }
@@ -1142,7 +1234,75 @@ mod tests {
                 + out.failed_applications
                 + out.rejected_by_constraints
                 + out.statically_rejected
+                + out.bound_pruned
         );
+    }
+
+    #[test]
+    fn bound_pruning_skips_work_but_keeps_the_skyline_bit_identical() {
+        // The tentpole acceptance bar: with the dominance pre-pruner active
+        // (retain_dominated off, exhaustive, estimate) the frontier must be
+        // exactly the unpruned frontier — same names, same scores — while
+        // actually skipping combinations. One worker keeps the submission
+        // order deterministic so the prune count is stable.
+        let run = |bound_prune: bool| {
+            planner(PlannerConfig {
+                retain_dominated: false,
+                workers: 1,
+                bound_prune,
+                ..PlannerConfig::default()
+            })
+            .plan()
+            .unwrap()
+        };
+        let pruned = run(true);
+        let full = run(false);
+        assert!(
+            pruned.bound_pruned > 0,
+            "the demo sweep must prune at least one dominated-by-bound combination"
+        );
+        assert_eq!(full.bound_pruned, 0);
+        assert_eq!(pruned.skyline_names(), full.skyline_names());
+        let score = |out: &PlannerOutcome| -> Vec<(String, Vec<f64>)> {
+            let mut v: Vec<_> = out
+                .skyline
+                .iter()
+                .map(|&i| {
+                    (
+                        out.alternatives[i].name.clone(),
+                        out.alternatives[i].scores.clone(),
+                    )
+                })
+                .collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        };
+        assert_eq!(score(&pruned), score(&full));
+        // pruned combinations were still enumerated (submitted), so the
+        // walked space is identical — only the evaluated share shrinks
+        assert_eq!(pruned.stats.enumerated, full.stats.enumerated);
+    }
+
+    #[test]
+    fn bound_pruning_stays_off_where_it_could_be_observed() {
+        // retain_dominated (the default) keeps every evaluated alternative;
+        // pruning would remove dominated ones, so the gate must hold it off.
+        let out = planner(PlannerConfig::default()).plan().unwrap();
+        assert_eq!(out.bound_pruned, 0);
+        // steering strategies must see every score
+        for strategy in [
+            SearchStrategyKind::Beam { width: 6 },
+            SearchStrategyKind::GreedyHillClimb,
+        ] {
+            let out = planner(PlannerConfig {
+                strategy,
+                retain_dominated: false,
+                ..PlannerConfig::default()
+            })
+            .plan()
+            .unwrap();
+            assert_eq!(out.bound_pruned, 0, "{strategy} must not prune");
+        }
     }
 
     #[test]

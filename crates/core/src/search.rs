@@ -64,6 +64,15 @@ pub trait SearchStrategy: Send + Sync {
     fn name(&self) -> &str;
     /// Walks `space`, submitting combinations to `sink`.
     fn run(&self, space: &SearchSpace<'_>, sink: &mut dyn CombinationSink) -> SearchReport;
+    /// Whether the walk steers by the per-combination objective scalars the
+    /// sink returns (beam, greedy). Steering strategies cannot tolerate the
+    /// engine silently skipping combinations — a skipped score would change
+    /// the walk itself — so the planner's bound pruner only activates under
+    /// strategies that return `false` here. Defaults to `true` (the
+    /// conservative answer for user-defined walkers).
+    fn uses_steering(&self) -> bool {
+        true
+    }
 }
 
 /// Serialisable strategy selector for [`PlannerConfig`](crate::PlannerConfig)
@@ -138,6 +147,12 @@ pub struct Exhaustive;
 impl SearchStrategy for Exhaustive {
     fn name(&self) -> &str {
         "exhaustive"
+    }
+
+    /// The exhaustive walk ignores the returned scalars entirely, so the
+    /// engine may skip provably-dominated combinations without changing it.
+    fn uses_steering(&self) -> bool {
+        false
     }
 
     fn run(&self, space: &SearchSpace<'_>, sink: &mut dyn CombinationSink) -> SearchReport {

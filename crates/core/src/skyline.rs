@@ -140,6 +140,14 @@ impl SkylineSet {
     pub fn iter(&self) -> impl Iterator<Item = (usize, &[f64])> {
         self.members.iter().map(|(id, p)| (*id, p.as_slice()))
     }
+
+    /// True when some current member strictly dominates `point`. The
+    /// planner's bound pruner asks this about a combination's *optimistic*
+    /// score bound: a dominated bound proves the real (never better) point
+    /// would be rejected too, so the combination can be skipped unevaluated.
+    pub fn dominates_point(&self, point: &[f64]) -> bool {
+        self.members.iter().any(|(_, p)| dominates(p, point))
+    }
 }
 
 #[cfg(test)]

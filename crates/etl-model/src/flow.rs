@@ -217,6 +217,16 @@ impl EtlFlow {
     /// Full structural validation: non-empty, acyclic, arity-correct,
     /// extract-sources / load-sinks, and schema-consistent.
     pub fn validate(&self) -> Result<(), FlowError> {
+        self.validate_structure()?;
+        propagate_schemas(self)?;
+        Ok(())
+    }
+
+    /// The graph-shape half of [`validate`](Self::validate) — everything
+    /// except schema propagation. Callers that already carry a valid
+    /// [`propagate_schemas`] table (the planner's incremental path) use this
+    /// to avoid re-deriving it.
+    pub fn validate_structure(&self) -> Result<(), FlowError> {
         if self.graph.node_count() == 0 {
             return Err(FlowError::Empty);
         }
@@ -241,7 +251,6 @@ impl EtlFlow {
                 return Err(FlowError::OutputArity(op.name.clone(), outs, olo, ohi));
             }
         }
-        propagate_schemas(self)?;
         Ok(())
     }
 

@@ -77,6 +77,11 @@ pub struct Attribute {
     /// Whether null values are admissible. Cleaning patterns
     /// (`FilterNullValues`) tighten this to `false` downstream.
     pub nullable: bool,
+    /// Whether the attribute carries sensitive data at its source.
+    /// Only meaningful on extract schemata: the taint analysis follows
+    /// lineage from there, so derived/propagated attributes never need
+    /// the flag themselves.
+    pub sensitive: bool,
 }
 
 impl Attribute {
@@ -86,6 +91,7 @@ impl Attribute {
             name: name.into(),
             dtype,
             nullable: true,
+            sensitive: false,
         }
     }
 
@@ -95,7 +101,14 @@ impl Attribute {
             name: name.into(),
             dtype,
             nullable: false,
+            sensitive: false,
         }
+    }
+
+    /// Marks the attribute as carrying sensitive data (builder-style).
+    pub fn mark_sensitive(mut self) -> Self {
+        self.sensitive = true;
+        self
     }
 }
 

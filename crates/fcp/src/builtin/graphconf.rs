@@ -8,7 +8,7 @@ use crate::pattern::{AppliedPattern, Pattern, PatternContext, PatternError};
 use crate::point::ApplicationPoint;
 use crate::prereq::Prerequisite;
 use etl_model::{EtlFlow, ResourceClass};
-use quality::Characteristic;
+use quality::{Characteristic, GainProfile, RATIO_CLAMP_MAX};
 
 fn graph_apply(
     pattern: &dyn Pattern,
@@ -63,6 +63,11 @@ impl Pattern for EncryptChannels {
     fn improves(&self) -> Characteristic {
         Characteristic::Security
     }
+    /// Encryption only flips `config.encrypted`: the security score rises,
+    /// every other measure stays put or worsens (the performance tax).
+    fn gain_profile(&self) -> GainProfile {
+        GainProfile::neutral().with_cap(Characteristic::Security, RATIO_CLAMP_MAX)
+    }
     fn prerequisites(&self) -> Vec<Prerequisite> {
         vec![Prerequisite::IsGraph, Prerequisite::NotEncrypted]
     }
@@ -96,6 +101,11 @@ impl Pattern for EnableAccessControl {
     }
     fn improves(&self) -> Characteristic {
         Characteristic::Security
+    }
+    /// Access control only flips `config.role_based_access`: no measure
+    /// outside the security score can move upward.
+    fn gain_profile(&self) -> GainProfile {
+        GainProfile::neutral().with_cap(Characteristic::Security, RATIO_CLAMP_MAX)
     }
     fn prerequisites(&self) -> Vec<Prerequisite> {
         vec![Prerequisite::IsGraph, Prerequisite::NoAccessControl]
@@ -175,6 +185,12 @@ impl Pattern for IncreaseRecurrence {
     }
     fn improves(&self) -> Characteristic {
         Characteristic::DataQuality
+    }
+    /// Halving the recurrence period improves freshness (data quality) and
+    /// doubles monetary cost; structure, performance, reliability and
+    /// security are untouched.
+    fn gain_profile(&self) -> GainProfile {
+        GainProfile::neutral().with_cap(Characteristic::DataQuality, RATIO_CLAMP_MAX)
     }
     fn prerequisites(&self) -> Vec<Prerequisite> {
         vec![Prerequisite::IsGraph]

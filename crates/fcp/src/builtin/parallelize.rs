@@ -8,7 +8,7 @@ use crate::point::ApplicationPoint;
 use crate::prereq::Prerequisite;
 use etl_model::{Channel, EtlFlow, NodeId, OpKind, Operation};
 use flowgraph::DiGraph;
-use quality::Characteristic;
+use quality::{Characteristic, GainProfile};
 
 /// Operator kinds that can be replaced by row-partitioned replicas without
 /// changing semantics (stateless per-tuple operators, plus dedup/sort whose
@@ -106,6 +106,13 @@ impl Pattern for ParallelizeTask {
 
     fn improves(&self) -> Characteristic {
         Characteristic::Performance
+    }
+
+    /// Splitting a task across branches can speed up, restructure, and
+    /// thereby improve most axes — but never the security score, which
+    /// depends only on the graph configuration and encrypt ops.
+    fn gain_profile(&self) -> GainProfile {
+        GainProfile::unbounded().with_cap(Characteristic::Security, 1.0)
     }
 
     fn prerequisites(&self) -> Vec<Prerequisite> {

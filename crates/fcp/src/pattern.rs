@@ -3,7 +3,7 @@
 use crate::point::ApplicationPoint;
 use crate::prereq::Prerequisite;
 use etl_model::{propagate_schemas, EtlFlow, NodeId, Schema, SchemaTable};
-use quality::Characteristic;
+use quality::{Characteristic, GainProfile};
 use std::fmt;
 
 /// Errors during pattern application.
@@ -196,6 +196,18 @@ pub trait Pattern: Send + Sync {
     /// The quality characteristic this pattern is intended to improve
     /// (Fig. 6's "related quality attribute" column).
     fn improves(&self) -> Characteristic;
+
+    /// A sound optimistic cap on how much one application can improve each
+    /// characteristic score — the static metadata behind the planner's
+    /// bound-based dominance pruning. The default is
+    /// [`GainProfile::unbounded`]: sound for any pattern, useless for
+    /// pruning. Built-ins tighten the axes they provably never improve
+    /// (e.g. `EncryptChannels` caps everything but security at `1.0`).
+    /// Implementations must stay *optimistic*: claiming `1.0` on an axis a
+    /// pattern can actually improve would make pruning unsound.
+    fn gain_profile(&self) -> GainProfile {
+        GainProfile::unbounded()
+    }
 
     /// The conjunctive applicability prerequisites.
     fn prerequisites(&self) -> Vec<Prerequisite>;

@@ -163,6 +163,45 @@ mod tests {
     }
 
     #[test]
+    fn gain_profiles_admit_the_improved_characteristic() {
+        // Soundness floor for the bound pruner: every builtin must at least
+        // allow gains on the axis it claims to improve, and no cap may ever
+        // fall below 1.0 (a profile bounds gains, never claims regressions).
+        let r = PatternRegistry::standard(vec![("pu_id".into(), "ref_purchases".into())]);
+        for p in r.iter() {
+            let g = p.gain_profile();
+            assert!(
+                g.cap(p.improves()) > 1.0,
+                "{} caps its own improved axis at 1.0",
+                p.name()
+            );
+            for c in Characteristic::ALL {
+                assert!(g.cap(c) >= 1.0, "{} cap below 1.0 on {c}", p.name());
+            }
+        }
+        // The security-only patterns are the sharp ones: nothing else moves.
+        for name in ["EncryptChannels", "EnableAccessControl"] {
+            let g = r.by_name(name).unwrap().gain_profile();
+            for c in Characteristic::ALL {
+                if c != Characteristic::Security {
+                    assert_eq!(g.cap(c), 1.0, "{name} should not claim gains on {c}");
+                }
+            }
+        }
+        // In-flow patterns can never move the config-derived security score.
+        for name in [
+            "FilterNullValues",
+            "RemoveDuplicateEntries",
+            "CrosscheckSources",
+            "ParallelizeTask",
+            "AddCheckpoint",
+        ] {
+            let g = r.by_name(name).unwrap().gain_profile();
+            assert_eq!(g.cap(Characteristic::Security), 1.0, "{name}");
+        }
+    }
+
+    #[test]
     fn filter_by_characteristic() {
         let r = PatternRegistry::standard(vec![]);
         let dq = r.filtered(&[Characteristic::DataQuality]);

@@ -41,17 +41,19 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod bound;
 pub mod estimator;
 mod measure;
 pub mod report;
 pub mod runtime;
 pub mod static_measures;
 
+pub use bound::GainProfile;
 pub use estimator::{
     estimate, estimate_baseline, estimate_delta, estimate_delta_with, source_stats,
     EstimateBaseline, SourceStats,
 };
-pub use measure::{Characteristic, MeasureId, MeasureVector};
+pub use measure::{Characteristic, MeasureId, MeasureVector, RATIO_CLAMP_MAX, RATIO_CLAMP_MIN};
 pub use report::{relative_change, QualityReport, RelativeChange};
 pub use runtime::evaluate_trace;
 pub use static_measures::evaluate_static;

@@ -3,6 +3,16 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Lower clamp applied to per-measure improvement ratios: one degenerate
+/// measure can shrink a composite by at most this factor.
+pub const RATIO_CLAMP_MIN: f64 = 0.05;
+
+/// Upper clamp applied to per-measure improvement ratios: one degenerate
+/// measure can inflate a composite by at most this factor. This is also the
+/// ceiling of any sound static gain bound — no pattern application can move
+/// a characteristic score past `100 × RATIO_CLAMP_MAX`.
+pub const RATIO_CLAMP_MAX: f64 = 20.0;
+
 /// The quality characteristics the tool reasons about (paper Fig. 1 shows
 /// performance, data quality and manageability; reliability appears in
 /// Fig. 2/Fig. 4 and cost in §2.1).
@@ -295,7 +305,7 @@ impl MeasureVector {
         } else {
             (base + eps) / (mine + eps)
         };
-        Some(ratio.clamp(0.05, 20.0))
+        Some(ratio.clamp(RATIO_CLAMP_MIN, RATIO_CLAMP_MAX))
     }
 
     /// Composite score of one characteristic against a baseline, scaled so

@@ -1,7 +1,7 @@
 //! `poiesis_lint` — lint ETL flow definitions without running them.
 //!
 //! ```text
-//! poiesis_lint <spec>...
+//! poiesis_lint [--deny-warn] <spec>...
 //! ```
 //!
 //! Each `<spec>` is either a builtin flow (`demo`, `tpch`, `tpcds`) or a
@@ -9,10 +9,11 @@
 //! as xLM. Every flow is run through the full static analyzer
 //! (`analysis::analyze`) and the diagnostics are printed rustc-style with
 //! their stable `PA0xx` codes. Warnings are reported but do not fail the
-//! run; the exit code is
+//! run unless `--deny-warn` promotes them; the exit code is
 //!
-//! * `0` — every flow is free of Error-severity diagnostics,
-//! * `1` — at least one flow has an Error-severity diagnostic,
+//! * `0` — every flow is free of Error-severity diagnostics (and, with
+//!   `--deny-warn`, of Warn-severity ones too),
+//! * `1` — at least one flow has a failing diagnostic,
 //! * `2` — a spec could not be loaded (bad path, malformed file).
 //!
 //! CI lints the shipped example catalog with this binary, so a pattern or
@@ -24,9 +25,22 @@ use etl_model::EtlFlow;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let specs: Vec<String> = std::env::args().skip(1).collect();
+    let mut deny_warn = false;
+    let specs: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|arg| {
+            if arg == "--deny-warn" {
+                deny_warn = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
     if specs.is_empty() {
-        eprintln!("usage: poiesis_lint <demo|tpch|tpcds|path/to/flow.{{xlm,ktr}}>...");
+        eprintln!(
+            "usage: poiesis_lint [--deny-warn] <demo|tpch|tpcds|path/to/flow.{{xlm,ktr}}>..."
+        );
         return ExitCode::from(2);
     }
     let mut errors = 0usize;
@@ -64,7 +78,7 @@ fn main() -> ExitCode {
         errors += flow_errors;
         warnings += flow_warnings;
     }
-    if errors > 0 {
+    if errors > 0 || (deny_warn && warnings > 0) {
         eprintln!(
             "lint failed: {errors} error(s), {warnings} warning(s) across {} flow(s)",
             specs.len()

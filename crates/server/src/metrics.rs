@@ -142,6 +142,7 @@ pub struct Metrics {
     snapshot_writes: AtomicU64,
     snapshot_errors: AtomicU64,
     static_rejections: AtomicU64,
+    bound_pruned: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -156,6 +157,7 @@ impl Default for Metrics {
             snapshot_writes: AtomicU64::new(0),
             snapshot_errors: AtomicU64::new(0),
             static_rejections: AtomicU64::new(0),
+            bound_pruned: AtomicU64::new(0),
         }
     }
 }
@@ -218,6 +220,14 @@ impl Metrics {
         if n > 0 {
             self.static_rejections
                 .fetch_add(n as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts combinations skipped by the bound-based dominance
+    /// pre-pruner during one explore cycle.
+    pub fn record_bound_pruned(&self, n: usize) {
+        if n > 0 {
+            self.bound_pruned.fetch_add(n as u64, Ordering::Relaxed);
         }
     }
 
@@ -304,6 +314,15 @@ impl Metrics {
         out.push_str(&format!(
             "poiesis_static_rejections_total {}\n",
             self.static_rejections.load(Ordering::Relaxed)
+        ));
+
+        out.push_str(
+            "# HELP poiesis_bound_pruned_total Combinations skipped by the bound-based dominance pre-pruner.\n",
+        );
+        out.push_str("# TYPE poiesis_bound_pruned_total counter\n");
+        out.push_str(&format!(
+            "poiesis_bound_pruned_total {}\n",
+            self.bound_pruned.load(Ordering::Relaxed)
         ));
 
         out.push_str("# HELP poiesis_uptime_seconds Seconds since the server started.\n");
@@ -400,6 +419,7 @@ mod tests {
             "poiesis_snapshot_writes_total",
             "poiesis_snapshot_errors_total",
             "poiesis_static_rejections_total",
+            "poiesis_bound_pruned_total",
             "poiesis_uptime_seconds",
         ] {
             assert!(text.contains(family), "missing {family}");
@@ -414,5 +434,15 @@ mod tests {
         m.record_static_rejections(3);
         m.record_static_rejections(2);
         assert!(m.render(0).contains("poiesis_static_rejections_total 5"));
+    }
+
+    #[test]
+    fn bound_pruned_accumulates() {
+        let m = Metrics::new();
+        m.record_bound_pruned(0);
+        assert!(m.render(0).contains("poiesis_bound_pruned_total 0"));
+        m.record_bound_pruned(4);
+        m.record_bound_pruned(1);
+        assert!(m.render(0).contains("poiesis_bound_pruned_total 5"));
     }
 }

@@ -306,6 +306,7 @@ impl PlanningService {
                 self.metrics.observe_cycle(start.elapsed());
                 self.metrics
                     .record_static_rejections(response.statically_rejected);
+                self.metrics.record_bound_pruned(response.bound_pruned);
                 Response::json(200, response.to_json_string())
             }
             Err(e) => plan_error(&e),
@@ -591,6 +592,42 @@ mod tests {
         );
         let r = svc.handle(&request("POST", "/sessions/99/lint", ""));
         assert_eq!((r.status, error_code(&r)), (404, "unknown_session".into()));
+    }
+
+    #[test]
+    fn lint_route_carries_sensitive_lineage_notes_end_to_end() {
+        use poiesis::LintReport;
+        let template =
+            SessionTemplate::from_model_file("../../examples/flows/sensitive_leak.xlm", 40)
+                .unwrap();
+        let svc = PlanningService::new(template);
+        let created = svc.handle(&request("POST", "/sessions", ""));
+        assert_eq!(created.status, 201, "{}", created.body);
+        let id = json(&created)
+            .get("session")
+            .unwrap()
+            .as_usize("session")
+            .unwrap();
+        let linted = svc.handle(&request("POST", &format!("/sessions/{id}/lint"), ""));
+        assert_eq!(linted.status, 200, "{}", linted.body);
+        let report = LintReport::from_json_str(&linted.body).unwrap();
+        assert_eq!(report.errors, 0, "a leak is a warning, not an error");
+        assert_eq!(report.warnings, 1, "{}", linted.body);
+        let leak = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "PA030")
+            .expect("PA030 on the wire");
+        assert!(
+            leak.notes.iter().any(|n| n.starts_with("lineage:")),
+            "lineage trace survives the DTO round-trip: {:?}",
+            leak.notes
+        );
+        assert!(
+            leak.notes.iter().any(|n| n.contains("EXTRACT purchases")),
+            "trace names the tainted source: {:?}",
+            leak.notes
+        );
     }
 
     #[test]

@@ -49,6 +49,7 @@ fn step_fields(step: &XmlNode) -> Result<Schema, XlmError> {
                 name,
                 dtype,
                 nullable,
+                sensitive: false,
             });
         }
     }

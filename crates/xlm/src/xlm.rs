@@ -39,12 +39,16 @@ fn format_err(msg: impl Into<String>) -> XlmError {
 fn schema_node(schema: &Schema) -> XmlNode {
     let mut n = XmlNode::new("schema");
     for a in schema.attrs() {
-        n.children.push(
-            XmlNode::new("attr")
-                .attr("name", &a.name)
-                .attr("type", a.dtype.name())
-                .attr("nullable", a.nullable),
-        );
+        let mut attr = XmlNode::new("attr")
+            .attr("name", &a.name)
+            .attr("type", a.dtype.name())
+            .attr("nullable", a.nullable);
+        // emitted only when set, so pre-existing documents round-trip
+        // byte-identically
+        if a.sensitive {
+            attr = attr.attr("sensitive", true);
+        }
+        n.children.push(attr);
     }
     n
 }
@@ -192,10 +196,12 @@ fn read_schema(node: &XmlNode) -> Result<Schema, XlmError> {
             .and_then(DataType::parse)
             .ok_or_else(|| format_err(format!("bad type on attr `{name}`")))?;
         let nullable = a.get_attr("nullable").is_none_or(|v| v == "true");
+        let sensitive = a.get_attr("sensitive") == Some("true");
         attrs.push(Attribute {
             name: name.to_string(),
             dtype,
             nullable,
+            sensitive,
         });
     }
     Ok(Schema::new(attrs))
@@ -443,6 +449,43 @@ mod tests {
             )
             .unwrap();
         assert_flow_roundtrip(&f);
+    }
+
+    #[test]
+    fn sensitive_attributes_roundtrip() {
+        let (mut f, _) = purchases_flow();
+        let extract = f
+            .graph
+            .nodes()
+            .find(|(_, op)| matches!(op.kind, OpKind::Extract { .. }))
+            .map(|(id, _)| id)
+            .unwrap();
+        if let OpKind::Extract { schema, .. } = &mut f.graph.node_mut(extract).unwrap().kind {
+            let attrs: Vec<_> = schema
+                .attrs()
+                .iter()
+                .cloned()
+                .map(|a| {
+                    if a.name == "pu_id" {
+                        a.mark_sensitive()
+                    } else {
+                        a
+                    }
+                })
+                .collect();
+            *schema = Schema::new(attrs);
+        }
+        let xml = write_flow(&f);
+        assert!(xml.contains("sensitive=\"true\""));
+        assert_flow_roundtrip(&f);
+        // the flag survives the trip; unflagged attributes stay clear
+        let back = read_flow(&xml).unwrap();
+        if let OpKind::Extract { schema, .. } = &back.graph.node(extract).unwrap().kind {
+            assert!(schema.attr("pu_id").unwrap().sensitive);
+            assert!(!schema.attr("amount").unwrap().sensitive);
+        } else {
+            panic!("extract vanished on roundtrip");
+        }
     }
 
     #[test]
