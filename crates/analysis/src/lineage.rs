@@ -10,7 +10,7 @@
 //! trace in its notes.
 //!
 //! Both passes mirror [`etl_model::propagate_schemas`] exactly — one column
-//! mapping function ([`column_mappings`]) drives both, so lineage can never
+//! mapping function (`column_mappings`) drives both, so lineage can never
 //! disagree with the schema semantics.
 
 use crate::{codes, Diagnostic, Location};

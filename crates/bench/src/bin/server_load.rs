@@ -149,17 +149,19 @@ fn main() {
                         failures += 1;
                     }
                 }
-                (latencies, failures)
+                (latencies, failures, client.retries())
             })
         })
         .collect();
 
     let mut latencies = Vec::with_capacity(clients * requests);
     let mut failures = 0usize;
+    let mut retries = 0u64;
     for worker in workers {
-        let (l, f) = worker.join().expect("client thread");
+        let (l, f, r) = worker.join().expect("client thread");
         latencies.extend(l);
         failures += f;
+        retries += r;
     }
     let elapsed = wall.elapsed();
     latencies.sort_unstable();
@@ -180,6 +182,9 @@ fn main() {
         "  max  {:>9.3} ms",
         latencies.last().copied().unwrap_or_default().as_secs_f64() * 1e3
     );
+    // client-side counterpart of the server's shed counter: how often
+    // the typed client honoured a 503 + Retry-After and tried again
+    println!("  poiesis_client_retries_total {retries}");
 
     // scrape the server's own accounting: served vs shed is the load
     // number that matters once backpressure kicks in

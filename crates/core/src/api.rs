@@ -830,6 +830,40 @@ impl ToJson for SessionSnapshot {
     }
 }
 
+impl SessionSnapshot {
+    /// Internal-consistency check: a snapshot can parse perfectly and
+    /// still describe a session no manager could have produced — exactly
+    /// the shape a torn or bit-rotted state file takes after the JSON
+    /// happens to survive truncation. Returns the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.base_name.is_empty() {
+            return Err(format!("session {}: empty base_name", self.id));
+        }
+        if self.flow_xlm.trim().is_empty() {
+            return Err(format!("session {}: empty flow document", self.id));
+        }
+        // history cycles are issued contiguously from 1 by `Session`
+        for (i, record) in self.history.iter().enumerate() {
+            if record.cycle != i + 1 {
+                return Err(format!(
+                    "session {}: history[{}] has cycle {} (expected {})",
+                    self.id,
+                    i,
+                    record.cycle,
+                    i + 1
+                ));
+            }
+            if record.selected.is_empty() {
+                return Err(format!(
+                    "session {}: history[{}] selected nothing",
+                    self.id, i
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 impl FromJson for SessionSnapshot {
     fn from_json(v: &Value) -> Result<Self, JsonError> {
         Ok(SessionSnapshot {
@@ -867,6 +901,32 @@ impl ToJson for ManagerSnapshot {
                 Value::Array(self.sessions.iter().map(|s| s.to_json()).collect()),
             ),
         ])
+    }
+}
+
+impl ManagerSnapshot {
+    /// Internal-consistency check across the whole snapshot: per-session
+    /// [`SessionSnapshot::validate`] plus the manager-level invariants —
+    /// unique handles, and a `next_id` strictly above every issued handle
+    /// (anything else would let a restored manager *reuse* a handle,
+    /// silently aliasing a dead session). Loaders
+    /// (`poiesis-server`'s `StateStore`) call this before restoring and
+    /// quarantine snapshots that fail it.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = std::collections::BTreeSet::new();
+        for session in &self.sessions {
+            if !seen.insert(session.id) {
+                return Err(format!("duplicate session handle {}", session.id));
+            }
+            if session.id >= self.next_id {
+                return Err(format!(
+                    "session handle {} >= next_id {} — restored handles would be reused",
+                    session.id, self.next_id
+                ));
+            }
+            session.validate()?;
+        }
+        Ok(())
     }
 }
 
@@ -1045,5 +1105,60 @@ mod tests {
             Err(PoiesisError::Malformed(_))
         ));
         assert!(PlanRequest::from_json_str("{\"strategy\":1}").is_err());
+    }
+
+    fn plausible_session(id: u64, cycles: usize) -> SessionSnapshot {
+        SessionSnapshot {
+            id,
+            base_name: "purchases".into(),
+            flow_xlm: "<design/>".into(),
+            request: PlanRequest::default(),
+            history: (1..=cycles)
+                .map(|cycle| IterationRecord {
+                    cycle,
+                    selected: format!("purchases__cycle{cycle}"),
+                    integrated: vec![],
+                    scores: vec![1.0],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn consistent_snapshots_validate() {
+        let snapshot = ManagerSnapshot {
+            next_id: 5,
+            sessions: vec![plausible_session(1, 2), plausible_session(4, 0)],
+        };
+        assert_eq!(snapshot.validate(), Ok(()));
+        assert_eq!(ManagerSnapshot::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn inconsistent_snapshots_fail_validation_with_the_violation_named() {
+        // duplicate handles
+        let snapshot = ManagerSnapshot {
+            next_id: 5,
+            sessions: vec![plausible_session(1, 0), plausible_session(1, 0)],
+        };
+        assert!(snapshot.validate().unwrap_err().contains("duplicate"));
+        // handle reuse: next_id not above an issued handle
+        let snapshot = ManagerSnapshot {
+            next_id: 2,
+            sessions: vec![plausible_session(2, 0)],
+        };
+        assert!(snapshot.validate().unwrap_err().contains("reused"));
+        // history with a gap (cycle 2 lost — the classic torn recovery)
+        let mut bad = plausible_session(1, 3);
+        bad.history.remove(1);
+        let snapshot = ManagerSnapshot {
+            next_id: 2,
+            sessions: vec![bad],
+        };
+        assert!(snapshot.validate().unwrap_err().contains("cycle"));
+        // an empty flow document can never rebuild a session
+        let mut bad = plausible_session(1, 0);
+        bad.flow_xlm = "  ".into();
+        assert!(bad.validate().unwrap_err().contains("flow"));
     }
 }

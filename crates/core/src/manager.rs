@@ -260,10 +260,16 @@ impl SessionManager {
             .into_iter()
             .map(|(id, slot)| snapshot_slot(id, &slot.lock().expect("session slot")))
             .collect();
-        ManagerSnapshot {
+        let snapshot = ManagerSnapshot {
             next_id: self.next_handle(),
             sessions,
-        }
+        };
+        debug_assert!(
+            snapshot.validate().is_ok(),
+            "a live manager produced an inconsistent snapshot: {:?}",
+            snapshot.validate()
+        );
+        snapshot
     }
 
     /// Captures one session, locking only its slot — what an incremental

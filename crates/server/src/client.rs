@@ -10,12 +10,26 @@
 //! DTOs. It exists so integration tests, the `poiesis_client` CLI and the
 //! `server_load` generator all exercise the same code path a real client
 //! would.
+//!
+//! # Retry on `503`
+//!
+//! Typed calls honour the server's shed signal: a `503` carrying
+//! `Retry-After` is retried after waiting the advertised delay (through
+//! the client's [`Clock`], so the fault lab replays the wait virtually),
+//! up to [`RetryPolicy::max_retries`] times, reconnecting first because a
+//! shed connection is closed by the server. Exhausting the budget
+//! surfaces the final `503` as a normal [`ClientError::Api`]. Retries are
+//! counted ([`Client::retries`]) so load tools can report them. The raw
+//! [`request`](Client::request) path never retries — error-path tests
+//! need to see exactly one exchange.
 
+use crate::clock::{Clock, SystemClock};
 use poiesis::{FromJson, IterationRecord, LintReport, PlanRequest, PlanResponse, ToJson};
 use serde::json::Value;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A decoded HTTP response.
@@ -25,6 +39,9 @@ pub struct HttpResponse {
     pub status: u16,
     /// Raw body text.
     pub body: String,
+    /// The `Retry-After` header in seconds, when the server sent one
+    /// (the `503` shed path always does).
+    pub retry_after: Option<u64>,
 }
 
 impl HttpResponse {
@@ -75,28 +92,113 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// How typed calls react to a `503` + `Retry-After` shed.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries (beyond the first attempt) before the `503` is surfaced.
+    pub max_retries: u32,
+    /// Cap on one wait, whatever `Retry-After` advertises — a hostile or
+    /// misconfigured server must not park the client for minutes.
+    pub max_wait: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            max_wait: Duration::from_secs(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every `503` surfaces immediately.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            max_wait: Duration::ZERO,
+        }
+    }
+}
+
 /// One keep-alive connection to a planning server.
 pub struct Client {
+    addr: SocketAddr,
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    read_timeout: Duration,
+    clock: Arc<dyn Clock>,
+    retry: RetryPolicy,
+    retries: u64,
 }
 
 impl Client {
     /// Connects, with a read timeout so a dead server fails loudly
-    /// instead of hanging the caller.
+    /// instead of hanging the caller, and the default [`RetryPolicy`].
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
-        stream.set_nodelay(true)?;
-        let writer = stream.try_clone()?;
+        Self::connect_with(
+            addr,
+            Duration::from_secs(60),
+            Arc::new(SystemClock::new()),
+            RetryPolicy::default(),
+        )
+    }
+
+    /// Connects with an explicit read timeout, [`Clock`] and
+    /// [`RetryPolicy`] — what the fault lab uses to make waits virtual
+    /// and timeouts short.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        read_timeout: Duration,
+        clock: Arc<dyn Clock>,
+        retry: RetryPolicy,
+    ) -> Result<Client, ClientError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ClientError::Io("address resolved to nothing".into()))?;
+        let (reader, writer) = Self::open(addr, read_timeout)?;
         Ok(Client {
-            reader: BufReader::new(stream),
+            addr,
+            reader,
             writer,
+            read_timeout,
+            clock,
+            retry,
+            retries: 0,
         })
     }
 
+    fn open(
+        addr: SocketAddr,
+        read_timeout: Duration,
+    ) -> Result<(BufReader<TcpStream>, TcpStream), ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok((BufReader::new(stream), writer))
+    }
+
+    /// Drops the current connection and opens a fresh one to the same
+    /// address — what a caller does after an [`ClientError::Io`] on a
+    /// keep-alive connection the server (or a fault) tore down.
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        let (reader, writer) = Self::open(self.addr, self.read_timeout)?;
+        self.reader = reader;
+        self.writer = writer;
+        Ok(())
+    }
+
+    /// How many `503`-triggered retries this client has performed —
+    /// the `poiesis_client_retries_total` the `server_load` summary
+    /// reports.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
     /// Sends one request and reads the response. `body = None` sends no
-    /// `Content-Length`; JSON bodies are sent verbatim.
+    /// `Content-Length`; JSON bodies are sent verbatim. Never retries.
     pub fn request(
         &mut self,
         method: &str,
@@ -114,6 +216,33 @@ impl Client {
         }
         self.writer.flush()?;
         self.read_response()
+    }
+
+    /// [`request`](Self::request) plus the `503` retry loop the typed
+    /// helpers ride on: waits out `Retry-After` on the clock, reconnects
+    /// (sheds close the connection) and tries again, bounded by the
+    /// [`RetryPolicy`].
+    pub fn request_with_retry(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<HttpResponse, ClientError> {
+        let mut attempts_left = self.retry.max_retries;
+        loop {
+            let response = self.request(method, path, body)?;
+            let retriable = response.status == 503 && response.retry_after.is_some();
+            if !retriable || attempts_left == 0 {
+                return Ok(response);
+            }
+            attempts_left -= 1;
+            self.retries += 1;
+            let wait =
+                Duration::from_secs(response.retry_after.unwrap_or(1)).min(self.retry.max_wait);
+            self.clock.sleep(wait);
+            // a shed connection was closed server-side after the 503
+            self.reconnect()?;
+        }
     }
 
     fn read_line(&mut self) -> Result<String, ClientError> {
@@ -135,17 +264,21 @@ impl Client {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| ClientError::Decode(format!("bad status line `{status_line}`")))?;
         let mut content_length = 0usize;
+        let mut retry_after = None;
         loop {
             let line = self.read_line()?;
             if line.is_empty() {
                 break;
             }
             if let Some((name, value)) = line.split_once(':') {
-                if name.trim().eq_ignore_ascii_case("content-length") {
+                let name = name.trim();
+                if name.eq_ignore_ascii_case("content-length") {
                     content_length = value
                         .trim()
                         .parse()
                         .map_err(|_| ClientError::Decode("bad Content-Length".into()))?;
+                } else if name.eq_ignore_ascii_case("retry-after") {
+                    retry_after = value.trim().parse().ok();
                 }
             }
         }
@@ -153,7 +286,11 @@ impl Client {
         self.reader.read_exact(&mut body)?;
         let body = String::from_utf8(body)
             .map_err(|_| ClientError::Decode("response body is not UTF-8".into()))?;
-        Ok(HttpResponse { status, body })
+        Ok(HttpResponse {
+            status,
+            body,
+            retry_after,
+        })
     }
 
     /// Turns a non-2xx response into [`ClientError::Api`] by decoding the
@@ -180,11 +317,20 @@ impl Client {
         })
     }
 
+    fn call(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<HttpResponse, ClientError> {
+        Self::expect_ok(self.request_with_retry(method, path, body)?)
+    }
+
     // ------------------------------------------------------ typed calls
 
     /// `GET /healthz` → the number of live sessions.
     pub fn healthz(&mut self) -> Result<usize, ClientError> {
-        let response = Self::expect_ok(self.request("GET", "/healthz", None)?)?;
+        let response = self.call("GET", "/healthz", None)?;
         response
             .json()?
             .get("sessions")
@@ -194,7 +340,7 @@ impl Client {
 
     /// `GET /metrics` → the raw Prometheus text exposition.
     pub fn metrics(&mut self) -> Result<String, ClientError> {
-        let response = Self::expect_ok(self.request("GET", "/metrics", None)?)?;
+        let response = self.call("GET", "/metrics", None)?;
         Ok(response.body)
     }
 
@@ -222,7 +368,7 @@ impl Client {
     /// server-side defaults.
     pub fn create(&mut self, plan: Option<&PlanRequest>) -> Result<u64, ClientError> {
         let body = plan.map(|p| p.to_json_string());
-        let response = Self::expect_ok(self.request("POST", "/sessions", body.as_deref())?)?;
+        let response = self.call("POST", "/sessions", body.as_deref())?;
         let id = response
             .json()?
             .get("session")
@@ -233,8 +379,7 @@ impl Client {
 
     /// `POST /sessions/{id}/explore` → the frontier.
     pub fn explore(&mut self, id: u64) -> Result<PlanResponse, ClientError> {
-        let response =
-            Self::expect_ok(self.request("POST", &format!("/sessions/{id}/explore"), None)?)?;
+        let response = self.call("POST", &format!("/sessions/{id}/explore"), None)?;
         PlanResponse::from_json_str(&response.body).map_err(|e| ClientError::Decode(e.to_string()))
     }
 
@@ -242,11 +387,7 @@ impl Client {
     /// record.
     pub fn select(&mut self, id: u64, rank: usize) -> Result<IterationRecord, ClientError> {
         let body = format!("{{\"rank\":{rank}}}");
-        let response = Self::expect_ok(self.request(
-            "POST",
-            &format!("/sessions/{id}/select"),
-            Some(&body),
-        )?)?;
+        let response = self.call("POST", &format!("/sessions/{id}/select"), Some(&body))?;
         let v = response.json()?;
         IterationRecord::from_json(
             v.get("record")
@@ -258,15 +399,13 @@ impl Client {
     /// `POST /sessions/{id}/lint` → static-analysis diagnostics for the
     /// session's current flow.
     pub fn lint(&mut self, id: u64) -> Result<LintReport, ClientError> {
-        let response =
-            Self::expect_ok(self.request("POST", &format!("/sessions/{id}/lint"), None)?)?;
+        let response = self.call("POST", &format!("/sessions/{id}/lint"), None)?;
         LintReport::from_json_str(&response.body).map_err(|e| ClientError::Decode(e.to_string()))
     }
 
     /// `GET /sessions/{id}/history` → all completed iterations.
     pub fn history(&mut self, id: u64) -> Result<Vec<IterationRecord>, ClientError> {
-        let response =
-            Self::expect_ok(self.request("GET", &format!("/sessions/{id}/history"), None)?)?;
+        let response = self.call("GET", &format!("/sessions/{id}/history"), None)?;
         let v = response.json()?;
         v.get("history")
             .map_err(|e| ClientError::Decode(e.to_string()))?
@@ -279,13 +418,13 @@ impl Client {
 
     /// `DELETE /sessions/{id}`.
     pub fn close(&mut self, id: u64) -> Result<(), ClientError> {
-        Self::expect_ok(self.request("DELETE", &format!("/sessions/{id}"), None)?)?;
+        self.call("DELETE", &format!("/sessions/{id}"), None)?;
         Ok(())
     }
 
     /// `POST /shutdown` — stops the server.
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
-        Self::expect_ok(self.request("POST", "/shutdown", None)?)?;
+        self.call("POST", "/shutdown", None)?;
         Ok(())
     }
 }

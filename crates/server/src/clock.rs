@@ -1,0 +1,70 @@
+//! A minimal time source abstraction, so waits can be virtualized.
+//!
+//! Everything in the server stack that *waits* — most importantly the
+//! [`Client`](crate::Client)'s `Retry-After` backoff on `503` — goes
+//! through a [`Clock`] instead of calling `std::thread::sleep` directly.
+//! Production code uses [`SystemClock`] (real sleeps, real monotonic
+//! time); the fault-injection lab (`crates/simlab`) substitutes a
+//! `SimClock` whose sleeps are instant bookkeeping on a virtual-time
+//! counter, which is what makes seeded fault scenarios reproducible and
+//! fast: a schedule with ten 2-second `Retry-After` waits replays in
+//! microseconds, and the waited duration is still observable.
+
+use std::time::{Duration, Instant};
+
+/// A source of "now" and "wait": the two time effects the service stack
+/// performs.
+///
+/// Implementations must be cheap to share (`Send + Sync`); callers hold
+/// them behind `Arc<dyn Clock>`.
+pub trait Clock: Send + Sync {
+    /// Blocks (really or virtually) for `duration`.
+    fn sleep(&self, duration: Duration);
+
+    /// Monotonic time elapsed since this clock's epoch (construction).
+    fn elapsed(&self) -> Duration;
+}
+
+/// The production clock: `thread::sleep` and `Instant`.
+#[derive(Debug)]
+pub struct SystemClock {
+    epoch: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose epoch is now.
+    pub fn new() -> Self {
+        SystemClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn sleep(&self, duration: Duration) {
+        std::thread::sleep(duration);
+    }
+
+    fn elapsed(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_advances_and_sleeps() {
+        let clock = SystemClock::new();
+        let before = clock.elapsed();
+        clock.sleep(Duration::from_millis(5));
+        assert!(clock.elapsed() >= before + Duration::from_millis(5));
+    }
+}

@@ -466,6 +466,142 @@ mod tests {
         assert_eq!(err.status(), 431);
     }
 
+    /// A `BufRead` that hands back the input split at fixed cut points —
+    /// the shape TCP segmentation gives a parser: `fill_buf` never spans
+    /// a segment boundary, so any accidental "the whole line arrives in
+    /// one chunk" assumption fails here.
+    struct Segmented {
+        parts: Vec<Vec<u8>>,
+        index: usize,
+        offset: usize,
+    }
+
+    impl Segmented {
+        fn new(raw: &[u8], cuts: &[usize]) -> Segmented {
+            let mut parts = Vec::new();
+            let mut last = 0;
+            for &cut in cuts {
+                assert!(cut > last && cut < raw.len(), "bad cut {cut}");
+                parts.push(raw[last..cut].to_vec());
+                last = cut;
+            }
+            parts.push(raw[last..].to_vec());
+            Segmented {
+                parts,
+                index: 0,
+                offset: 0,
+            }
+        }
+    }
+
+    impl io::Read for Segmented {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let chunk = self.fill_buf()?;
+            let n = chunk.len().min(buf.len());
+            buf[..n].copy_from_slice(&chunk[..n]);
+            self.consume(n);
+            Ok(n)
+        }
+    }
+
+    impl BufRead for Segmented {
+        fn fill_buf(&mut self) -> io::Result<&[u8]> {
+            while self.index < self.parts.len() && self.offset >= self.parts[self.index].len() {
+                self.index += 1;
+                self.offset = 0;
+            }
+            match self.parts.get(self.index) {
+                None => Ok(&[]),
+                Some(part) => Ok(&part[self.offset..]),
+            }
+        }
+
+        fn consume(&mut self, amt: usize) {
+            self.offset += amt;
+        }
+    }
+
+    /// Table-driven edge cases the fault lab surfaces at the transport:
+    /// truncation mid-body, heads split across TCP segments, and bodies
+    /// the peer declared but never sent. Every row must resolve to a
+    /// *specific* outcome — parsed request or typed error — never a hang
+    /// or a panic.
+    #[test]
+    fn segmentation_and_truncation_edge_cases() {
+        enum Expect {
+            /// Parses; assert `(method, path, body)`.
+            Ok(&'static str, &'static str, &'static str),
+            /// Fails with `BadRequest` containing this substring.
+            Bad(&'static str),
+        }
+        use Expect::{Bad, Ok as Parsed};
+
+        let cases: &[(&str, &[u8], &[usize], Expect)] = &[
+            (
+                "header split across TCP segments",
+                b"GET /healthz HTTP/1.1\r\nX-Trace: abc\r\n\r\n",
+                // cuts land mid-request-line, mid-header-name, mid-value
+                &[5, 25, 36],
+                Parsed("GET", "/healthz", ""),
+            ),
+            (
+                "CRLF itself split across segments",
+                b"GET /healthz HTTP/1.1\r\n\r\n",
+                // first \r\n split between \r and \n, and again on the blank line
+                &[22, 24],
+                Parsed("GET", "/healthz", ""),
+            ),
+            (
+                "body split across segments",
+                b"POST /sessions HTTP/1.1\r\nContent-Length: 10\r\n\r\n{\"rank\":0}",
+                &[50, 55],
+                Parsed("POST", "/sessions", "{\"rank\":0}"),
+            ),
+            (
+                "one byte per segment end to end",
+                b"POST /s HTTP/1.1\r\nContent-Length: 2\r\n\r\nok",
+                &[
+                    1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22,
+                    23, 24, 25, 26, 27, 28, 29, 30, 31, 32, 33, 34, 35, 36, 37, 38, 39, 40,
+                ],
+                Parsed("POST", "/s", "ok"),
+            ),
+            (
+                "truncated chunk mid-body",
+                b"POST /sessions HTTP/1.1\r\nContent-Length: 40\r\n\r\n{\"strategy\":\"be",
+                &[47],
+                Bad("body"),
+            ),
+            (
+                "zero body bytes despite Content-Length > 0",
+                b"POST /sessions HTTP/1.1\r\nContent-Length: 10\r\n\r\n",
+                &[],
+                Bad("body"),
+            ),
+            (
+                "head cut mid-header line",
+                b"GET /healthz HTTP/1.1\r\nX-Trunc: ab",
+                &[23],
+                Bad("head"),
+            ),
+        ];
+
+        for (name, raw, cuts, expect) in cases {
+            let result = read_request(&mut Segmented::new(raw, cuts), &Limits::default());
+            match (result, expect) {
+                (Ok(req), Parsed(method, path, body)) => {
+                    assert_eq!(req.method, *method, "{name}");
+                    assert_eq!(req.path, *path, "{name}");
+                    assert_eq!(req.body_str().unwrap(), *body, "{name}");
+                }
+                (Err(HttpError::BadRequest(msg)), Bad(needle)) => {
+                    assert!(msg.contains(needle), "{name}: `{msg}` missing `{needle}`");
+                }
+                (result, _) => panic!("{name}: unexpected outcome {result:?}"),
+            }
+        }
+    }
+
     #[test]
     fn extra_headers_are_emitted_before_the_body() {
         let mut out = Vec::new();

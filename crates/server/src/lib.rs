@@ -62,6 +62,7 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod clock;
 pub mod http;
 pub mod metrics;
 pub mod persist;
@@ -69,10 +70,11 @@ pub mod server;
 pub mod service;
 pub mod template;
 
-pub use client::{Client, ClientError, HttpResponse};
+pub use client::{Client, ClientError, HttpResponse, RetryPolicy};
+pub use clock::{Clock, SystemClock};
 pub use http::{HttpError, Limits, Request, Response};
 pub use metrics::Metrics;
-pub use persist::StateStore;
+pub use persist::{LoadedState, StateStore, TornWrite, TornWriteHook};
 pub use server::{Server, ServerConfig, ShutdownHandle};
 pub use service::{status_for, PlanningService};
 pub use template::SessionTemplate;

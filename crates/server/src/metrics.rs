@@ -141,6 +141,7 @@ pub struct Metrics {
     cycle: Histogram,
     snapshot_writes: AtomicU64,
     snapshot_errors: AtomicU64,
+    snapshot_quarantines: AtomicU64,
     static_rejections: AtomicU64,
     bound_pruned: AtomicU64,
 }
@@ -156,6 +157,7 @@ impl Default for Metrics {
             cycle: Histogram::default(),
             snapshot_writes: AtomicU64::new(0),
             snapshot_errors: AtomicU64::new(0),
+            snapshot_quarantines: AtomicU64::new(0),
             static_rejections: AtomicU64::new(0),
             bound_pruned: AtomicU64::new(0),
         }
@@ -212,6 +214,12 @@ impl Metrics {
         } else {
             self.snapshot_errors.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Counts one snapshot rejected at startup (parse or consistency
+    /// failure) and moved aside as `sessions.json.corrupt`.
+    pub fn record_snapshot_quarantine(&self) {
+        self.snapshot_quarantines.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts combinations pruned by the planner's static pre-screen
@@ -305,6 +313,15 @@ impl Metrics {
         out.push_str(&format!(
             "poiesis_snapshot_errors_total {}\n",
             self.snapshot_errors.load(Ordering::Relaxed)
+        ));
+
+        out.push_str(
+            "# HELP poiesis_snapshot_quarantined_total Snapshots rejected at startup and moved to sessions.json.corrupt.\n",
+        );
+        out.push_str("# TYPE poiesis_snapshot_quarantined_total counter\n");
+        out.push_str(&format!(
+            "poiesis_snapshot_quarantined_total {}\n",
+            self.snapshot_quarantines.load(Ordering::Relaxed)
         ));
 
         out.push_str(

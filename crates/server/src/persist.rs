@@ -13,11 +13,97 @@
 //! are *not* persisted — they are reproducible (deterministic planning),
 //! so a restarted client simply explores again before its next select —
 //! which keeps the write amplification at "mutations", not "requests".
+//!
+//! # Startup gate and quarantine
+//!
+//! Loading is defensive twice over: the text must parse as a
+//! [`ManagerSnapshot`], **and** the parsed snapshot must pass
+//! [`ManagerSnapshot::validate`] — duplicate handles, a handle counter
+//! that would reuse handles, gapped histories. A snapshot failing either
+//! gate is **quarantined**: renamed to `sessions.json.corrupt` (the
+//! evidence is preserved for forensics, never silently deleted) and the
+//! server starts with a fresh, empty state. A partially-applied snapshot
+//! therefore never loads; the failure is loud (stderr +
+//! `poiesis_snapshot_quarantined_total`) but does not take availability
+//! down with it. The strict [`StateStore::load`] (error, no quarantine)
+//! remains for callers that want to inspect rather than recover.
+//!
+//! # Fault hook
+//!
+//! [`StateStore::fault_hook`] exposes a shared [`TornWriteHook`] that the
+//! deterministic fault lab (`crates/simlab`) arms to make exactly one
+//! future save misbehave — truncating the temp file and "crashing" before
+//! the rename, or tearing bytes straight into the final path the way a
+//! non-atomic filesystem can under power loss. Production code never arms
+//! it; an unarmed hook costs one mutex lock per save.
 
 use poiesis::{FromJson, ManagerSnapshot, ToJson};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// How an armed [`TornWriteHook`] sabotages the next save.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TornWrite {
+    /// Write only the first `keep_bytes` of the serialized snapshot to
+    /// the temp file and skip the rename — the crash-before-commit case
+    /// the temp+rename protocol is designed to survive: the previous
+    /// complete snapshot stays in place.
+    TempOnly {
+        /// Bytes of the snapshot that reach the temp file.
+        keep_bytes: usize,
+    },
+    /// Write only the first `keep_bytes` straight into `sessions.json` —
+    /// the torn-rename / power-loss-reordering case the startup
+    /// quarantine exists for.
+    Final {
+        /// Bytes of the snapshot that reach the final path.
+        keep_bytes: usize,
+    },
+}
+
+/// A shared, armable fault: `Some(fault)` makes exactly the next
+/// [`StateStore::save`] misbehave, then disarms itself. Cloneable so a
+/// test can keep one end while the store (inside the service) holds the
+/// other.
+#[derive(Debug, Clone, Default)]
+pub struct TornWriteHook(Arc<Mutex<Option<TornWrite>>>);
+
+impl TornWriteHook {
+    /// Arms the hook: the next save performs `fault` instead of the
+    /// atomic protocol.
+    pub fn arm(&self, fault: TornWrite) {
+        *self.0.lock().expect("torn-write hook") = Some(fault);
+    }
+
+    /// Takes the armed fault, disarming the hook.
+    fn take(&self) -> Option<TornWrite> {
+        self.0.lock().expect("torn-write hook").take()
+    }
+
+    /// Whether a fault is currently armed (i.e. no save consumed it yet).
+    pub fn is_armed(&self) -> bool {
+        self.0.lock().expect("torn-write hook").is_some()
+    }
+}
+
+/// What [`StateStore::load_or_quarantine`] found.
+#[derive(Debug, PartialEq)]
+pub enum LoadedState {
+    /// No snapshot has ever been written.
+    Absent,
+    /// A complete, internally-consistent snapshot.
+    Snapshot(ManagerSnapshot),
+    /// The snapshot failed the parse or consistency gate and was moved
+    /// aside; the server should start empty.
+    Quarantined {
+        /// Why the snapshot was rejected.
+        reason: String,
+        /// Where the evidence now lives (`sessions.json.corrupt`).
+        quarantined_to: PathBuf,
+    },
+}
 
 /// The snapshot file inside a state directory.
 ///
@@ -38,6 +124,8 @@ use std::path::{Path, PathBuf};
 pub struct StateStore {
     path: PathBuf,
     tmp: PathBuf,
+    corrupt: PathBuf,
+    hook: TornWriteHook,
 }
 
 impl StateStore {
@@ -49,6 +137,8 @@ impl StateStore {
         Ok(StateStore {
             path: dir.join("sessions.json"),
             tmp: dir.join("sessions.json.tmp"),
+            corrupt: dir.join("sessions.json.corrupt"),
+            hook: TornWriteHook::default(),
         })
     }
 
@@ -57,18 +147,58 @@ impl StateStore {
         &self.path
     }
 
-    /// Reads the snapshot. `Ok(None)` when no snapshot has ever been
-    /// written; a present-but-corrupt file is a loud error (serving with
-    /// silently dropped sessions would be worse than refusing to start).
+    /// Where a rejected snapshot is moved.
+    pub fn quarantine_path(&self) -> &Path {
+        &self.corrupt
+    }
+
+    /// The fault hook the deterministic fault lab arms (see module docs).
+    /// Clone it out before handing the store to a service.
+    pub fn fault_hook(&self) -> TornWriteHook {
+        self.hook.clone()
+    }
+
+    /// Reads the snapshot strictly. `Ok(None)` when no snapshot has ever
+    /// been written; a present-but-corrupt or inconsistent file is a loud
+    /// error and the file is left untouched. Startup paths want
+    /// [`load_or_quarantine`](Self::load_or_quarantine) instead.
     pub fn load(&self) -> Result<Option<ManagerSnapshot>, String> {
         let text = match fs::read_to_string(&self.path) {
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(format!("reading {}: {e}", self.path.display())),
             Ok(text) => text,
         };
-        ManagerSnapshot::from_json_str(&text)
-            .map(Some)
-            .map_err(|e| format!("corrupt snapshot {}: {e}", self.path.display()))
+        let snapshot = ManagerSnapshot::from_json_str(&text)
+            .map_err(|e| format!("corrupt snapshot {}: {e}", self.path.display()))?;
+        snapshot
+            .validate()
+            .map_err(|e| format!("inconsistent snapshot {}: {e}", self.path.display()))?;
+        Ok(Some(snapshot))
+    }
+
+    /// The startup gate: loads the snapshot, and if it fails the parse or
+    /// the [`ManagerSnapshot::validate`] consistency check, renames it to
+    /// [`quarantine_path`](Self::quarantine_path) and reports
+    /// [`LoadedState::Quarantined`] so the caller can start empty — a
+    /// partially-applied snapshot never loads, and the evidence survives.
+    pub fn load_or_quarantine(&self) -> io::Result<LoadedState> {
+        match self.load() {
+            Ok(None) => Ok(LoadedState::Absent),
+            Ok(Some(snapshot)) => Ok(LoadedState::Snapshot(snapshot)),
+            Err(reason) => {
+                self.quarantine()?;
+                Ok(LoadedState::Quarantined {
+                    reason,
+                    quarantined_to: self.corrupt.clone(),
+                })
+            }
+        }
+    }
+
+    /// Moves the current snapshot aside as `sessions.json.corrupt`
+    /// (overwriting any previous quarantine — the newest evidence wins).
+    pub fn quarantine(&self) -> io::Result<()> {
+        fs::rename(&self.path, &self.corrupt)
     }
 
     /// Atomically replaces the snapshot: write the temp file, `fsync` it,
@@ -80,9 +210,13 @@ impl StateStore {
     /// snapshot. The directory sync persists the rename itself and is
     /// best-effort (not every platform lets a directory be opened).
     pub fn save(&self, snapshot: &ManagerSnapshot) -> io::Result<()> {
+        let bytes = snapshot.to_json_string().into_bytes();
+        if let Some(fault) = self.hook.take() {
+            return self.save_torn(&bytes, fault);
+        }
         {
             let mut file = fs::File::create(&self.tmp)?;
-            io::Write::write_all(&mut file, snapshot.to_json_string().as_bytes())?;
+            io::Write::write_all(&mut file, &bytes)?;
             file.sync_all()?;
         }
         fs::rename(&self.tmp, &self.path)?;
@@ -93,11 +227,25 @@ impl StateStore {
         }
         Ok(())
     }
+
+    /// Performs one armed [`TornWrite`] instead of the atomic protocol.
+    fn save_torn(&self, bytes: &[u8], fault: TornWrite) -> io::Result<()> {
+        match fault {
+            TornWrite::TempOnly { keep_bytes } => {
+                // crash-before-rename: partial temp file, final untouched
+                fs::write(&self.tmp, &bytes[..keep_bytes.min(bytes.len())])
+            }
+            TornWrite::Final { keep_bytes } => {
+                fs::write(&self.path, &bytes[..keep_bytes.min(bytes.len())])
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use poiesis::{PlanRequest, SessionSnapshot};
 
     fn scratch(name: &str) -> PathBuf {
         std::env::temp_dir().join(format!("poiesis-store-{}-{name}", std::process::id()))
@@ -125,6 +273,98 @@ mod tests {
         let store = StateStore::open(&dir).unwrap();
         fs::write(store.path(), "{definitely not a snapshot").unwrap();
         assert!(store.load().unwrap_err().contains("corrupt"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quarantine_moves_the_bad_snapshot_aside_and_reports_why() {
+        let dir = scratch("quarantine");
+        let store = StateStore::open(&dir).unwrap();
+        assert_eq!(store.load_or_quarantine().unwrap(), LoadedState::Absent);
+
+        fs::write(store.path(), "{torn mid-wri").unwrap();
+        match store.load_or_quarantine().unwrap() {
+            LoadedState::Quarantined {
+                reason,
+                quarantined_to,
+            } => {
+                assert!(reason.contains("corrupt"), "{reason}");
+                assert_eq!(quarantined_to, store.corrupt);
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        // the evidence moved, the live path is clear, startup is clean
+        assert!(store.corrupt.exists());
+        assert!(!store.path().exists());
+        assert_eq!(store.load_or_quarantine().unwrap(), LoadedState::Absent);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parsing_but_inconsistent_snapshots_are_quarantined_too() {
+        let dir = scratch("inconsistent");
+        let store = StateStore::open(&dir).unwrap();
+        // parses fine, but next_id would reuse the session's handle
+        let bad = ManagerSnapshot {
+            next_id: 1,
+            sessions: vec![SessionSnapshot {
+                id: 1,
+                base_name: "purchases".into(),
+                flow_xlm: "<design/>".into(),
+                request: PlanRequest::default(),
+                history: vec![],
+            }],
+        };
+        fs::write(store.path(), bad.to_json_string()).unwrap();
+        assert!(store.load().unwrap_err().contains("inconsistent"));
+        match store.load_or_quarantine().unwrap() {
+            LoadedState::Quarantined { reason, .. } => {
+                assert!(reason.contains("reused"), "{reason}")
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        assert!(store.corrupt.exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn armed_torn_writes_fire_once_then_the_store_recovers() {
+        let dir = scratch("torn");
+        let store = StateStore::open(&dir).unwrap();
+        let good = ManagerSnapshot {
+            next_id: 7,
+            sessions: Vec::new(),
+        };
+        store.save(&good).unwrap();
+
+        // TempOnly: the crash-before-rename case — previous snapshot wins
+        let hook = store.fault_hook();
+        hook.arm(TornWrite::TempOnly { keep_bytes: 4 });
+        store
+            .save(&ManagerSnapshot {
+                next_id: 8,
+                sessions: Vec::new(),
+            })
+            .unwrap();
+        assert!(!hook.is_armed(), "hook disarms after one save");
+        assert_eq!(store.load().unwrap(), Some(good.clone()));
+
+        // Final: torn bytes land in sessions.json — quarantined on load
+        hook.arm(TornWrite::Final { keep_bytes: 9 });
+        store
+            .save(&ManagerSnapshot {
+                next_id: 9,
+                sessions: Vec::new(),
+            })
+            .unwrap();
+        assert!(matches!(
+            store.load_or_quarantine().unwrap(),
+            LoadedState::Quarantined { .. }
+        ));
+
+        // the next honest save re-establishes durability
+        store.save(&good).unwrap();
+        assert_eq!(store.load().unwrap(), Some(good));
         fs::remove_dir_all(&dir).ok();
     }
 }

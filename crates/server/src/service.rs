@@ -113,16 +113,55 @@ impl PlanningService {
 
     /// Makes the service durable: reloads any snapshot in `store`
     /// (resuming every persisted session mid-iteration) and rewrites the
-    /// snapshot after each state-changing request from now on. Fails
-    /// loudly on a corrupt or unrestorable snapshot — serving with
-    /// silently dropped sessions would be worse than refusing to start.
+    /// snapshot after each state-changing request from now on.
+    ///
+    /// A snapshot that fails the parse gate, the
+    /// [`poiesis::ManagerSnapshot::validate`] consistency gate, or
+    /// session restoration is **quarantined** (moved to
+    /// `sessions.json.corrupt`, counted in
+    /// `poiesis_snapshot_quarantined_total`, logged to stderr) and the
+    /// service starts empty — a partially-applied snapshot never loads,
+    /// and the evidence is preserved instead of silently overwritten.
+    /// Only an I/O failure on the quarantine itself aborts startup.
     pub fn with_store(mut self, store: StateStore) -> Result<Self, String> {
+        use crate::persist::LoadedState;
         let mut sessions = BTreeMap::new();
-        if let Some(snapshot) = store.load()? {
-            let template = &self.template;
-            self.manager = SessionManager::from_snapshot(&snapshot, || template.builder())
-                .map_err(|e| format!("restoring {}: {e}", store.path().display()))?;
-            sessions = snapshot.sessions.into_iter().map(|s| (s.id, s)).collect();
+        let loaded = store
+            .load_or_quarantine()
+            .map_err(|e| format!("quarantining {}: {e}", store.path().display()))?;
+        match loaded {
+            LoadedState::Absent => {}
+            LoadedState::Quarantined {
+                reason,
+                quarantined_to,
+            } => {
+                eprintln!(
+                    "poiesis_server: rejected snapshot ({reason}); \
+                     quarantined to {} and starting empty",
+                    quarantined_to.display()
+                );
+                self.metrics.record_snapshot_quarantine();
+            }
+            LoadedState::Snapshot(snapshot) => {
+                let template = &self.template;
+                match SessionManager::from_snapshot(&snapshot, || template.builder()) {
+                    Ok(manager) => {
+                        self.manager = manager;
+                        sessions = snapshot.sessions.into_iter().map(|s| (s.id, s)).collect();
+                    }
+                    Err(e) => {
+                        store
+                            .quarantine()
+                            .map_err(|e| format!("quarantining {}: {e}", store.path().display()))?;
+                        eprintln!(
+                            "poiesis_server: snapshot failed to restore ({e}); \
+                             quarantined to {} and starting empty",
+                            store.quarantine_path().display()
+                        );
+                        self.metrics.record_snapshot_quarantine();
+                    }
+                }
+            }
         }
         self.store = Some(Mutex::new(Persistence { store, sessions }));
         Ok(self)
@@ -706,6 +745,35 @@ mod tests {
         assert!(on_disk.sessions.is_empty());
         // …but the handle counter survives, so handles are never reused
         assert!(on_disk.next_id > id as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn startup_quarantines_bad_snapshots_and_serves_empty() {
+        use crate::persist::StateStore;
+        let dir = std::env::temp_dir().join(format!("poiesis-svc-q-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        // a torn write left half a JSON document behind
+        let store = StateStore::open(&dir).unwrap();
+        std::fs::write(store.path(), "{\"next_id\":3,\"sess").unwrap();
+        let svc = PlanningService::new(SessionTemplate::demo(80))
+            .with_store(store)
+            .expect("startup must survive a torn snapshot");
+        assert_eq!(svc.live_sessions(), 0, "partial state never loads");
+        let reopened = StateStore::open(&dir).unwrap();
+        assert!(reopened.quarantine_path().exists(), "evidence preserved");
+        assert!(!reopened.path().exists(), "live path cleared");
+        assert!(svc
+            .metrics()
+            .render(0)
+            .contains("poiesis_snapshot_quarantined_total 1"));
+
+        // the quarantined service is immediately usable and durable again
+        let created = svc.handle(&request("POST", "/sessions", ""));
+        assert_eq!(created.status, 201, "{}", created.body);
+        let on_disk = StateStore::open(&dir).unwrap().load().unwrap().unwrap();
+        assert_eq!(on_disk.sessions.len(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

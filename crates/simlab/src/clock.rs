@@ -1,0 +1,73 @@
+//! Virtual time for the lab.
+//!
+//! The server's client and retry machinery take time through the
+//! [`Clock`] trait; production code gets `SystemClock`, the lab installs
+//! a [`SimClock`] so every `Retry-After` wait and injected delay is an
+//! atomic counter bump instead of a real sleep. A whole fault schedule
+//! that "waits" tens of seconds replays in milliseconds, and the waited
+//! total is itself an assertable, deterministic output of the run.
+
+use poiesis_server::Clock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A [`Clock`] that never blocks: `sleep` advances a virtual nanosecond
+/// counter and returns immediately.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    /// Virtual nanoseconds since the clock was created.
+    now_nanos: AtomicU64,
+    /// Virtual nanoseconds spent inside `sleep` specifically, so the lab
+    /// can assert that retries waited *virtually* rather than in
+    /// wall-clock time.
+    slept_nanos: AtomicU64,
+}
+
+impl SimClock {
+    /// A fresh clock at virtual time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances virtual time without counting it as a sleep — what the
+    /// proxy uses for injected `Delay` faults.
+    pub fn advance(&self, by: Duration) {
+        self.now_nanos
+            .fetch_add(by.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Total virtual time spent in [`Clock::sleep`].
+    pub fn total_slept(&self) -> Duration {
+        Duration::from_nanos(self.slept_nanos.load(Ordering::Relaxed))
+    }
+}
+
+impl Clock for SimClock {
+    fn sleep(&self, duration: Duration) {
+        let nanos = duration.as_nanos() as u64;
+        self.now_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.slept_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    fn elapsed(&self) -> Duration {
+        Duration::from_nanos(self.now_nanos.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn sleeps_are_instant_and_accounted() {
+        let clock = Arc::new(SimClock::new());
+        let wall = Instant::now();
+        clock.sleep(Duration::from_secs(3600));
+        clock.advance(Duration::from_secs(10));
+        assert!(wall.elapsed() < Duration::from_secs(1));
+        assert_eq!(clock.total_slept(), Duration::from_secs(3600));
+        assert_eq!(clock.elapsed(), Duration::from_secs(3610));
+    }
+}

@@ -1,0 +1,352 @@
+//! The wire-fault proxy.
+//!
+//! [`FaultProxy`] sits between the lab's [`Client`](poiesis_server::Client)
+//! and the real server, speaking just enough HTTP/1.1 to delimit
+//! exchanges (head + `Content-Length` body — the only framing either
+//! side of this workspace emits). Each exchange draws its fault from the
+//! plan by a global exchange counter, so the schedule is a pure function
+//! of the seed and of how many requests the client (including its own
+//! internal `503` retries) has sent — not of thread timing.
+//!
+//! The backend address is retargetable because the server under test is
+//! killed and restarted on fresh ports mid-run.
+
+use crate::clock::SimClock;
+use crate::plan::WireFault;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Reads one HTTP message (request or response) off `reader`: head up to
+/// the blank line, then exactly `Content-Length` body bytes. Returns the
+/// raw bytes, or `None` on a clean EOF before the first byte.
+fn read_message(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Vec<u8>>> {
+    let mut message = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            if message.is_empty() {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "peer closed mid-head",
+            ));
+        }
+        message.extend_from_slice(line.as_bytes());
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() && message.len() > line.len() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
+                })?;
+            }
+        }
+    }
+    let head_len = message.len();
+    message.resize(head_len + content_length, 0);
+    reader.read_exact(&mut message[head_len..])?;
+    Ok(Some(message))
+}
+
+/// Where the response head ends (after `\r\n\r\n`), or the full length
+/// when no body separator is found.
+fn head_end(message: &[u8]) -> usize {
+    message
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + 4)
+        .unwrap_or(message.len())
+}
+
+struct ProxyState {
+    wire: Vec<WireFault>,
+    backend: Mutex<SocketAddr>,
+    clock: Arc<SimClock>,
+    /// Global exchange counter — the index into the wire schedule.
+    exchanges: AtomicUsize,
+    /// Human-readable log of every fault applied, in exchange order.
+    log: Mutex<Vec<String>>,
+    stop: AtomicBool,
+    stall_hold: Duration,
+}
+
+impl ProxyState {
+    fn record(&self, index: usize, fault: &WireFault) {
+        self.log
+            .lock()
+            .expect("proxy log")
+            .push(format!("exchange {index}: {fault}"));
+    }
+}
+
+/// A listening fault injector; see the module docs.
+pub struct FaultProxy {
+    addr: SocketAddr,
+    state: Arc<ProxyState>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Binds on a loopback ephemeral port and starts proxying to
+    /// `backend`, applying `wire` faults round-robin by exchange index.
+    /// `stall_hold` is how long a [`WireFault::Stall`] holds the
+    /// connection open in real time; it must exceed the client's read
+    /// timeout for the stall to present as a hang.
+    pub fn spawn(
+        wire: Vec<WireFault>,
+        backend: SocketAddr,
+        clock: Arc<SimClock>,
+        stall_hold: Duration,
+    ) -> io::Result<FaultProxy> {
+        assert!(!wire.is_empty(), "a fault plan needs at least one slot");
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ProxyState {
+            wire,
+            backend: Mutex::new(backend),
+            clock,
+            exchanges: AtomicUsize::new(0),
+            log: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+            stall_hold,
+        });
+        let accept_state = Arc::clone(&state);
+        let accept = thread::Builder::new()
+            .name("simlab-proxy".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_state.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(conn) = conn else { break };
+                    let conn_state = Arc::clone(&accept_state);
+                    let _ = thread::Builder::new()
+                        .name("simlab-proxy-conn".to_string())
+                        .spawn(move || {
+                            let _ = serve_connection(&conn_state, conn);
+                        });
+                }
+            })?;
+        Ok(FaultProxy {
+            addr,
+            state,
+            accept: Some(accept),
+        })
+    }
+
+    /// Where clients should connect.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Points subsequent exchanges at a new server incarnation.
+    pub fn set_backend(&self, backend: SocketAddr) {
+        *self.state.backend.lock().expect("proxy backend") = backend;
+    }
+
+    /// Exchanges seen so far.
+    pub fn exchanges(&self) -> usize {
+        self.state.exchanges.load(Ordering::SeqCst)
+    }
+
+    /// The applied-fault log, one line per exchange.
+    pub fn log(&self) -> Vec<String> {
+        self.state.log.lock().expect("proxy log").clone()
+    }
+
+    /// Stops accepting and joins the accept thread. In-flight exchange
+    /// threads finish on their own (bounded by the stall hold).
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.accept.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+/// One client connection: exchanges until EOF or a connection-killing
+/// fault.
+fn serve_connection(state: &ProxyState, client: TcpStream) -> io::Result<()> {
+    client.set_nodelay(true)?;
+    client.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut reader = BufReader::new(client.try_clone()?);
+    let mut writer = client;
+    loop {
+        let Some(request) = read_message(&mut reader)? else {
+            return Ok(()); // client closed between exchanges
+        };
+        let index = state.exchanges.fetch_add(1, Ordering::SeqCst);
+        let fault = state.wire[index % state.wire.len()].clone();
+        state.record(index, &fault);
+        match fault {
+            WireFault::Drop => return Ok(()),
+            WireFault::Stall => {
+                thread::sleep(state.stall_hold);
+                return Ok(());
+            }
+            WireFault::Reject503 => {
+                let body = r#"{"error":{"code":"overloaded","message":"injected shed"}}"#;
+                let head = format!(
+                    "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\n\
+                     Content-Length: {}\r\nRetry-After: 1\r\nConnection: close\r\n\r\n",
+                    body.len()
+                );
+                writer.write_all(head.as_bytes())?;
+                writer.write_all(body.as_bytes())?;
+                writer.flush()?;
+                return Ok(()); // sheds close, like the real server
+            }
+            WireFault::Forward | WireFault::Delay { .. } | WireFault::TruncateBody { .. } => {
+                if let WireFault::Delay { millis } = fault {
+                    state.clock.advance(Duration::from_millis(millis));
+                }
+                let backend = *state.backend.lock().expect("proxy backend");
+                let upstream = TcpStream::connect(backend)?;
+                upstream.set_nodelay(true)?;
+                upstream.set_read_timeout(Some(Duration::from_secs(10)))?;
+                let mut up_reader = BufReader::new(upstream.try_clone()?);
+                let mut up_writer = upstream;
+                up_writer.write_all(&request)?;
+                up_writer.flush()?;
+                let Some(response) = read_message(&mut up_reader)? else {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "backend closed without responding",
+                    ));
+                };
+                if let WireFault::TruncateBody { keep_pct } = fault {
+                    let head = head_end(&response);
+                    let body_len = response.len() - head;
+                    // Always at least one byte short of complete, so the
+                    // client observes a truncation rather than a success.
+                    let keep = (body_len * keep_pct as usize / 100).min(body_len.saturating_sub(1));
+                    writer.write_all(&response[..head + keep])?;
+                    writer.flush()?;
+                    return Ok(());
+                }
+                writer.write_all(&response)?;
+                writer.flush()?;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poiesis_server::Clock;
+
+    fn echo_backend() -> (SocketAddr, thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let join = thread::spawn(move || {
+            // Serve a fixed number of one-shot connections, then exit.
+            for _ in 0..8 {
+                let Ok((conn, _)) = listener.accept() else {
+                    return;
+                };
+                let mut reader = BufReader::new(conn.try_clone().unwrap());
+                while let Ok(Some(_)) = read_message(&mut reader) {
+                    let body = r#"{"ok":true}"#;
+                    let response = format!(
+                        "HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n{body}",
+                        body.len()
+                    );
+                    let mut w = conn.try_clone().unwrap();
+                    if w.write_all(response.as_bytes()).is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        (addr, join)
+    }
+
+    fn roundtrip(addr: SocketAddr) -> io::Result<Vec<u8>> {
+        let conn = TcpStream::connect(addr)?;
+        conn.set_read_timeout(Some(Duration::from_millis(500)))?;
+        let mut w = conn.try_clone()?;
+        w.write_all(b"GET /x HTTP/1.1\r\nHost: t\r\n\r\n")?;
+        let mut reader = BufReader::new(conn);
+        match read_message(&mut reader)? {
+            Some(bytes) => Ok(bytes),
+            None => Err(io::Error::new(io::ErrorKind::UnexpectedEof, "closed")),
+        }
+    }
+
+    #[test]
+    fn faults_apply_in_schedule_order() {
+        let (backend, _join) = echo_backend();
+        let clock = Arc::new(SimClock::new());
+        let proxy = FaultProxy::spawn(
+            vec![
+                WireFault::Forward,
+                WireFault::Drop,
+                WireFault::TruncateBody { keep_pct: 50 },
+                WireFault::Delay { millis: 250 },
+            ],
+            backend,
+            Arc::clone(&clock),
+            Duration::from_millis(100),
+        )
+        .unwrap();
+
+        // Exchange 0: forwarded intact.
+        let ok = roundtrip(proxy.addr()).unwrap();
+        assert!(ok.ends_with(br#"{"ok":true}"#));
+        // Exchange 1: dropped — no response.
+        assert!(roundtrip(proxy.addr()).is_err());
+        // Exchange 2: truncated — read_message hits EOF mid-body.
+        assert!(roundtrip(proxy.addr()).is_err());
+        // Exchange 3: delayed virtually, then forwarded intact.
+        let ok = roundtrip(proxy.addr()).unwrap();
+        assert!(ok.ends_with(br#"{"ok":true}"#));
+        assert_eq!(clock.elapsed(), Duration::from_millis(250));
+
+        assert_eq!(proxy.exchanges(), 4);
+        let log = proxy.log();
+        assert_eq!(log.len(), 4);
+        assert!(log[1].contains("drop"), "log: {log:?}");
+        proxy.stop();
+    }
+
+    #[test]
+    fn reject503_carries_retry_after_and_closes() {
+        let (backend, _join) = echo_backend();
+        let proxy = FaultProxy::spawn(
+            vec![WireFault::Reject503],
+            backend,
+            Arc::new(SimClock::new()),
+            Duration::from_millis(100),
+        )
+        .unwrap();
+        let response = roundtrip(proxy.addr()).unwrap();
+        let text = String::from_utf8_lossy(&response);
+        assert!(text.starts_with("HTTP/1.1 503"), "{text}");
+        assert!(text.contains("Retry-After: 1"), "{text}");
+        proxy.stop();
+    }
+}

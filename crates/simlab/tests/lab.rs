@@ -1,0 +1,137 @@
+//! The pinned fault-lab matrix, with seed replay.
+//!
+//! `harness = false`: this binary owns its CLI so a failing seed can be
+//! replayed verbatim with the command the failure printed:
+//!
+//! ```text
+//! cargo test -p simlab --test lab -- --seed 42
+//! ```
+//!
+//! Without `--seed`, the pinned matrix runs, followed by a
+//! determinism double-run of the first seed (same seed ⇒ byte-identical
+//! schedule and identical outcome digest). The pinned seeds are chosen
+//! so the matrix collectively covers every fault kind, including at
+//! least one kill/restart with completed cycles (what the CI mutation
+//! canary needs) and at least one torn final write (quarantine path).
+
+use simlab::{run_seed, FaultPlan, LabConfig};
+use std::process::ExitCode;
+
+/// Seeds pinned after an empirical scan: between them the expanded
+/// plans include drops, truncations, stalls, synthetic `503`s, virtual
+/// delays, mid-run kill/restarts after completed cycles, and torn
+/// temp/final snapshot writes. Re-scan with
+/// `for s in 0..100: FaultPlan::from_seed(s, 3, 24)` when the expansion
+/// changes.
+const PINNED_SEEDS: &[u64] = &[1, 7, 11, 18];
+
+fn parse_seeds(args: &[String]) -> Result<Vec<u64>, String> {
+    let mut seeds = Vec::new();
+    let mut iter = args.iter().skip(1).peekable();
+    while let Some(arg) = iter.next() {
+        if arg == "--seed" {
+            let value = iter
+                .next()
+                .ok_or_else(|| "--seed takes a u64 value".to_string())?;
+            seeds.push(
+                value
+                    .parse()
+                    .map_err(|_| format!("--seed takes a u64, got `{value}`"))?,
+            );
+        } else if let Some(value) = arg.strip_prefix("--seed=") {
+            seeds.push(
+                value
+                    .parse()
+                    .map_err(|_| format!("--seed takes a u64, got `{value}`"))?,
+            );
+        }
+        // Anything else (libtest-style flags like --nocapture) is ignored.
+    }
+    Ok(seeds)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let requested = match parse_seeds(&args) {
+        Ok(seeds) => seeds,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let replay = !requested.is_empty();
+    let seeds = if replay {
+        requested
+    } else {
+        PINNED_SEEDS.to_vec()
+    };
+    let cfg = LabConfig::default();
+    let mut failed = false;
+
+    for &seed in &seeds {
+        println!(
+            "simlab seed {seed}: {}",
+            FaultPlan::from_seed(seed, cfg.cycles, cfg.wire_slots).describe()
+        );
+        match run_seed(seed, &cfg) {
+            Ok(report) => println!(
+                "simlab seed {seed}: ok — {} exchanges, {} retries ({:?} virtual wait), \
+                 {} restart(s), {} quarantine(s), outcome {}",
+                report.wire_exchanges,
+                report.client_retries,
+                report.virtual_wait,
+                report.restarts,
+                report.quarantines,
+                report.outcome_digest
+            ),
+            Err(failure) => {
+                eprintln!("{failure}");
+                failed = true;
+            }
+        }
+    }
+
+    // Determinism: the same seed must reproduce the same schedule and the
+    // same outcome, byte for byte. Skipped on explicit replays — a replay
+    // exists to show one failure, not to re-prove determinism.
+    if !failed && !replay {
+        let seed = seeds[0];
+        match (run_seed(seed, &cfg), run_seed(seed, &cfg)) {
+            (Ok(first), Ok(second)) => {
+                if first.schedule != second.schedule {
+                    eprintln!(
+                        "determinism violation for seed {seed}: schedules differ\n  {}\n  {}",
+                        first.schedule, second.schedule
+                    );
+                    failed = true;
+                } else if first.outcome_digest != second.outcome_digest {
+                    eprintln!(
+                        "determinism violation for seed {seed}: outcomes differ \
+                         ({} vs {})\n  replay: cargo test -p simlab --test lab -- --seed {seed}",
+                        first.outcome_digest, second.outcome_digest
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "simlab determinism: seed {seed} twice → identical schedule and outcome"
+                    );
+                }
+            }
+            (first, second) => {
+                if let Err(failure) = first {
+                    eprintln!("{failure}");
+                }
+                if let Err(failure) = second {
+                    eprintln!("{failure}");
+                }
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

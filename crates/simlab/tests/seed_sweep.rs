@@ -1,0 +1,31 @@
+//! Property sweep: arbitrary seeds must preserve the lab's invariants.
+//!
+//! The pinned matrix in `tests/lab.rs` covers curated schedules; this
+//! sweep samples the seed space so schedule shapes nobody pinned still
+//! uphold frontier-equality-after-recovery and the no-hang bound. The
+//! case count is deliberately tiny for tier-1 wall time — CI's
+//! `fault-lab` job widens it via the same test. The vendored proptest is
+//! deterministic (name-seeded), so this sweep itself replays
+//! identically; any failing seed it finds is reported by `LabFailure`
+//! with the `--seed` replay command.
+
+use proptest::prelude::*;
+use simlab::{run_seed, LabConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+    #[test]
+    fn arbitrary_seeds_recover_bit_identically_and_never_hang(seed in 0u64..1_000_000) {
+        // Two cycles keep one case under a few seconds; every invariant
+        // (recovery equality, quarantine, typed failures, virtual waits)
+        // is still enforced by the runner.
+        let cfg = LabConfig { cycles: 2, ..LabConfig::default() };
+        match run_seed(seed, &cfg) {
+            Ok(report) => {
+                prop_assert_eq!(report.cycles, 2);
+                prop_assert_eq!(report.seed, seed);
+            }
+            Err(failure) => return Err(TestCaseError::fail(failure.to_string())),
+        }
+    }
+}
