@@ -19,6 +19,7 @@
 //! | `baseline_manual` | §1 manual-redesign comparison |
 //! | `streaming_sweep` | streaming engine vs. materialize-all, search strategies |
 //! | `server_load` | HTTP service throughput + latency percentiles (`docs/API.md`) |
+//! | `bench_scenarios` | scenario corpus × strategy sweep with golden-frontier gate (`docs/SCENARIOS.md`) |
 
 #![forbid(unsafe_code)]
 

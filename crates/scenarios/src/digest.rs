@@ -1,0 +1,71 @@
+//! Bit-exact frontier identity: canonical lines + FNV-1a digest.
+//!
+//! The regression contract of the sweep harness is that a (scenario ×
+//! strategy) cell produces *the same frontier, to the bit*, on every
+//! run of the same engine version. Names alone are not enough — a
+//! measure-estimation change that keeps names but moves values must
+//! trip the gate — so the canonical form couples each skyline member's
+//! name with the raw IEEE-754 bit pattern of every measure. The digest
+//! is FNV-1a 64 over the canonical lines; the lines themselves are kept
+//! around for diff-style golden-test failure messages.
+
+use poiesis::PlannerOutcome;
+
+/// One canonical line per skyline member, sorted: the member's name
+/// followed by `measure_key=<16-hex f64 bits>` pairs in vector order.
+pub fn frontier_lines(outcome: &PlannerOutcome) -> Vec<String> {
+    let mut lines: Vec<String> = outcome
+        .skyline
+        .iter()
+        .map(|&i| {
+            let alt = &outcome.alternatives[i];
+            let mut line = alt.name.clone();
+            for (id, v) in alt.measures.iter() {
+                line.push_str(&format!(" {}={:016x}", id.key(), v.to_bits()));
+            }
+            line
+        })
+        .collect();
+    lines.sort_unstable();
+    lines
+}
+
+/// FNV-1a 64 digest of the canonical frontier lines, as 16 hex digits.
+pub fn frontier_digest(outcome: &PlannerOutcome) -> String {
+    digest_lines(&frontier_lines(outcome))
+}
+
+/// Digests pre-computed canonical lines (used by the golden tests to
+/// check stored lines agree with their stored digest).
+pub fn digest_lines(lines: &[String]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for line in lines {
+        for b in line.bytes().chain(std::iter::once(b'\n')) {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_line_sensitive() {
+        let a = digest_lines(&["alt_a x=0000000000000000".into()]);
+        let b = digest_lines(&["alt_a x=0000000000000001".into()]);
+        assert_eq!(a, digest_lines(&["alt_a x=0000000000000000".into()]));
+        assert_ne!(a, b, "a one-bit measure change must change the digest");
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn empty_frontier_digests_to_the_fnv_offset() {
+        assert_eq!(
+            digest_lines(&[]),
+            format!("{:016x}", 0xcbf2_9ce4_8422_2325u64)
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! CDC upserts: apply a change-data-capture event stream onto a current
+//! entity snapshot — order by event time, split deletes from upserts,
+//! measure drift against the standing state.
+//!
+//! Freshness (folded into data quality) is what CDC exists for, and the
+//! apply loop must survive mid-run failures without replaying the
+//! world, so reliability rides along.
+
+use crate::Scenario;
+use datagen::{Catalog, DirtProfile, TableSpec};
+use etl_model::expr::Expr;
+use etl_model::{AggFunc, Attribute, DataType, EtlFlow, OpKind, Operation, Schema};
+use poiesis::Objective;
+use quality::Characteristic;
+
+/// Schema of the changelog stream.
+pub fn events_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::required("ev_id", DataType::Int),
+        Attribute::new("ev_entity_id", DataType::Int),
+        Attribute::new("ev_op", DataType::Str),
+        Attribute::new("ev_value", DataType::Float),
+        Attribute::new("ev_ts", DataType::Timestamp),
+    ])
+}
+
+/// Schema of the current-state snapshot.
+pub fn state_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::required("cs_entity_id", DataType::Int),
+        Attribute::new("cs_value", DataType::Float),
+        Attribute::new("cs_updated_ts", DataType::Timestamp),
+    ])
+}
+
+/// Changelog → sort → delete/upsert router → join to snapshot → drift
+/// rollup (12 operators).
+pub fn flow() -> EtlFlow {
+    let mut f = EtlFlow::new("cdc_upserts");
+    let ext_ev = f.add_op(Operation::extract("cdc_events", events_schema()));
+    let ext_cs = f.add_op(Operation::extract("current_state", state_schema()));
+    let f_ev = f.add_op(
+        Operation::filter(
+            "FILTER decodable events",
+            Expr::col("ev_op")
+                .is_not_null()
+                .and(Expr::col("ev_ts").is_not_null()),
+        )
+        .with_selectivity(0.95),
+    );
+    let sort = f.add_op(Operation::new(
+        "SORT by event time",
+        OpKind::Sort {
+            by: vec!["ev_ts".into()],
+        },
+    ));
+    let router = f.add_op(Operation::new(
+        "ROUTE deletes vs upserts",
+        OpKind::Router {
+            predicate: Expr::col("ev_op").eq(Expr::lit_s("delete")),
+        },
+    ));
+    let d_del = f.add_op(Operation::derive(
+        "DERIVE tombstone value",
+        vec![("applied_value".to_string(), Expr::lit_f(0.0))],
+    ));
+    let d_up = f.add_op(Operation::derive(
+        "DERIVE upsert value",
+        vec![(
+            "applied_value".to_string(),
+            Expr::col("ev_value").mul(Expr::lit_f(1.0)),
+        )],
+    ));
+    let merge = f.add_op(Operation::new("MERGE applied events", OpKind::Merge));
+    let join = f.add_op(Operation::new(
+        "JOIN to current state",
+        OpKind::Join {
+            left_key: "ev_entity_id".into(),
+            right_key: "cs_entity_id".into(),
+        },
+    ));
+    let derive = f.add_op(
+        Operation::derive(
+            "DERIVE drift vs state",
+            vec![(
+                "drift".to_string(),
+                Expr::col("applied_value").sub(Expr::col("cs_value")),
+            )],
+        )
+        .with_cost(0.025),
+    );
+    let agg = f.add_op(Operation::new(
+        "AGGREGATE per entity",
+        OpKind::Aggregate {
+            group_by: vec!["ev_entity_id".into()],
+            aggs: vec![
+                ("events".into(), AggFunc::Count, "ev_id".into()),
+                ("net_drift".into(), AggFunc::Sum, "drift".into()),
+                ("last_event_ts".into(), AggFunc::Max, "ev_ts".into()),
+                ("state_ts".into(), AggFunc::Min, "cs_updated_ts".into()),
+            ],
+        },
+    ));
+    let load = f.add_op(Operation::load("dw_entities"));
+
+    f.connect(ext_ev, f_ev).unwrap();
+    f.connect(f_ev, sort).unwrap();
+    f.connect(sort, router).unwrap();
+    f.connect_labelled(router, d_del, "delete").unwrap();
+    f.connect_labelled(router, d_up, "upsert").unwrap();
+    f.connect(d_del, merge).unwrap();
+    f.connect(d_up, merge).unwrap();
+    f.connect(merge, join).unwrap();
+    f.connect(ext_cs, join).unwrap();
+    f.connect(join, derive).unwrap();
+    f.connect(derive, agg).unwrap();
+    f.connect(agg, load).unwrap();
+    f
+}
+
+/// Changelog at `rows`, snapshot at a third of it.
+pub fn catalog(rows: usize, dirt: &DirtProfile, seed: u64) -> Catalog {
+    let mut c = Catalog::new();
+    c.add_generated(
+        &TableSpec::new("cdc_events", events_schema(), rows, "ev_id"),
+        dirt,
+        seed,
+    );
+    // the standing snapshot is cleaner and fresher than the stream
+    let snapshot_dirt = DirtProfile {
+        dup_rate: 0.0,
+        staleness_hours: dirt.staleness_hours / 2.0,
+        ..*dirt
+    };
+    c.add_generated(
+        &TableSpec::new(
+            "current_state",
+            state_schema(),
+            (rows / 3).max(4),
+            "cs_entity_id",
+        ),
+        &snapshot_dirt,
+        seed.wrapping_add(1),
+    );
+    c
+}
+
+/// The registry entry.
+pub fn scenario() -> Scenario {
+    Scenario {
+        name: "cdc_upserts",
+        domain: "change-data-capture upsert apply",
+        flow_shape: "stream + snapshot → sort → delete/upsert router → join → drift rollup",
+        dirt: DirtProfile {
+            null_rate: 0.04,
+            dup_rate: 0.1,
+            corrupt_rate: 0.02,
+            staleness_hours: 0.5,
+        },
+        seed: 0xCDC001,
+        depth: 3,
+        flow_fn: flow,
+        catalog_fn: catalog,
+        objective_fn: || {
+            Objective::new()
+                .weighted(Characteristic::DataQuality, 2.0)
+                .weighted(Characteristic::Performance, 1.0)
+                .weighted(Characteristic::Reliability, 1.0)
+        },
+    }
+}

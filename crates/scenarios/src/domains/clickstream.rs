@@ -1,0 +1,120 @@
+//! Clickstream sessionization: order raw clicks per user, bucket them
+//! into sessions, and feed two marts — per-user activity and per-page
+//! hits — from one pass over the stream.
+//!
+//! The two-target split is the structurally interesting part: patterns
+//! that help one mart (say a checkpoint before the split) help both.
+
+use crate::Scenario;
+use datagen::{Catalog, DirtProfile, TableSpec};
+use etl_model::expr::Expr;
+use etl_model::{AggFunc, Attribute, DataType, EtlFlow, OpKind, Operation, Schema};
+use poiesis::Objective;
+use quality::Characteristic;
+
+/// Schema of the raw click log.
+pub fn clicks_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::required("ck_id", DataType::Int),
+        Attribute::new("ck_user_id", DataType::Int),
+        Attribute::new("ck_url", DataType::Str),
+        Attribute::new("ck_referrer", DataType::Str),
+        Attribute::new("ck_ts", DataType::Timestamp),
+    ])
+}
+
+/// Clicks → bot filter → sort → session derive → split → two marts
+/// (9 operators, 2 targets).
+pub fn flow() -> EtlFlow {
+    let mut f = EtlFlow::new("clickstream");
+    let ext = f.add_op(Operation::extract("clicks", clicks_schema()));
+    let f_bots = f.add_op(
+        Operation::filter("FILTER bot traffic", Expr::col("ck_referrer").is_not_null())
+            .with_selectivity(0.85),
+    );
+    let sort = f.add_op(Operation::new(
+        "SORT by user and time",
+        OpKind::Sort {
+            by: vec!["ck_user_id".into(), "ck_ts".into()],
+        },
+    ));
+    let derive = f.add_op(
+        Operation::derive(
+            "DERIVE session bucket",
+            vec![(
+                "session_key".to_string(),
+                Expr::col("ck_user_id").mul(Expr::lit_i(1009)),
+            )],
+        )
+        .with_cost(0.030),
+    );
+    let split = f.add_op(Operation::new("SPLIT to marts", OpKind::Split));
+    let agg_user = f.add_op(Operation::new(
+        "AGGREGATE per user",
+        OpKind::Aggregate {
+            group_by: vec!["ck_user_id".into()],
+            aggs: vec![
+                ("clicks".into(), AggFunc::Count, "ck_id".into()),
+                ("last_seen".into(), AggFunc::Max, "ck_ts".into()),
+            ],
+        },
+    ));
+    let agg_page = f.add_op(Operation::new(
+        "AGGREGATE per page",
+        OpKind::Aggregate {
+            group_by: vec!["ck_url".into()],
+            aggs: vec![
+                ("hits".into(), AggFunc::Count, "ck_id".into()),
+                ("sessions".into(), AggFunc::Max, "session_key".into()),
+            ],
+        },
+    ));
+    let load_user = f.add_op(Operation::load("dw_user_activity"));
+    let load_page = f.add_op(Operation::load("dw_page_hits"));
+
+    f.connect(ext, f_bots).unwrap();
+    f.connect(f_bots, sort).unwrap();
+    f.connect(sort, derive).unwrap();
+    f.connect(derive, split).unwrap();
+    f.connect(split, agg_user).unwrap();
+    f.connect(split, agg_page).unwrap();
+    f.connect(agg_user, load_user).unwrap();
+    f.connect(agg_page, load_page).unwrap();
+    f
+}
+
+/// One click log.
+pub fn catalog(rows: usize, dirt: &DirtProfile, seed: u64) -> Catalog {
+    let mut c = Catalog::new();
+    c.add_generated(
+        &TableSpec::new("clicks", clicks_schema(), rows, "ck_id"),
+        dirt,
+        seed,
+    );
+    c
+}
+
+/// The registry entry.
+pub fn scenario() -> Scenario {
+    Scenario {
+        name: "clickstream",
+        domain: "clickstream sessionization feeding two marts",
+        flow_shape: "clicks → bot filter → sort → session derive → split → 2 marts",
+        dirt: DirtProfile {
+            null_rate: 0.07,
+            dup_rate: 0.05,
+            corrupt_rate: 0.09,
+            staleness_hours: 1.0,
+        },
+        seed: 0xC11C5,
+        depth: 2,
+        flow_fn: flow,
+        catalog_fn: catalog,
+        objective_fn: || {
+            Objective::new()
+                .weighted(Characteristic::Performance, 2.0)
+                .weighted(Characteristic::DataQuality, 1.0)
+                .weighted(Characteristic::Manageability, 1.0)
+        },
+    }
+}

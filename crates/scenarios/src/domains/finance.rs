@@ -1,0 +1,143 @@
+//! Finance reconciliation: match general-ledger entries against bank
+//! transactions and summarise the mismatches per account.
+//!
+//! The domain's pain is *data quality* — amounts disagree, postings go
+//! missing — and a missed reconciliation run is expensive, so the
+//! objective weighs data quality first and reliability second.
+
+use crate::Scenario;
+use datagen::{Catalog, DirtProfile, TableSpec};
+use etl_model::expr::Expr;
+use etl_model::{AggFunc, Attribute, DataType, EtlFlow, OpKind, Operation, Schema};
+use poiesis::Objective;
+use quality::Characteristic;
+
+/// Schema of the general-ledger source.
+pub fn gl_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::required("gl_id", DataType::Int),
+        Attribute::new("gl_txn_id", DataType::Int),
+        Attribute::new("gl_account", DataType::Int),
+        Attribute::new("gl_amount", DataType::Float),
+        Attribute::new("gl_posted_ts", DataType::Timestamp),
+    ])
+}
+
+/// Schema of the bank-transactions source.
+pub fn bank_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::required("bt_id", DataType::Int),
+        Attribute::new("bt_txn_id", DataType::Int),
+        Attribute::new("bt_amount", DataType::Float),
+        Attribute::new("bt_status", DataType::Str),
+    ])
+}
+
+/// Ledger ∪ bank join → delta derivation → mismatch filter → per-account
+/// rollup (11 operators).
+pub fn flow() -> EtlFlow {
+    let mut f = EtlFlow::new("finance_recon");
+    let ext_gl = f.add_op(Operation::extract("gl_entries", gl_schema()));
+    let ext_bt = f.add_op(Operation::extract("bank_txns", bank_schema()));
+    let f_gl = f.add_op(
+        Operation::filter(
+            "FILTER posted entries",
+            Expr::col("gl_posted_ts").is_not_null(),
+        )
+        .with_selectivity(0.93),
+    );
+    let f_bt = f.add_op(
+        Operation::filter("FILTER settled txns", Expr::col("bt_status").is_not_null())
+            .with_selectivity(0.9),
+    );
+    let join = f.add_op(Operation::new(
+        "JOIN ledger to bank",
+        OpKind::Join {
+            left_key: "gl_txn_id".into(),
+            right_key: "bt_txn_id".into(),
+        },
+    ));
+    let derive = f.add_op(
+        Operation::derive(
+            "DERIVE reconciliation delta",
+            vec![(
+                "delta".to_string(),
+                Expr::col("gl_amount").sub(Expr::col("bt_amount")),
+            )],
+        )
+        .with_cost(0.030),
+    );
+    let f_mismatch = f.add_op(
+        Operation::filter(
+            "FILTER mismatches",
+            Expr::col("delta")
+                .gt(Expr::lit_f(0.01))
+                .or(Expr::col("delta").lt(Expr::lit_f(-0.01))),
+        )
+        .with_selectivity(0.2),
+    );
+    let agg = f.add_op(Operation::new(
+        "AGGREGATE by account",
+        OpKind::Aggregate {
+            group_by: vec!["gl_account".into()],
+            aggs: vec![
+                ("total_delta".into(), AggFunc::Sum, "delta".into()),
+                ("entries".into(), AggFunc::Count, "gl_id".into()),
+                ("last_bank_txn".into(), AggFunc::Max, "bt_id".into()),
+            ],
+        },
+    ));
+    let load = f.add_op(Operation::load("dw_reconciliation"));
+
+    f.connect(ext_gl, f_gl).unwrap();
+    f.connect(ext_bt, f_bt).unwrap();
+    f.connect(f_gl, join).unwrap();
+    f.connect(f_bt, join).unwrap();
+    f.connect(join, derive).unwrap();
+    f.connect(derive, f_mismatch).unwrap();
+    f.connect(f_mismatch, agg).unwrap();
+    f.connect(agg, load).unwrap();
+    f
+}
+
+/// Both ledgers at `rows` base rows (bank side slightly smaller, as
+/// feeds usually are).
+pub fn catalog(rows: usize, dirt: &DirtProfile, seed: u64) -> Catalog {
+    let mut c = Catalog::new();
+    c.add_generated(
+        &TableSpec::new("gl_entries", gl_schema(), rows, "gl_id"),
+        dirt,
+        seed,
+    );
+    c.add_generated(
+        &TableSpec::new("bank_txns", bank_schema(), (rows * 4) / 5, "bt_id"),
+        dirt,
+        seed.wrapping_add(1),
+    );
+    c
+}
+
+/// The registry entry.
+pub fn scenario() -> Scenario {
+    Scenario {
+        name: "finance_recon",
+        domain: "finance reconciliation (ledger vs bank feed)",
+        flow_shape: "2 sources → join → delta derive → mismatch filter → account rollup",
+        dirt: DirtProfile {
+            null_rate: 0.06,
+            dup_rate: 0.02,
+            corrupt_rate: 0.08,
+            staleness_hours: 18.0,
+        },
+        seed: 0xF1A2C0,
+        depth: 3,
+        flow_fn: flow,
+        catalog_fn: catalog,
+        objective_fn: || {
+            Objective::new()
+                .weighted(Characteristic::DataQuality, 2.0)
+                .weighted(Characteristic::Reliability, 1.5)
+                .weighted(Characteristic::Performance, 1.0)
+        },
+    }
+}

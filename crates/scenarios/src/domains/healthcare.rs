@@ -1,0 +1,173 @@
+//! Healthcare claims adjudication: dedupe resubmitted claims, price
+//! them against provider rates, and flag high-value lines for review.
+//!
+//! Claims data moves under compliance rules, so the objective puts
+//! security first — the sweep is where `EncryptChannels` and
+//! `EnableAccessControl` patterns earn their keep — with data quality
+//! (miscoded and duplicated claims) close behind.
+
+use crate::Scenario;
+use datagen::{Catalog, DirtProfile, TableSpec};
+use etl_model::expr::Expr;
+use etl_model::{AggFunc, Attribute, DataType, EtlFlow, OpKind, Operation, Schema};
+use poiesis::Objective;
+use quality::Characteristic;
+
+/// Schema of the submitted-claims source.
+pub fn claims_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::required("cl_id", DataType::Int),
+        Attribute::new("cl_patient_id", DataType::Int),
+        Attribute::new("cl_provider_id", DataType::Int),
+        Attribute::new("cl_amount", DataType::Float),
+        Attribute::new("cl_code", DataType::Str),
+        Attribute::new("cl_submitted", DataType::Timestamp),
+    ])
+}
+
+/// Schema of the provider master.
+pub fn providers_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::required("pr_provider_id", DataType::Int),
+        Attribute::new("pr_specialty", DataType::Str),
+        Attribute::new("pr_rate", DataType::Float),
+    ])
+}
+
+/// Claims → dedup → ⋈ providers → payout derive → review router →
+/// specialty rollup (12 operators).
+pub fn flow() -> EtlFlow {
+    let mut f = EtlFlow::new("healthcare_claims");
+    let ext_cl = f.add_op(Operation::extract("claims", claims_schema()));
+    let ext_pr = f.add_op(Operation::extract("providers", providers_schema()));
+    let f_cl = f.add_op(
+        Operation::filter(
+            "FILTER billable claims",
+            Expr::col("cl_code")
+                .is_not_null()
+                .and(Expr::col("cl_amount").gt(Expr::lit_f(0.0))),
+        )
+        .with_selectivity(0.87),
+    );
+    let dedup = f.add_op(Operation::new(
+        "DEDUP resubmissions",
+        OpKind::Dedup {
+            keys: vec![
+                "cl_patient_id".into(),
+                "cl_code".into(),
+                "cl_submitted".into(),
+            ],
+        },
+    ));
+    let join = f.add_op(Operation::new(
+        "JOIN provider rates",
+        OpKind::Join {
+            left_key: "cl_provider_id".into(),
+            right_key: "pr_provider_id".into(),
+        },
+    ));
+    let derive = f.add_op(
+        Operation::derive(
+            "DERIVE adjudicated payout",
+            vec![(
+                "payout".to_string(),
+                Expr::col("cl_amount").mul(Expr::col("pr_rate")),
+            )],
+        )
+        .with_cost(0.045),
+    );
+    let router = f.add_op(Operation::new(
+        "ROUTE high-value claims",
+        OpKind::Router {
+            predicate: Expr::col("payout").gt(Expr::lit_f(5000.0)),
+        },
+    ));
+    let d_rev = f.add_op(Operation::derive(
+        "DERIVE review flag",
+        vec![("review".to_string(), Expr::lit_f(1.0))],
+    ));
+    let d_auto = f.add_op(Operation::derive(
+        "DERIVE auto-approve flag",
+        vec![("review".to_string(), Expr::lit_f(0.0))],
+    ));
+    let merge = f.add_op(Operation::new("MERGE adjudicated claims", OpKind::Merge));
+    let agg = f.add_op(Operation::new(
+        "AGGREGATE per specialty",
+        OpKind::Aggregate {
+            group_by: vec!["pr_specialty".into()],
+            aggs: vec![
+                ("payout_total".into(), AggFunc::Sum, "payout".into()),
+                ("claims".into(), AggFunc::Count, "cl_id".into()),
+                ("flagged".into(), AggFunc::Sum, "review".into()),
+            ],
+        },
+    ));
+    let load = f.add_op(Operation::load("dw_claim_summary"));
+
+    f.connect(ext_cl, f_cl).unwrap();
+    f.connect(f_cl, dedup).unwrap();
+    f.connect(dedup, join).unwrap();
+    f.connect(ext_pr, join).unwrap();
+    f.connect(join, derive).unwrap();
+    f.connect(derive, router).unwrap();
+    f.connect_labelled(router, d_rev, "review").unwrap();
+    f.connect_labelled(router, d_auto, "auto").unwrap();
+    f.connect(d_rev, merge).unwrap();
+    f.connect(d_auto, merge).unwrap();
+    f.connect(merge, agg).unwrap();
+    f.connect(agg, load).unwrap();
+    f
+}
+
+/// Claims at `rows`, provider master at a tenth of it.
+pub fn catalog(rows: usize, dirt: &DirtProfile, seed: u64) -> Catalog {
+    let mut c = Catalog::new();
+    c.add_generated(
+        &TableSpec::new("claims", claims_schema(), rows, "cl_id"),
+        dirt,
+        seed,
+    );
+    // the provider master is curated by hand: clean, just stale
+    let master_dirt = DirtProfile {
+        null_rate: 0.01,
+        dup_rate: 0.0,
+        corrupt_rate: 0.01,
+        staleness_hours: dirt.staleness_hours * 2.0,
+    };
+    c.add_generated(
+        &TableSpec::new(
+            "providers",
+            providers_schema(),
+            (rows / 10).max(4),
+            "pr_provider_id",
+        ),
+        &master_dirt,
+        seed.wrapping_add(1),
+    );
+    c
+}
+
+/// The registry entry.
+pub fn scenario() -> Scenario {
+    Scenario {
+        name: "healthcare_claims",
+        domain: "healthcare claims adjudication (compliance-bound)",
+        flow_shape: "claims → dedup → ⋈ providers → payout derive → review router → rollup",
+        dirt: DirtProfile {
+            null_rate: 0.08,
+            dup_rate: 0.12,
+            corrupt_rate: 0.1,
+            staleness_hours: 36.0,
+        },
+        seed: 0x8EA17,
+        depth: 3,
+        flow_fn: flow,
+        catalog_fn: catalog,
+        objective_fn: || {
+            Objective::new()
+                .weighted(Characteristic::Security, 2.0)
+                .weighted(Characteristic::DataQuality, 1.5)
+                .weighted(Characteristic::Reliability, 1.0)
+        },
+    }
+}

@@ -1,0 +1,152 @@
+//! Inventory sync: compare store-front stock levels against warehouse
+//! counts, route shortages to a replenishment plan, and roll the result
+//! up per site pair.
+//!
+//! Disagreeing counts are the domain's daily reality, so data quality
+//! and reliability weigh equally — a half-applied sync is worse than a
+//! late one.
+
+use crate::Scenario;
+use datagen::{Catalog, DirtProfile, TableSpec};
+use etl_model::expr::Expr;
+use etl_model::{AggFunc, Attribute, DataType, EtlFlow, OpKind, Operation, Schema};
+use poiesis::Objective;
+use quality::Characteristic;
+
+/// Schema of the store-front inventory source.
+pub fn store_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::required("si_sku", DataType::Int),
+        Attribute::new("si_qty", DataType::Int),
+        Attribute::new("si_site", DataType::Str),
+        Attribute::new("si_updated", DataType::Timestamp),
+    ])
+}
+
+/// Schema of the warehouse inventory source.
+pub fn warehouse_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::required("wh_sku", DataType::Int),
+        Attribute::new("wh_qty", DataType::Int),
+        Attribute::new("wh_site", DataType::Str),
+        Attribute::new("wh_updated", DataType::Timestamp),
+    ])
+}
+
+/// Store ⋈ warehouse → gap derive → shortage router → replenishment
+/// rollup (12 operators).
+pub fn flow() -> EtlFlow {
+    let mut f = EtlFlow::new("inventory_sync");
+    let ext_si = f.add_op(Operation::extract("store_inventory", store_schema()));
+    let ext_wh = f.add_op(Operation::extract(
+        "warehouse_inventory",
+        warehouse_schema(),
+    ));
+    let join = f.add_op(Operation::new(
+        "JOIN store to warehouse",
+        OpKind::Join {
+            left_key: "si_sku".into(),
+            right_key: "wh_sku".into(),
+        },
+    ));
+    let f_fresh = f.add_op(
+        Operation::filter(
+            "FILTER fresh counts",
+            Expr::col("si_updated")
+                .is_not_null()
+                .and(Expr::col("wh_updated").is_not_null()),
+        )
+        .with_selectivity(0.88),
+    );
+    let d_gap = f.add_op(
+        Operation::derive(
+            "DERIVE stock gap",
+            vec![(
+                "gap".to_string(),
+                Expr::col("si_qty").sub(Expr::col("wh_qty")),
+            )],
+        )
+        .with_cost(0.025),
+    );
+    let router = f.add_op(Operation::new(
+        "ROUTE shortages",
+        OpKind::Router {
+            predicate: Expr::col("gap").lt(Expr::lit_i(0)),
+        },
+    ));
+    let d_short = f.add_op(Operation::derive(
+        "DERIVE restock units",
+        vec![("restock".to_string(), Expr::col("gap").mul(Expr::lit_i(-1)))],
+    ));
+    let d_ok = f.add_op(Operation::derive(
+        "DERIVE no restock",
+        vec![("restock".to_string(), Expr::lit_i(0))],
+    ));
+    let merge = f.add_op(Operation::new("MERGE replenishment plan", OpKind::Merge));
+    let agg = f.add_op(Operation::new(
+        "AGGREGATE per site pair",
+        OpKind::Aggregate {
+            group_by: vec!["si_site".into(), "wh_site".into()],
+            aggs: vec![
+                ("restock_units".into(), AggFunc::Sum, "restock".into()),
+                ("skus".into(), AggFunc::Count, "si_sku".into()),
+                ("avg_gap".into(), AggFunc::Avg, "gap".into()),
+            ],
+        },
+    ));
+    let load = f.add_op(Operation::load("dw_replenishment"));
+
+    f.connect(ext_si, join).unwrap();
+    f.connect(ext_wh, join).unwrap();
+    f.connect(join, f_fresh).unwrap();
+    f.connect(f_fresh, d_gap).unwrap();
+    f.connect(d_gap, router).unwrap();
+    f.connect_labelled(router, d_short, "shortage").unwrap();
+    f.connect_labelled(router, d_ok, "stocked").unwrap();
+    f.connect(d_short, merge).unwrap();
+    f.connect(d_ok, merge).unwrap();
+    f.connect(merge, agg).unwrap();
+    f.connect(agg, load).unwrap();
+    f
+}
+
+/// Store and warehouse inventories at matching scale.
+pub fn catalog(rows: usize, dirt: &DirtProfile, seed: u64) -> Catalog {
+    let mut c = Catalog::new();
+    c.add_generated(
+        &TableSpec::new("store_inventory", store_schema(), rows, "si_sku"),
+        dirt,
+        seed,
+    );
+    c.add_generated(
+        &TableSpec::new("warehouse_inventory", warehouse_schema(), rows, "wh_sku"),
+        dirt,
+        seed.wrapping_add(1),
+    );
+    c
+}
+
+/// The registry entry.
+pub fn scenario() -> Scenario {
+    Scenario {
+        name: "inventory_sync",
+        domain: "store/warehouse inventory reconciliation",
+        flow_shape: "2 inventories → join → gap derive → shortage router → site rollup",
+        dirt: DirtProfile {
+            null_rate: 0.09,
+            dup_rate: 0.04,
+            corrupt_rate: 0.06,
+            staleness_hours: 24.0,
+        },
+        seed: 0x1A57C0,
+        depth: 3,
+        flow_fn: flow,
+        catalog_fn: catalog,
+        objective_fn: || {
+            Objective::new()
+                .weighted(Characteristic::DataQuality, 1.5)
+                .weighted(Characteristic::Reliability, 1.5)
+                .weighted(Characteristic::Performance, 1.0)
+        },
+    }
+}

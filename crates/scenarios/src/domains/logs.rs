@@ -1,0 +1,126 @@
+//! Log compaction: boil a noisy, heavily duplicated application log
+//! down to a per-service digest with storage-cost accounting.
+//!
+//! A pure linear pipeline — the structural opposite of the join-heavy
+//! scenarios — optimised for cost: the point of compaction is paying
+//! less to keep the data.
+
+use crate::Scenario;
+use datagen::{Catalog, DirtProfile, TableSpec};
+use etl_model::expr::Expr;
+use etl_model::{AggFunc, Attribute, DataType, EtlFlow, OpKind, Operation, Schema};
+use poiesis::Objective;
+use quality::Characteristic;
+
+/// Schema of the raw application log.
+pub fn logs_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::required("lg_id", DataType::Int),
+        Attribute::new("lg_service", DataType::Str),
+        Attribute::new("lg_level", DataType::Str),
+        Attribute::new("lg_msg", DataType::Str),
+        Attribute::new("lg_bytes", DataType::Int),
+        Attribute::new("lg_ts", DataType::Timestamp),
+    ])
+}
+
+/// Log → noise filter → sort → compact → cost derive → digest rollup
+/// (9 operators, strictly linear).
+pub fn flow() -> EtlFlow {
+    let mut f = EtlFlow::new("log_compaction");
+    let ext = f.add_op(Operation::extract("app_logs", logs_schema()));
+    let f_noise = f.add_op(
+        Operation::filter(
+            "FILTER debug noise",
+            Expr::col("lg_level").ne(Expr::lit_s("debug")),
+        )
+        .with_selectivity(0.6),
+    );
+    let sort = f.add_op(Operation::new(
+        "SORT newest first",
+        OpKind::Sort {
+            by: vec!["lg_ts".into()],
+        },
+    ));
+    let dedup = f.add_op(Operation::new(
+        "DEDUP repeated messages",
+        OpKind::Dedup {
+            keys: vec!["lg_service".into(), "lg_msg".into()],
+        },
+    ));
+    let conv = f.add_op(Operation::new(
+        "CONVERT bytes to float",
+        OpKind::Convert {
+            column: "lg_bytes".into(),
+            to: DataType::Float,
+        },
+    ));
+    let derive = f.add_op(
+        Operation::derive(
+            "DERIVE storage cost",
+            vec![(
+                "cost_usd".to_string(),
+                Expr::col("lg_bytes").mul(Expr::lit_f(0.0000002)),
+            )],
+        )
+        .with_cost(0.030),
+    );
+    let agg = f.add_op(Operation::new(
+        "AGGREGATE per service level",
+        OpKind::Aggregate {
+            group_by: vec!["lg_service".into(), "lg_level".into()],
+            aggs: vec![
+                ("entries".into(), AggFunc::Count, "lg_id".into()),
+                ("bytes_total".into(), AggFunc::Sum, "lg_bytes".into()),
+                ("cost_total".into(), AggFunc::Sum, "cost_usd".into()),
+                ("latest".into(), AggFunc::Max, "lg_ts".into()),
+            ],
+        },
+    ));
+    let load = f.add_op(Operation::load("dw_log_digest"));
+
+    f.connect(ext, f_noise).unwrap();
+    f.connect(f_noise, sort).unwrap();
+    f.connect(sort, dedup).unwrap();
+    f.connect(dedup, conv).unwrap();
+    f.connect(conv, derive).unwrap();
+    f.connect(derive, agg).unwrap();
+    f.connect(agg, load).unwrap();
+    f
+}
+
+/// One log table.
+pub fn catalog(rows: usize, dirt: &DirtProfile, seed: u64) -> Catalog {
+    let mut c = Catalog::new();
+    c.add_generated(
+        &TableSpec::new("app_logs", logs_schema(), rows, "lg_id"),
+        dirt,
+        seed,
+    );
+    c
+}
+
+/// The registry entry.
+pub fn scenario() -> Scenario {
+    Scenario {
+        name: "log_compaction",
+        domain: "application-log compaction and cost accounting",
+        flow_shape: "log → noise filter → sort → dedup → cost derive → service digest (linear)",
+        dirt: DirtProfile {
+            null_rate: 0.05,
+            dup_rate: 0.25,
+            corrupt_rate: 0.12,
+            staleness_hours: 1.0,
+        },
+        seed: 0x106C0,
+        depth: 2,
+        flow_fn: flow,
+        catalog_fn: catalog,
+        objective_fn: || {
+            Objective::new()
+                .weighted(Characteristic::Cost, 2.0)
+                .weighted(Characteristic::Performance, 1.0)
+                .weighted(Characteristic::Manageability, 1.0)
+        },
+    }
+}

@@ -1,0 +1,165 @@
+//! ML feature pipeline: join behavioural events to user profiles and
+//! compute interaction features — the classic compute-bound feature
+//! store refresh whose derives dwarf everything else in the flow.
+//!
+//! Performance dominates the objective (this is the `ParallelizeTask`
+//! showcase); manageability rides along because feature pipelines are
+//! edited weekly.
+
+use crate::Scenario;
+use datagen::{Catalog, DirtProfile, TableSpec};
+use etl_model::expr::Expr;
+use etl_model::{AggFunc, Attribute, DataType, EtlFlow, OpKind, Operation, Schema};
+use poiesis::Objective;
+use quality::Characteristic;
+
+/// Schema of the behavioural events source.
+pub fn events_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::required("e_id", DataType::Int),
+        Attribute::new("e_user_id", DataType::Int),
+        Attribute::new("e_kind", DataType::Str),
+        Attribute::new("e_value", DataType::Float),
+        Attribute::new("e_ts", DataType::Timestamp),
+    ])
+}
+
+/// Schema of the user-profile dimension.
+pub fn profiles_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::required("up_user_id", DataType::Int),
+        Attribute::new("up_age", DataType::Int),
+        Attribute::new("up_segment", DataType::Str),
+        Attribute::new("up_score", DataType::Float),
+    ])
+}
+
+/// Events ⋈ profiles → heavy feature derives → segment rollup
+/// (9 operators, derive-dominated cost profile).
+pub fn flow() -> EtlFlow {
+    let mut f = EtlFlow::new("ml_features");
+    let ext_e = f.add_op(Operation::extract("feature_events", events_schema()));
+    let ext_p = f.add_op(Operation::extract("user_profiles", profiles_schema()));
+    let f_e = f.add_op(
+        Operation::filter(
+            "FILTER typed events",
+            Expr::col("e_kind")
+                .is_not_null()
+                .and(Expr::col("e_ts").is_not_null()),
+        )
+        .with_selectivity(0.92),
+    );
+    let join = f.add_op(Operation::new(
+        "JOIN user profiles",
+        OpKind::Join {
+            left_key: "e_user_id".into(),
+            right_key: "up_user_id".into(),
+        },
+    ));
+    let conv = f.add_op(Operation::new(
+        "CONVERT age to float",
+        OpKind::Convert {
+            column: "up_age".into(),
+            to: DataType::Float,
+        },
+    ));
+    let d_feat = f.add_op(
+        Operation::derive(
+            "DERIVE interaction features",
+            vec![
+                (
+                    "affinity".to_string(),
+                    Expr::col("e_value").mul(Expr::col("up_score")),
+                ),
+                (
+                    "value_per_year".to_string(),
+                    Expr::col("e_value").div(Expr::col("up_age").add(Expr::lit_f(1.0))),
+                ),
+            ],
+        )
+        .with_cost(0.070),
+    );
+    let d_decay = f.add_op(
+        Operation::derive(
+            "DERIVE decayed affinity",
+            vec![(
+                "decayed".to_string(),
+                Expr::col("affinity").mul(Expr::lit_f(0.97)),
+            )],
+        )
+        .with_cost(0.020),
+    );
+    let agg = f.add_op(Operation::new(
+        "AGGREGATE per segment and kind",
+        OpKind::Aggregate {
+            group_by: vec!["up_segment".into(), "e_kind".into()],
+            aggs: vec![
+                ("avg_affinity".into(), AggFunc::Avg, "affinity".into()),
+                (
+                    "avg_value_per_year".into(),
+                    AggFunc::Avg,
+                    "value_per_year".into(),
+                ),
+                ("decayed_sum".into(), AggFunc::Sum, "decayed".into()),
+                ("events".into(), AggFunc::Count, "e_id".into()),
+            ],
+        },
+    ));
+    let load = f.add_op(Operation::load("ml_feature_store"));
+
+    f.connect(ext_e, f_e).unwrap();
+    f.connect(f_e, join).unwrap();
+    f.connect(ext_p, join).unwrap();
+    f.connect(join, conv).unwrap();
+    f.connect(conv, d_feat).unwrap();
+    f.connect(d_feat, d_decay).unwrap();
+    f.connect(d_decay, agg).unwrap();
+    f.connect(agg, load).unwrap();
+    f
+}
+
+/// Events at `rows`, profiles at a quarter of it.
+pub fn catalog(rows: usize, dirt: &DirtProfile, seed: u64) -> Catalog {
+    let mut c = Catalog::new();
+    c.add_generated(
+        &TableSpec::new("feature_events", events_schema(), rows, "e_id"),
+        dirt,
+        seed,
+    );
+    c.add_generated(
+        &TableSpec::new(
+            "user_profiles",
+            profiles_schema(),
+            (rows / 4).max(4),
+            "up_user_id",
+        ),
+        dirt,
+        seed.wrapping_add(1),
+    );
+    c
+}
+
+/// The registry entry.
+pub fn scenario() -> Scenario {
+    Scenario {
+        name: "ml_features",
+        domain: "ML feature-store refresh (compute-bound)",
+        flow_shape: "events ⋈ profiles → heavy feature derives → segment rollup",
+        dirt: DirtProfile {
+            null_rate: 0.05,
+            dup_rate: 0.02,
+            corrupt_rate: 0.03,
+            staleness_hours: 6.0,
+        },
+        seed: 0x31F347,
+        depth: 3,
+        flow_fn: flow,
+        catalog_fn: catalog,
+        objective_fn: || {
+            Objective::new()
+                .weighted(Characteristic::Performance, 2.0)
+                .weighted(Characteristic::Reliability, 1.0)
+                .weighted(Characteristic::Manageability, 1.0)
+        },
+    }
+}

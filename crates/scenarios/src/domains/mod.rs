@@ -1,0 +1,18 @@
+//! The domain catalog, one module per scenario.
+//!
+//! Every module exposes `scenario() -> Scenario` plus the flow/catalog
+//! builders it is made of. Flows follow the same discipline as the
+//! `datagen` demo workloads — deterministic construction, meaningful
+//! selectivities/costs on the hot operators so the pattern palette has
+//! targets — and must stay clean under `poiesis_lint --deny-warn`
+//! (no dead fields, no type warnings), which CI enforces for every
+//! entry here.
+
+pub mod cdc;
+pub mod clickstream;
+pub mod finance;
+pub mod healthcare;
+pub mod inventory;
+pub mod logs;
+pub mod ml;
+pub mod telemetry;

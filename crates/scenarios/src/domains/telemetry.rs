@@ -1,0 +1,135 @@
+//! Telemetry / IoT dedup: a single high-volume readings feed where the
+//! transport re-delivers aggressively, so the raw stream is full of
+//! duplicates; calibrate, flag anomalies and roll up per device.
+//!
+//! Throughput is the whole game for telemetry, with data quality (dedup
+//! effectiveness) a close second; a hard constraint keeps cycle time
+//! from regressing past 60% no matter what cleaning is bolted on.
+
+use crate::Scenario;
+use datagen::{Catalog, DirtProfile, TableSpec};
+use etl_model::expr::Expr;
+use etl_model::{AggFunc, Attribute, DataType, EtlFlow, OpKind, Operation, Schema};
+use poiesis::Objective;
+use quality::{Characteristic, MeasureId};
+
+/// Schema of the raw readings feed.
+pub fn readings_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::required("rd_id", DataType::Int),
+        Attribute::new("rd_device_id", DataType::Int),
+        Attribute::new("rd_metric", DataType::Str),
+        Attribute::new("rd_value", DataType::Float),
+        Attribute::new("rd_ts", DataType::Timestamp),
+    ])
+}
+
+/// Feed → dedup → calibrate → anomaly router → per-device rollup
+/// (10 operators).
+pub fn flow() -> EtlFlow {
+    let mut f = EtlFlow::new("iot_dedup");
+    let ext = f.add_op(Operation::extract("sensor_readings", readings_schema()));
+    let f_valid = f.add_op(
+        Operation::filter(
+            "FILTER complete readings",
+            Expr::col("rd_value")
+                .is_not_null()
+                .and(Expr::col("rd_ts").is_not_null()),
+        )
+        .with_selectivity(0.9),
+    );
+    let dedup = f.add_op(Operation::new(
+        "DEDUP redelivered readings",
+        OpKind::Dedup {
+            keys: vec!["rd_device_id".into(), "rd_ts".into()],
+        },
+    ));
+    let derive = f.add_op(
+        Operation::derive(
+            "DERIVE calibrated value",
+            vec![(
+                "calibrated".to_string(),
+                Expr::col("rd_value")
+                    .mul(Expr::lit_f(1.02))
+                    .add(Expr::lit_f(0.5)),
+            )],
+        )
+        .with_cost(0.035),
+    );
+    let router = f.add_op(Operation::new(
+        "ROUTE anomalies",
+        OpKind::Router {
+            predicate: Expr::col("calibrated").gt(Expr::lit_f(900.0)),
+        },
+    ));
+    let d_anom = f.add_op(Operation::derive(
+        "DERIVE anomaly flag",
+        vec![("flag".to_string(), Expr::lit_f(1.0))],
+    ));
+    let d_norm = f.add_op(Operation::derive(
+        "DERIVE normal flag",
+        vec![("flag".to_string(), Expr::lit_f(0.0))],
+    ));
+    let merge = f.add_op(Operation::new("MERGE flagged readings", OpKind::Merge));
+    let agg = f.add_op(Operation::new(
+        "AGGREGATE per device metric",
+        OpKind::Aggregate {
+            group_by: vec!["rd_device_id".into(), "rd_metric".into()],
+            aggs: vec![
+                ("avg_value".into(), AggFunc::Avg, "calibrated".into()),
+                ("anomalies".into(), AggFunc::Sum, "flag".into()),
+                ("readings".into(), AggFunc::Count, "rd_id".into()),
+            ],
+        },
+    ));
+    let load = f.add_op(Operation::load("dw_device_metrics"));
+
+    f.connect(ext, f_valid).unwrap();
+    f.connect(f_valid, dedup).unwrap();
+    f.connect(dedup, derive).unwrap();
+    f.connect(derive, router).unwrap();
+    f.connect_labelled(router, d_anom, "anomaly").unwrap();
+    f.connect_labelled(router, d_norm, "normal").unwrap();
+    f.connect(d_anom, merge).unwrap();
+    f.connect(d_norm, merge).unwrap();
+    f.connect(merge, agg).unwrap();
+    f.connect(agg, load).unwrap();
+    f
+}
+
+/// One big feed table.
+pub fn catalog(rows: usize, dirt: &DirtProfile, seed: u64) -> Catalog {
+    let mut c = Catalog::new();
+    c.add_generated(
+        &TableSpec::new("sensor_readings", readings_schema(), rows, "rd_id"),
+        dirt,
+        seed,
+    );
+    c
+}
+
+/// The registry entry.
+pub fn scenario() -> Scenario {
+    Scenario {
+        name: "iot_dedup",
+        domain: "telemetry/IoT readings dedup and rollup",
+        flow_shape: "1 feed → dedup → calibrate → anomaly router → device rollup",
+        dirt: DirtProfile {
+            null_rate: 0.08,
+            dup_rate: 0.22,
+            corrupt_rate: 0.03,
+            staleness_hours: 2.0,
+        },
+        seed: 0x107D3D,
+        depth: 3,
+        flow_fn: flow,
+        catalog_fn: catalog,
+        objective_fn: || {
+            Objective::new()
+                .weighted(Characteristic::Performance, 2.0)
+                .weighted(Characteristic::DataQuality, 1.5)
+                .weighted(Characteristic::Cost, 1.0)
+                .constrain(MeasureId::CycleTimeMs, 1.6)
+        },
+    }
+}

@@ -1,0 +1,215 @@
+//! Golden-frontier snapshot tests: every (scenario × strategy) cell's
+//! skyline — member names *and* measure bit patterns — is pinned in
+//! `tests/golden_frontiers.txt`.
+//!
+//! A legitimate engine change that moves any frontier is re-blessed
+//! with
+//!
+//! ```text
+//! SCENARIOS_BLESS=1 cargo test -p scenarios --test golden
+//! ```
+//!
+//! which rewrites the file from the current engine; the diff then shows
+//! reviewers exactly which cells moved and how. An unexplained failure
+//! here is a determinism or planning regression.
+
+use scenarios::digest::{digest_lines, frontier_lines};
+use scenarios::sweep::{run_cell, strategies, SweepScale};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// One pinned cell: digest plus the canonical member lines.
+#[derive(Debug, Clone, PartialEq)]
+struct GoldenCell {
+    digest: String,
+    members: Vec<String>,
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden_frontiers.txt")
+}
+
+/// Parses the golden file: header lines are `scenario<TAB>strategy<TAB>
+/// digest`, followed by one tab-indented canonical line per member.
+fn parse_golden(text: &str) -> BTreeMap<(String, String), GoldenCell> {
+    let mut cells = BTreeMap::new();
+    let mut current: Option<((String, String), GoldenCell)> = None;
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(member) = line.strip_prefix('\t') {
+            let (_, cell) = current
+                .as_mut()
+                .expect("golden file: member line before any cell header");
+            cell.members.push(member.to_string());
+        } else {
+            if let Some((key, cell)) = current.take() {
+                cells.insert(key, cell);
+            }
+            let mut parts = line.splitn(3, '\t');
+            let scenario = parts.next().expect("golden header: scenario").to_string();
+            let strategy = parts.next().expect("golden header: strategy").to_string();
+            let digest = parts.next().expect("golden header: digest").to_string();
+            current = Some((
+                (scenario, strategy),
+                GoldenCell {
+                    digest,
+                    members: Vec::new(),
+                },
+            ));
+        }
+    }
+    if let Some((key, cell)) = current.take() {
+        cells.insert(key, cell);
+    }
+    cells
+}
+
+fn render_golden(cells: &BTreeMap<(String, String), GoldenCell>) -> String {
+    let mut out = String::from(
+        "# Golden frontiers: scenario <TAB> strategy <TAB> digest, then one\n\
+         # tab-indented canonical line per skyline member (name + measure bits).\n\
+         # Regenerate: SCENARIOS_BLESS=1 cargo test -p scenarios --test golden\n",
+    );
+    for ((scenario, strategy), cell) in cells {
+        let _ = writeln!(out, "{scenario}\t{strategy}\t{}", cell.digest);
+        for m in &cell.members {
+            let _ = writeln!(out, "\t{m}");
+        }
+    }
+    out
+}
+
+/// Member names (the part before the first measure pair) of a cell.
+fn names(members: &[String]) -> Vec<&str> {
+    members
+        .iter()
+        .map(|m| m.split(' ').next().unwrap_or(m))
+        .collect()
+}
+
+/// Diff-style failure message for one diverged cell.
+fn describe_divergence(
+    scenario: &str,
+    strategy: &str,
+    expected: &GoldenCell,
+    actual: &GoldenCell,
+) -> String {
+    let mut msg = format!(
+        "golden frontier diverged: {scenario} × {strategy}\n\
+         - expected digest {} ({} members)\n\
+         + actual   digest {} ({} members)\n",
+        expected.digest,
+        expected.members.len(),
+        actual.digest,
+        actual.members.len(),
+    );
+    let exp_names = names(&expected.members);
+    let act_names = names(&actual.members);
+    for n in exp_names.iter().filter(|n| !act_names.contains(n)) {
+        let _ = writeln!(msg, "  - only in golden: {n}");
+    }
+    for n in act_names.iter().filter(|n| !exp_names.contains(n)) {
+        let _ = writeln!(msg, "  + only in run:    {n}");
+    }
+    // members present on both sides but with moved measures
+    for exp in &expected.members {
+        let name = exp.split(' ').next().unwrap_or(exp);
+        if let Some(act) = actual
+            .members
+            .iter()
+            .find(|a| a.split(' ').next() == Some(name))
+        {
+            if exp != act {
+                let _ = writeln!(
+                    msg,
+                    "  ~ measures moved for {name}:\n    - {exp}\n    + {act}"
+                );
+            }
+        }
+    }
+    msg.push_str(
+        "rebless (if intended): SCENARIOS_BLESS=1 cargo test -p scenarios --test golden\n",
+    );
+    msg
+}
+
+/// Runs the full tiny grid and returns every cell keyed by
+/// (scenario, strategy-display).
+fn run_grid() -> BTreeMap<(String, String), GoldenCell> {
+    let scale = SweepScale::tiny();
+    let mut cells = BTreeMap::new();
+    for s in scenarios::all() {
+        for strategy in strategies() {
+            let run = run_cell(&s, strategy, &scale);
+            cells.insert(
+                (s.name.to_string(), strategy.to_string()),
+                GoldenCell {
+                    digest: run.digest,
+                    members: frontier_lines(&run.outcome),
+                },
+            );
+        }
+    }
+    cells
+}
+
+#[test]
+fn every_cell_matches_its_golden_frontier() {
+    let actual = run_grid();
+
+    if std::env::var("SCENARIOS_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::write(golden_path(), render_golden(&actual)).expect("write golden file");
+        println!(
+            "blessed {} cells into {}",
+            actual.len(),
+            golden_path().display()
+        );
+        return;
+    }
+
+    let text = std::fs::read_to_string(golden_path()).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {}: {e}\nseed it with SCENARIOS_BLESS=1 cargo test -p scenarios --test golden",
+            golden_path().display()
+        )
+    });
+    let expected = parse_golden(&text);
+
+    // the stored digest must agree with the stored lines (hand edits or
+    // merge damage show up here, not as a confusing frontier diff)
+    for ((scenario, strategy), cell) in &expected {
+        assert_eq!(
+            digest_lines(&cell.members),
+            cell.digest,
+            "golden file self-check failed for {scenario} × {strategy}: stored digest does not match stored members"
+        );
+    }
+
+    let mut failures = Vec::new();
+    for ((scenario, strategy), act) in &actual {
+        match expected.get(&(scenario.clone(), strategy.clone())) {
+            None => failures.push(format!(
+                "cell {scenario} × {strategy} missing from golden file (new scenario? rebless)"
+            )),
+            Some(exp) if exp != act => {
+                failures.push(describe_divergence(scenario, strategy, exp, act))
+            }
+            Some(_) => {}
+        }
+    }
+    for key in expected.keys() {
+        if !actual.contains_key(key) {
+            failures.push(format!(
+                "golden cell {} × {} no longer produced by the grid",
+                key.0, key.1
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+
+    // the acceptance bar: ≥ 8 scenarios × 3 strategies, all pinned
+    assert!(actual.len() >= 24, "grid shrank to {} cells", actual.len());
+}

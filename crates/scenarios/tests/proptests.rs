@@ -1,0 +1,64 @@
+//! Property coverage for the scenario corpus:
+//!
+//! * every catalog entry builds a valid planning session — the static
+//!   analyzer finds zero Error-severity PA0xx diagnostics, and zero
+//!   warnings either (CI lints every scenario with `--deny-warn`);
+//! * two independent runs of the same scenario + seed produce
+//!   bit-identical frontiers (the determinism contract the golden file
+//!   and the sweep gate rely on).
+
+use proptest::prelude::*;
+use scenarios::sweep::{run_cell, strategies, SweepScale};
+
+#[test]
+fn every_entry_builds_a_session_and_lints_clean() {
+    for s in scenarios::all() {
+        let flow = s.flow();
+        let diags = analysis::analyze(&flow);
+        let errors: Vec<_> = diags
+            .iter()
+            .filter(|d| d.severity == analysis::Severity::Error)
+            .collect();
+        assert!(
+            errors.is_empty(),
+            "{}: base flow has Error diagnostics:\n{}",
+            s.name,
+            analysis::render(&flow, &diags)
+        );
+        let warns: Vec<_> = diags
+            .iter()
+            .filter(|d| d.severity == analysis::Severity::Warn)
+            .collect();
+        assert!(
+            warns.is_empty(),
+            "{}: base flow would fail `poiesis_lint --deny-warn`:\n{}",
+            s.name,
+            analysis::render(&flow, &diags)
+        );
+
+        // and the session facade accepts it
+        poiesis::Poiesis::session()
+            .flow(flow)
+            .catalog(s.catalog(16))
+            .budget(50)
+            .build()
+            .unwrap_or_else(|e| panic!("{}: session rejected: {e}", s.name));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn same_cell_twice_is_bit_identical(
+        scenario_idx in 0usize..8,
+        strategy_idx in 0usize..3,
+    ) {
+        let s = &scenarios::all()[scenario_idx];
+        let strategy = strategies()[strategy_idx];
+        let scale = SweepScale::tiny();
+        let a = run_cell(s, strategy, &scale);
+        let b = run_cell(s, strategy, &scale);
+        prop_assert_eq!(&a.digest, &b.digest);
+        prop_assert!(!a.outcome.skyline.is_empty());
+    }
+}

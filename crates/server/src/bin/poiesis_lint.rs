@@ -4,9 +4,10 @@
 //! poiesis_lint [--deny-warn] <spec>...
 //! ```
 //!
-//! Each `<spec>` is either a builtin flow (`demo`, `tpch`, `tpcds`) or a
-//! path to a flow file: `.ktr` is imported as PDI, anything else is read
-//! as xLM. Every flow is run through the full static analyzer
+//! Each `<spec>` is either a builtin flow (`demo`, `tpch`, `tpcds`), a
+//! scenario-corpus entry (`scenario:<name>`, see `docs/SCENARIOS.md`), or
+//! a path to a flow file: `.ktr` is imported as PDI, anything else is
+//! read as xLM. Every flow is run through the full static analyzer
 //! (`analysis::analyze`) and the diagnostics are printed rustc-style with
 //! their stable `PA0xx` codes. Warnings are reported but do not fail the
 //! run unless `--deny-warn` promotes them; the exit code is
@@ -39,7 +40,7 @@ fn main() -> ExitCode {
         .collect();
     if specs.is_empty() {
         eprintln!(
-            "usage: poiesis_lint [--deny-warn] <demo|tpch|tpcds|path/to/flow.{{xlm,ktr}}>..."
+            "usage: poiesis_lint [--deny-warn] <demo|tpch|tpcds|scenario:<name>|path/to/flow.{{xlm,ktr}}>..."
         );
         return ExitCode::from(2);
     }
@@ -98,6 +99,14 @@ fn load(spec: &str) -> Result<EtlFlow, String> {
         "tpch" => return Ok(datagen::tpch::tpch_flow().0),
         "tpcds" => return Ok(datagen::tpcds::tpcds_flow().0),
         _ => {}
+    }
+    if let Some(name) = spec.strip_prefix("scenario:") {
+        return scenarios::get(name).map(|s| s.flow()).ok_or_else(|| {
+            format!(
+                "unknown scenario `{name}`; known scenarios: {}",
+                scenarios::names().join(", ")
+            )
+        });
     }
     let text = std::fs::read_to_string(spec).map_err(|e| e.to_string())?;
     if spec.ends_with(".ktr") {

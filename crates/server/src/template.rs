@@ -3,11 +3,13 @@
 //! A planning session needs an initial [`EtlFlow`] and a source
 //! [`Catalog`]; neither travels over the wire (catalogs hold generated
 //! tuples, flows hold an operator graph). Instead the server is launched
-//! *on* a [`SessionTemplate`] — the built-in Fig. 2 purchases demo or any
-//! xLM/PDI model file with sources synthesised from its extract schemata —
-//! and every created session starts from a clone of it. Clients configure
-//! everything else (objective, strategy, budget, …) per session through
-//! the `PlanRequest` DTO.
+//! *on* a [`SessionTemplate`] — the built-in Fig. 2 purchases demo, any
+//! entry of the domain scenario corpus (`scenario:<name>`, see
+//! `docs/SCENARIOS.md`), or any xLM/PDI model file with sources
+//! synthesised from its extract schemata — and every created session
+//! starts from a clone of it. Clients configure everything else
+//! (objective, strategy, budget, …) per session through the
+//! `PlanRequest` DTO.
 
 use datagen::fig2::{purchases_catalog, purchases_flow};
 use datagen::{Catalog, DirtProfile, TableSpec};
@@ -55,8 +57,25 @@ impl SessionTemplate {
         })
     }
 
-    /// Parses the `--catalog` flag syntax: `demo[:rows]` or
-    /// `<model-path>[:rows]` (default 200 rows).
+    /// A scenario-corpus template: the named scenario's base flow over
+    /// its seeded catalog at `rows` rows per base table.
+    pub fn from_scenario(name: &str, rows: usize) -> Result<Self, String> {
+        let s = scenarios::get(name).ok_or_else(|| {
+            format!(
+                "unknown scenario `{name}`; known scenarios: {}",
+                scenarios::names().join(", ")
+            )
+        })?;
+        Ok(SessionTemplate {
+            flow: s.flow(),
+            catalog: s.catalog(rows),
+            label: format!("scenario:{name}:{rows}"),
+        })
+    }
+
+    /// Parses the `--catalog` flag syntax: `demo[:rows]`,
+    /// `scenario:<name>[:rows]` or `<model-path>[:rows]` (default 200
+    /// rows).
     pub fn from_spec(spec: &str) -> Result<Self, String> {
         let (name, rows) = match spec.rsplit_once(':') {
             Some((name, rows)) if rows.bytes().all(|b| b.is_ascii_digit()) && !rows.is_empty() => {
@@ -72,8 +91,17 @@ impl SessionTemplate {
         }
         if name == "demo" {
             Ok(SessionTemplate::demo(rows))
-        } else {
+        } else if let Some(scenario) = name.strip_prefix("scenario:") {
+            SessionTemplate::from_scenario(scenario, rows)
+        } else if looks_like_model_path(name) {
             SessionTemplate::from_model_file(name, rows)
+        } else {
+            Err(format!(
+                "unknown catalog spec `{spec}`: expected `demo[:rows]`, \
+                 `scenario:<name>[:rows]` (known scenarios: {}), or a path to \
+                 an .xlm/.xml/.ktr model file",
+                scenarios::names().join(", ")
+            ))
         }
     }
 
@@ -84,6 +112,17 @@ impl SessionTemplate {
             .flow(self.flow.clone())
             .catalog(self.catalog.clone())
     }
+}
+
+/// A bare name with no path separator or model extension is almost
+/// certainly a mistyped builtin, not a file — route it to the
+/// suggestion error instead of a useless "No such file".
+fn looks_like_model_path(name: &str) -> bool {
+    name.contains('/')
+        || name.contains('\\')
+        || name.ends_with(".xlm")
+        || name.ends_with(".xml")
+        || name.ends_with(".ktr")
 }
 
 /// Synthesises a catalog for every extract in the flow from its schema
@@ -141,5 +180,42 @@ mod tests {
         );
         assert!(SessionTemplate::from_spec("demo:0").is_err());
         assert!(SessionTemplate::from_spec("/no/such/model.xlm").is_err());
+    }
+
+    #[test]
+    fn scenario_specs_resolve_against_the_corpus() {
+        let t = SessionTemplate::from_spec("scenario:finance_recon").unwrap();
+        assert_eq!(t.label, "scenario:finance_recon:200");
+        let t = SessionTemplate::from_spec("scenario:iot_dedup:48").unwrap();
+        assert_eq!(t.label, "scenario:iot_dedup:48");
+        // the template is live, not just labelled
+        t.builder().budget(50).build().unwrap();
+    }
+
+    #[test]
+    fn unknown_scenario_error_lists_the_catalog() {
+        let err = SessionTemplate::from_spec("scenario:fniance_recon").unwrap_err();
+        assert!(
+            err.contains("unknown scenario `fniance_recon`"),
+            "error should name the bad scenario: {err}"
+        );
+        for name in scenarios::names() {
+            assert!(
+                err.contains(name),
+                "error should suggest known scenario `{name}`: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_spec_error_suggests_the_known_catalogs() {
+        let err = SessionTemplate::from_spec("dmeo:100").unwrap_err();
+        assert!(err.contains("unknown catalog spec `dmeo:100`"), "{err}");
+        assert!(err.contains("demo[:rows]"), "{err}");
+        assert!(err.contains("scenario:<name>[:rows]"), "{err}");
+        assert!(err.contains(".xlm/.xml/.ktr"), "{err}");
+        for name in scenarios::names() {
+            assert!(err.contains(name), "missing suggestion `{name}`: {err}");
+        }
     }
 }

@@ -1,0 +1,32 @@
+//! Property: every `scenario:<name>:rows` spec round-trips through
+//! `SessionTemplate::from_spec` — the template's label is exactly the
+//! spec that was asked for, so feeding a template's label back into
+//! `from_spec` reproduces an equivalent template.
+
+use poiesis_server::SessionTemplate;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn scenario_specs_round_trip_through_from_spec(
+        scenario_idx in 0usize..8,
+        rows in 1usize..400,
+    ) {
+        let name = scenarios::names()[scenario_idx];
+        let spec = format!("scenario:{name}:{rows}");
+        let t = SessionTemplate::from_spec(&spec).unwrap();
+        prop_assert_eq!(&t.label, &spec);
+
+        // the label itself is a valid spec that resolves to the same cell
+        let again = SessionTemplate::from_spec(&t.label).unwrap();
+        prop_assert_eq!(&again.label, &t.label);
+    }
+
+    #[test]
+    fn rowless_scenario_specs_default_to_200(scenario_idx in 0usize..8) {
+        let name = scenarios::names()[scenario_idx];
+        let t = SessionTemplate::from_spec(&format!("scenario:{name}")).unwrap();
+        prop_assert_eq!(t.label, format!("scenario:{name}:200"));
+    }
+}

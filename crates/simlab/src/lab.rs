@@ -47,7 +47,11 @@ use std::time::Duration;
 /// use; tests shrink `cycles`/`rows` for speed, never the invariants.
 #[derive(Debug, Clone)]
 pub struct LabConfig {
-    /// Rows per synthesised source in the demo template.
+    /// Session-template spec the lab's server plans against — any
+    /// rowless `SessionTemplate::from_spec` name (`demo`,
+    /// `scenario:<name>`); `rows` is appended by the lab.
+    pub template: String,
+    /// Rows per synthesised source in the session template.
     pub rows: usize,
     /// Explore/select cycles the workload completes.
     pub cycles: usize,
@@ -66,6 +70,7 @@ pub struct LabConfig {
 impl Default for LabConfig {
     fn default() -> Self {
         LabConfig {
+            template: "demo".to_string(),
             rows: 32,
             cycles: 3,
             wire_slots: 24,
@@ -185,7 +190,9 @@ impl Incarnation {
     fn start(dir: &Path, cfg: &LabConfig) -> Result<Incarnation, String> {
         let store = StateStore::open(dir).map_err(|e| format!("opening state store: {e}"))?;
         let hook = store.fault_hook();
-        let service = PlanningService::new(SessionTemplate::demo(cfg.rows))
+        let template = SessionTemplate::from_spec(&format!("{}:{}", cfg.template, cfg.rows))
+            .map_err(|e| format!("resolving lab template: {e}"))?;
+        let service = PlanningService::new(template)
             .with_store(store)
             .map_err(|e| format!("starting service: {e}"))?;
         let server = Server::bind("127.0.0.1:0", service, lab_server_config())

@@ -29,3 +29,24 @@ proptest! {
         }
     }
 }
+
+/// One pinned seed replays the fault-lab workload against a scenario
+/// template instead of the built-in demo: the recovery invariants must
+/// hold regardless of which flow the server is planning, and the
+/// outcome digest must stay seed-deterministic on the bigger flow too.
+#[test]
+fn pinned_seed_recovers_on_a_scenario_template() {
+    let cfg = LabConfig {
+        template: "scenario:log_compaction".to_string(),
+        cycles: 2,
+        ..LabConfig::default()
+    };
+    let seed = 0x5CE42;
+    let first = run_seed(seed, &cfg).unwrap_or_else(|f| panic!("scenario lab run failed: {f}"));
+    assert_eq!(first.cycles, 2);
+    let second = run_seed(seed, &cfg).unwrap_or_else(|f| panic!("scenario lab replay failed: {f}"));
+    assert_eq!(
+        first.outcome_digest, second.outcome_digest,
+        "scenario-template lab run is not seed-deterministic"
+    );
+}

@@ -13,6 +13,7 @@ pub use flowgraph;
 pub use poiesis;
 pub use poiesis_server;
 pub use quality;
+pub use scenarios;
 pub use simulator;
 pub use viz;
 pub use xlm;
